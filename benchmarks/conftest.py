@@ -1,0 +1,139 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks regenerate every table and figure of the paper at a scale
+a laptop Python run can afford.  Traces are generated once per session
+into a temporary directory in the formats each experiment needs; every
+benchmark writes its rendered paper-style table both to stdout and to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can quote it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.baselines.champsim import (
+    instruction_trace_from_branches,
+    write_instruction_trace,
+)
+from repro.baselines.cbp5 import write_bt9
+from repro.sbbt.writer import write_trace
+from repro.traces.synth import generate_trace
+from repro.traces.workloads import PROFILES, SuiteSpec
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The scaled-down CBP5 training suite used by Tables III and IV:
+#: 2 traces per category with a 6x length spread, 6k-36k branches.
+BENCH_CBP5_SUITE = SuiteSpec(
+    name="bench-cbp5",
+    categories=("short_mobile", "long_mobile", "short_server",
+                "long_server"),
+    traces_per_category=2,
+    branches_per_trace=15_000,
+    length_spread=2.5,
+    seed=81,
+)
+
+#: The scaled-down DPC3 suite used by Table III (bottom) and Table I.
+BENCH_DPC3_SUITE = SuiteSpec(
+    name="bench-dpc3",
+    categories=("spec17_like",),
+    traces_per_category=3,
+    branches_per_trace=12_000,
+    length_spread=2.0,
+    seed=82,
+)
+
+
+@pytest.fixture
+def report_only(benchmark):
+    """Attach a no-op measurement so report/shape tests still execute
+    under ``--benchmark-only`` (which skips fixture-less tests)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    return benchmark
+
+
+def emit_report(name: str, text: str) -> None:
+    """Print a rendered table and persist it under benchmarks/results."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def bench_dir(tmp_path_factory) -> Path:
+    return tmp_path_factory.mktemp("bench-traces")
+
+
+@pytest.fixture(scope="session")
+def cbp5_suite(bench_dir):
+    """The CBP5-like suite in memory, keyed by trace name."""
+    return {
+        name: generate_trace(PROFILES[category], seed, branches)
+        for name, category, seed, branches in BENCH_CBP5_SUITE.trace_plans()
+    }
+
+
+@pytest.fixture(scope="session")
+def cbp5_sbbt_paths(bench_dir, cbp5_suite):
+    """The suite written as SBBT + best codec (the MBPlib distribution)."""
+    paths = {}
+    for name, trace in cbp5_suite.items():
+        path = bench_dir / f"{name}.sbbt.xz"
+        write_trace(path, trace)
+        paths[name] = path
+    return paths
+
+
+@pytest.fixture(scope="session")
+def cbp5_bt9_gz_paths(bench_dir, cbp5_suite):
+    """The suite as BT9 + gzip (the original CBP5 distribution)."""
+    paths = {}
+    for name, trace in cbp5_suite.items():
+        path = bench_dir / f"{name}.bt9.gz"
+        write_bt9(path, trace)
+        paths[name] = path
+    return paths
+
+
+@pytest.fixture(scope="session")
+def cbp5_bt9_xz_paths(bench_dir, cbp5_suite):
+    """The suite as BT9 + xz (the paper's modified-codec experiment)."""
+    paths = {}
+    for name, trace in cbp5_suite.items():
+        path = bench_dir / f"{name}.bt9.xz"
+        write_bt9(path, trace)
+        paths[name] = path
+    return paths
+
+
+@pytest.fixture(scope="session")
+def dpc3_suite(bench_dir):
+    """The DPC3-like suite in memory."""
+    return {
+        name: generate_trace(PROFILES[category], seed, branches)
+        for name, category, seed, branches in BENCH_DPC3_SUITE.trace_plans()
+    }
+
+
+@pytest.fixture(scope="session")
+def dpc3_instruction_traces(dpc3_suite):
+    """Per-instruction expansions of the DPC3-like suite."""
+    return {
+        name: instruction_trace_from_branches(trace)
+        for name, trace in dpc3_suite.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def dpc3_champsim_paths(bench_dir, dpc3_instruction_traces):
+    """The DPC3-like suite written in the champsimtrace format + xz."""
+    paths = {}
+    for name, trace in dpc3_instruction_traces.items():
+        path = bench_dir / f"{name}.champsim.xz"
+        write_instruction_trace(path, trace)
+        paths[name] = path
+    return paths

@@ -1,0 +1,95 @@
+"""Figures 1 and 2 — the SBBT header and packet layouts, regenerated.
+
+The figures are format diagrams rather than measurements; the bench
+(a) renders the implemented bit layout as text so it can be compared with
+the paper's figures, (b) asserts the structural facts the figures state,
+and (c) measures the codec throughput those layout choices buy.
+"""
+
+import numpy as np
+
+from repro.core.branch import Branch, Opcode
+from repro.sbbt.header import HEADER_SIZE, SbbtHeader
+from repro.sbbt.packet import MAX_GAP, PACKET_SIZE, SbbtPacket
+from repro.sbbt.reader import decode_payload
+from repro.sbbt.writer import encode_payload
+from repro.traces.synth import generate_trace
+from repro.traces.workloads import PROFILES
+
+from conftest import emit_report
+
+LAYOUT = """\
+Fig. 1 - SBBT header (192 bits / 24 bytes)
+  bytes  0-4   signature            b"SBBT\\n"
+  bytes  5-7   version              major=1 minor=0 patch=0 (u8 each)
+  bytes  8-15  instruction count    u64 little-endian
+  bytes 16-23  branch count         u64 little-endian
+
+Fig. 2 - SBBT branch packet (128 bits / 16 bytes, two u64 LE blocks)
+  block 1  bits 63-12  branch instruction address (52 MSBs,
+                       recovered by a 12-bit arithmetic shift)
+           bits 11     outcome (1 = taken)
+           bits 10-4   reserved (zero in version 1.0)
+           bits  3-0   opcode: bit0 conditional, bit1 indirect,
+                       bits3-2 base type JUMP=00 / RET=01 / CALL=10
+  block 2  bits 63-12  branch target address (52 MSBs)
+           bits 11-0   instructions since the previous branch (max 4095)
+
+Validity rules (Section IV-C):
+  1. a non-conditional branch must be marked taken
+  2. a not-taken conditional-indirect branch must have a null target\
+"""
+
+
+def test_fig1_fig2_layout_report(report_only):
+    # Assert the structural facts stated by the figures before printing.
+    assert HEADER_SIZE == 24
+    assert PACKET_SIZE == 16
+    assert MAX_GAP == 4095
+    header = SbbtHeader(1000, 100)
+    assert header.encode()[:5] == b"SBBT\n"
+    packet = SbbtPacket(
+        branch=Branch(0x0000_5555_5540_0000, 0x0000_5555_5540_0100,
+                      Opcode(0b0001), True),
+        gap=42,
+    )
+    payload = packet.encode()
+    assert len(payload) == 16
+    block1 = int.from_bytes(payload[:8], "little")
+    assert block1 & 0xF == 0b0001                   # opcode nibble
+    assert (block1 >> 11) & 1 == 1                  # outcome bit
+    assert (block1 >> 4) & 0x7F == 0                # reserved bits
+    emit_report("fig1_fig2_sbbt_layout", LAYOUT)
+
+
+def _trace(n=100_000):
+    return generate_trace(PROFILES["short_server"], seed=21, num_branches=n)
+
+
+def test_bench_sbbt_encode(benchmark):
+    """Vectorized encode throughput of the Fig. 2 packet layout."""
+    trace = _trace()
+    payload = benchmark(encode_payload, trace)
+    assert len(payload) == HEADER_SIZE + len(trace) * PACKET_SIZE
+
+
+def test_bench_sbbt_decode(benchmark):
+    """Vectorized decode throughput (the simulators' input path)."""
+    trace = _trace()
+    payload = encode_payload(trace)
+    decoded = benchmark(decode_payload, payload)
+    assert np.array_equal(decoded.ips, trace.ips)
+
+
+def test_bench_packet_scalar_round_trip(benchmark):
+    """Single-packet codec cost (the streaming reader/writer unit)."""
+    packet = SbbtPacket(
+        branch=Branch(0x0000_5555_5540_0000, 0x0000_5555_5540_0100,
+                      Opcode(0b0001), True),
+        gap=3,
+    )
+
+    def round_trip():
+        return SbbtPacket.decode(packet.encode())
+
+    assert benchmark(round_trip) == packet

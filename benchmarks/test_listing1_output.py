@@ -1,0 +1,63 @@
+"""Listing 1 — the simulator's JSON output, regenerated.
+
+Runs the same configuration the paper's listing shows (a GShare with
+``history_length=25`` and ``log_table_size=18`` — the 64 kB version — on
+a server-class trace) and prints the resulting JSON object; asserts every
+field of the listing's schema is present.
+"""
+
+import json
+
+from repro.core.simulator import SimulationConfig, simulate
+from repro.predictors import GShare
+from repro.sbbt.writer import write_trace
+from repro.traces.workloads import generate_workload
+
+from conftest import emit_report
+
+
+def _run(tmp_path_factory):
+    trace = generate_workload("short_server", seed=1, num_branches=20_000)
+    path = tmp_path_factory.mktemp("listing1") / "SHORT_SERVER-1.sbbt.xz"
+    write_trace(path, trace)
+    predictor = GShare(history_length=25, log_table_size=18)
+    return simulate(predictor, path, SimulationConfig(warmup_instructions=0))
+
+
+def test_listing1_schema_report(tmp_path_factory, report_only):
+    result = _run(tmp_path_factory)
+    output = result.to_json()
+
+    metadata = output["metadata"]
+    assert metadata["trace"].endswith("SHORT_SERVER-1.sbbt.xz")
+    assert metadata["warmup_instr"] == 0
+    assert metadata["exhausted_trace"] is True
+    assert metadata["predictor"]["history_length"] == 25
+    assert metadata["predictor"]["log_table_size"] == 18
+    metrics = output["metrics"]
+    assert 0 < metrics["accuracy"] < 1
+    assert metrics["mispredictions"] > 0
+    assert metrics["num_most_failed_branches"] == len(output["most_failed"])
+    assert metrics["simulation_time"] > 0
+
+    # Trim the most_failed list for the printed report, like the paper's
+    # listing does with its trailing "...".
+    compact = dict(output)
+    compact["most_failed"] = output["most_failed"][:2] + ["..."] \
+        if len(output["most_failed"]) > 2 else output["most_failed"]
+    emit_report("listing1_output", json.dumps(compact, indent=2))
+
+
+def test_bench_full_pipeline_to_json(benchmark, tmp_path_factory):
+    """Cost of trace read + simulation + JSON assembly end to end."""
+    trace = generate_workload("short_server", seed=1, num_branches=10_000)
+    path = tmp_path_factory.mktemp("listing1b") / "t.sbbt.xz"
+    write_trace(path, trace)
+
+    def pipeline():
+        result = simulate(GShare(history_length=15, log_table_size=14),
+                          path)
+        return result.to_json_string()
+
+    payload = benchmark.pedantic(pipeline, rounds=3, iterations=1)
+    assert json.loads(payload)["metrics"]["mispredictions"] > 0

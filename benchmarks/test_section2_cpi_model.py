@@ -1,0 +1,53 @@
+"""Section II — the motivating CPI arithmetic, regenerated.
+
+The paper's Section II computes, for two machine shapes, the speedup of
+reducing the MPKI from 5 to 4.  This bench recomputes the four CPI values
+and the two speedups and prints them next to the paper's numbers.
+"""
+
+import pytest
+
+from repro.analysis.cpi import PipelineModel
+from repro.analysis.reporting import format_table
+
+from conftest import emit_report
+
+PAPER_ROWS = [
+    # (fetch width, resolve stage, CPI@5, CPI@4, speedup)
+    (1, 5, 1.02, 1.016, "0.4 %"),
+    (4, 11, 0.30, 0.29, "3.4 %"),
+]
+
+
+def test_section2_numbers_match_paper(report_only):
+    rows = []
+    for width, stage, cpi5, cpi4, paper_speedup in PAPER_ROWS:
+        model = PipelineModel(fetch_width=width, resolve_stage=stage)
+        assert model.cpi(5.0) == pytest.approx(cpi5, abs=1e-3)
+        assert model.cpi(4.0) == pytest.approx(cpi4, abs=1e-3)
+        measured = model.speedup(5.0, 4.0)
+        rows.append([
+            f"{width}-wide, resolve stage {stage}",
+            f"{model.cpi(5.0):.3f}", f"{model.cpi(4.0):.3f}",
+            f"{measured * 100:.2f} %", paper_speedup,
+        ])
+    emit_report("section2_cpi_model", format_table(
+        headers=["Machine", "CPI @ 5 MPKI", "CPI @ 4 MPKI",
+                 "Speedup (measured)", "Speedup (paper)"],
+        rows=rows,
+        title="Section II - CPI model: value of 1 MPKI reduction",
+    ))
+
+
+def test_bench_cpi_model(benchmark):
+    """Throughput of the analytic model (used inside parameter searches)."""
+    model = PipelineModel(fetch_width=4, resolve_stage=11)
+
+    def evaluate():
+        total = 0.0
+        for mpki in range(0, 100):
+            total += model.cpi(float(mpki))
+        return total
+
+    result = benchmark(evaluate)
+    assert result > 0

@@ -1,0 +1,133 @@
+"""Table I — size reduction of the translated trace sets.
+
+The paper translates the CBP5 sets from BT9+gzip and the DPC3 set from
+champsimtrace+xz into SBBT+zstd and reports 7.3x / 5.0x / 42x shrinkage.
+This bench writes scaled-down synthetic counterparts of all three suites
+in their "original" and "translated" formats and reports the same rows.
+
+Expected shape (EXPERIMENTS.md): every ratio > 1; the DPC3 ratio is by
+far the largest because its source format stores every instruction.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.baselines.champsim import (
+    instruction_trace_from_branches,
+    write_instruction_trace,
+)
+from repro.baselines.cbp5 import write_bt9
+from repro.sbbt.writer import write_trace
+from repro.traces.synth import generate_trace
+from repro.traces.workloads import PROFILES, SuiteSpec
+
+from conftest import emit_report
+
+# A larger suite than the timing benches use: size ratios need volume.
+SIZE_CBP5_TRAIN = SuiteSpec(
+    name="size-cbp5-train",
+    categories=("short_mobile", "long_mobile", "short_server",
+                "long_server"),
+    traces_per_category=3, branches_per_trace=40_000, seed=91,
+)
+SIZE_CBP5_EVAL = SuiteSpec(
+    name="size-cbp5-eval",
+    categories=("short_mobile", "long_mobile", "short_server",
+                "long_server"),
+    traces_per_category=3, branches_per_trace=25_000, seed=92,
+)
+SIZE_DPC3 = SuiteSpec(
+    name="size-dpc3", categories=("spec17_like",),
+    traces_per_category=4, branches_per_trace=40_000, seed=93,
+)
+
+PAPER_RATIOS = {"CBP5 - Training": 7.3, "CBP5 - Evaluation": 5.0,
+                "DPC3": 42.0}
+
+
+def _measure_suite(spec: SuiteSpec, directory: Path,
+                   original_format: str) -> tuple[int, int, int]:
+    """Write one suite both ways; return (count, original, translated)."""
+    original_bytes = 0
+    translated_bytes = 0
+    count = 0
+    for name, category, seed, branches in spec.trace_plans():
+        trace = generate_trace(PROFILES[category], seed, branches)
+        if original_format == "bt9.gz":
+            original_bytes += write_bt9(directory / f"{name}.bt9.gz", trace)
+        else:
+            original_bytes += write_instruction_trace(
+                directory / f"{name}.champsim.xz",
+                instruction_trace_from_branches(trace))
+        translated_bytes += write_trace(directory / f"{name}.sbbt.xz",
+                                        trace)
+        count += 1
+    return count, original_bytes, translated_bytes
+
+
+@pytest.fixture(scope="module")
+def table1_rows(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("table1")
+    rows = []
+    for label, spec, original in [
+        ("CBP5 - Training", SIZE_CBP5_TRAIN, "bt9.gz"),
+        ("CBP5 - Evaluation", SIZE_CBP5_EVAL, "bt9.gz"),
+        ("DPC3", SIZE_DPC3, "champsim.xz"),
+    ]:
+        count, original_bytes, translated_bytes = _measure_suite(
+            spec, directory, original)
+        rows.append((label, count, original_bytes, translated_bytes))
+    return rows
+
+
+def test_table1_report(table1_rows, report_only):
+    body = []
+    for label, count, original_bytes, translated_bytes in table1_rows:
+        ratio = original_bytes / translated_bytes
+        body.append([
+            label, str(count),
+            f"{original_bytes / 1024:.1f} KB",
+            f"{translated_bytes / 1024:.1f} KB",
+            f"{ratio:.1f} x",
+            f"{PAPER_RATIOS[label]:.1f} x",
+        ])
+    emit_report("table1_trace_sizes", format_table(
+        headers=["Trace Set", "Num. Traces", "Original Size",
+                 "Translated Size", "Ratio (measured)", "Ratio (paper)"],
+        rows=body,
+        title=("TABLE I - size reduction of the translated trace sets "
+               "(original: BT9+gzip / champsimtrace+xz; translated: "
+               "SBBT+xz standing in for SBBT+zstd)"),
+    ))
+
+
+def test_table1_shape_holds(table1_rows, report_only):
+    ratios = {label: original / translated
+              for label, _, original, translated in table1_rows}
+    # Every translation shrinks the set.
+    assert all(ratio > 1.0 for ratio in ratios.values()), ratios
+    # The per-instruction DPC3 source compresses away far more.
+    assert ratios["DPC3"] > 3 * ratios["CBP5 - Training"], ratios
+    assert ratios["DPC3"] > 10, ratios
+
+
+def test_bench_sbbt_write(benchmark, tmp_path):
+    trace = generate_trace(PROFILES["spec17_like"], 5, 40_000)
+
+    def write():
+        return write_trace(tmp_path / "w.sbbt.xz", trace)
+
+    size = benchmark.pedantic(write, rounds=3, iterations=1)
+    assert size > 0
+
+
+def test_bench_bt9_write(benchmark, tmp_path):
+    trace = generate_trace(PROFILES["spec17_like"], 5, 40_000)
+
+    def write():
+        return write_bt9(tmp_path / "w.bt9.gz", trace)
+
+    size = benchmark.pedantic(write, rounds=3, iterations=1)
+    assert size > 0

@@ -1,0 +1,122 @@
+"""Table III (top) — MBPlib-style simulator vs the CBP5 framework.
+
+Runs every Table II predictor over the scaled CBP5-like suite through
+both simulators and reports slowest / average / fastest wall times and
+the speedup, exactly like the paper's table.
+
+Expected shape (EXPERIMENTS.md):
+* every average speedup > 1 (the library-style simulator always wins);
+* the speedup is largest for the cheap table predictors (simulator-bound
+  runs) and smallest for TAGE/BATAGE (predictor-bound runs) — the
+  paper's 18.4x .. 3.25x gradient, compressed by Python's flatter
+  constant factors.
+"""
+
+import pytest
+
+from repro.analysis.reporting import SpeedupRow, format_duration, speedup_table
+from repro.baselines.cbp5 import Cbp5Framework, FromMbpPredictor
+from repro.core.batch import TimingSummary
+from repro.core.simulator import SimulationConfig, simulate
+from repro.predictors import TABLE2_PREDICTORS
+
+from conftest import emit_report
+
+#: Paper Table III average speedups, for the printed comparison column.
+PAPER_AVERAGE_SPEEDUP = {
+    "Bimodal": 18.38, "Two-Level": 17.69, "GShare": 17.88,
+    "Tournament": 15.96, "2bc-gskew": 12.17, "Hashed Perc.": 6.19,
+    "TAGE": 3.70, "BATAGE": 3.25,
+}
+
+#: Cheap predictors whose speedup must exceed the heavyweights'.
+SIMULATOR_BOUND = ("Bimodal", "Two-Level", "GShare")
+PREDICTOR_BOUND = ("TAGE", "BATAGE")
+
+
+@pytest.fixture(scope="module")
+def timings(cbp5_suite, cbp5_sbbt_paths, cbp5_bt9_gz_paths):
+    """Per-predictor (cbp5 TimingSummary, mbp TimingSummary, mpki pairs)."""
+    config = SimulationConfig()
+    results = {}
+    for label, factory in TABLE2_PREDICTORS.items():
+        cbp5_times, mbp_times = [], []
+        for name in cbp5_suite:
+            framework = Cbp5Framework(cbp5_bt9_gz_paths[name])
+            cbp5_result = framework.run(FromMbpPredictor(factory()))
+            mbp_result = simulate(factory(), cbp5_sbbt_paths[name], config)
+            # Section VII-C guarantee, enforced on every bench run.
+            assert cbp5_result.mispredictions == mbp_result.mispredictions, (
+                f"{label} diverged on {name}"
+            )
+            cbp5_times.append(cbp5_result.simulation_time)
+            mbp_times.append(mbp_result.simulation_time)
+        results[label] = (TimingSummary.from_times(cbp5_times),
+                          TimingSummary.from_times(mbp_times))
+    return results
+
+
+def test_table3_cbp5_report(timings, report_only):
+    rows = []
+    for label, (cbp5_summary, mbp_summary) in timings.items():
+        for statistic in ("slowest", "average", "fastest"):
+            rows.append(SpeedupRow(
+                label=label if statistic == "slowest" else "",
+                statistic=statistic.capitalize(),
+                baseline_seconds=getattr(cbp5_summary, statistic),
+                library_seconds=getattr(mbp_summary, statistic),
+            ))
+    table = speedup_table(
+        rows, baseline_name="CBP5 fw", library_name="MBPlib-style",
+        title=("TABLE III (top) - simulation time vs the CBP5 framework "
+               "(scaled synthetic CBP5 suite)"),
+    )
+    paper = "\n".join(
+        f"  paper average speedup {label:12s}: "
+        f"{PAPER_AVERAGE_SPEEDUP[label]:.2f} x"
+        for label in timings
+    )
+    emit_report("table3_cbp5_speedup", table + "\n\n" + paper)
+
+
+def test_table3_cbp5_shape(timings, report_only):
+    average_speedup = {
+        label: cbp5.average / mbp.average
+        for label, (cbp5, mbp) in timings.items()
+    }
+    # The library-style simulator wins for every predictor.
+    assert all(speedup > 1.0 for speedup in average_speedup.values()), \
+        average_speedup
+    # Simulator-bound predictors gain more than predictor-bound ones.
+    cheap = min(average_speedup[label] for label in SIMULATOR_BOUND)
+    heavy = max(average_speedup[label] for label in PREDICTOR_BOUND)
+    assert cheap > heavy, average_speedup
+
+
+@pytest.mark.parametrize("label", ["Bimodal", "BATAGE"])
+def test_bench_mbp_simulator(benchmark, cbp5_suite, label):
+    """pytest-benchmark timing for the two extreme predictors (MBP side)."""
+    trace = next(iter(cbp5_suite.values()))
+    factory = TABLE2_PREDICTORS[label]
+
+    def run():
+        return simulate(factory(), trace,
+                        SimulationConfig(collect_most_failed=False))
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.num_conditional_branches > 0
+
+
+@pytest.mark.parametrize("label", ["Bimodal", "BATAGE"])
+def test_bench_cbp5_framework(benchmark, cbp5_suite, cbp5_bt9_gz_paths,
+                              label):
+    """pytest-benchmark timing for the same predictors (CBP5 side)."""
+    name = next(iter(cbp5_suite))
+    factory = TABLE2_PREDICTORS[label]
+
+    def run():
+        return Cbp5Framework(cbp5_bt9_gz_paths[name]).run(
+            FromMbpPredictor(factory()))
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.num_conditional_branches > 0

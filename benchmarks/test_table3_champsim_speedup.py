@@ -1,0 +1,120 @@
+"""Table III (bottom) — MBPlib-style simulator vs the ChampSim-style
+cycle simulator.
+
+The paper runs GShare and BATAGE under ChampSim (with matching target
+predictors) against the DPC3 traces and reports 923x / 134x average
+speedups for the branch-only simulator; it also observes that under
+ChampSim the simple and the complex predictor take *about the same* time
+because the predictor is a tiny share of the cycle-level work.
+
+Expected shape (EXPERIMENTS.md):
+* the cycle simulator is slower by a large factor for both predictors;
+* the GShare speedup far exceeds the BATAGE speedup;
+* the two predictors' ChampSim times are much closer to each other than
+  their branch-only times are.
+"""
+
+import pytest
+
+from repro.analysis.reporting import SpeedupRow, speedup_table
+from repro.baselines.champsim import CoreConfig, run_champsim
+from repro.core.batch import TimingSummary
+from repro.core.simulator import SimulationConfig, simulate
+from repro.predictors import Batage, GShare
+
+from conftest import emit_report
+
+PAPER_AVERAGE_SPEEDUP = {"GShare": 923.0, "BATAGE": 134.0}
+
+#: Paper methodology: a GShare-class indirect predictor accompanies the
+#: GShare, an ITTAGE accompanies the BATAGE.
+CONFIGS = {
+    "GShare": (lambda: GShare(),
+               CoreConfig(indirect_predictor="gshare")),
+    "BATAGE": (lambda: Batage(),
+               CoreConfig(indirect_predictor="ittage")),
+}
+
+
+@pytest.fixture(scope="module")
+def timings(dpc3_suite, dpc3_instruction_traces):
+    results = {}
+    for label, (factory, core_config) in CONFIGS.items():
+        champsim_times, mbp_times = [], []
+        for name, branch_trace in dpc3_suite.items():
+            champsim_result = run_champsim(
+                factory(), dpc3_instruction_traces[name], core_config,
+                trace_name=name)
+            mbp_result = simulate(factory(), branch_trace,
+                                  SimulationConfig())
+            # The same predictor sees the same branches in both worlds.
+            assert (champsim_result.stats.direction_mispredictions
+                    == mbp_result.mispredictions), f"{label} diverged"
+            champsim_times.append(champsim_result.simulation_time)
+            mbp_times.append(mbp_result.simulation_time)
+        results[label] = (TimingSummary.from_times(champsim_times),
+                          TimingSummary.from_times(mbp_times))
+    return results
+
+
+def test_table3_champsim_report(timings, report_only):
+    rows = []
+    for label, (champsim_summary, mbp_summary) in timings.items():
+        for statistic in ("slowest", "average", "fastest"):
+            rows.append(SpeedupRow(
+                label=label if statistic == "slowest" else "",
+                statistic=statistic.capitalize(),
+                baseline_seconds=getattr(champsim_summary, statistic),
+                library_seconds=getattr(mbp_summary, statistic),
+            ))
+    table = speedup_table(
+        rows, baseline_name="ChampSim-style", library_name="MBPlib-style",
+        title=("TABLE III (bottom) - simulation time vs the cycle-level "
+               "simulator (scaled synthetic DPC3 suite)"),
+    )
+    paper = "\n".join(
+        f"  paper average speedup {label}: "
+        f"{PAPER_AVERAGE_SPEEDUP[label]:.0f} x"
+        for label in timings
+    )
+    emit_report("table3_champsim_speedup", table + "\n\n" + paper)
+
+
+def test_table3_champsim_shape(timings, report_only):
+    gshare_champsim, gshare_mbp = timings["GShare"]
+    batage_champsim, batage_mbp = timings["BATAGE"]
+    gshare_speedup = gshare_champsim.average / gshare_mbp.average
+    batage_speedup = batage_champsim.average / batage_mbp.average
+    # Branch-only simulation wins big for the cheap predictor...
+    assert gshare_speedup > 5, (gshare_speedup, batage_speedup)
+    # ... and still wins for the heavyweight.
+    assert batage_speedup > 1, (gshare_speedup, batage_speedup)
+    # The gradient matches the paper: GShare gains far more.
+    assert gshare_speedup > 2 * batage_speedup
+    # Under the cycle simulator the two predictors' times are closer to
+    # each other than under the branch-only simulator.
+    champsim_gap = batage_champsim.average / gshare_champsim.average
+    mbp_gap = batage_mbp.average / gshare_mbp.average
+    assert champsim_gap < mbp_gap
+
+
+def test_bench_champsim_gshare(benchmark, dpc3_instruction_traces):
+    trace = next(iter(dpc3_instruction_traces.values()))
+
+    def run():
+        return run_champsim(GShare(), trace,
+                            CoreConfig(indirect_predictor="gshare"))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.stats.instructions > 0
+
+
+def test_bench_mbp_gshare_on_dpc3(benchmark, dpc3_suite):
+    trace = next(iter(dpc3_suite.values()))
+
+    def run():
+        return simulate(GShare(), trace,
+                        SimulationConfig(collect_most_failed=False))
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.num_conditional_branches > 0

@@ -1,0 +1,101 @@
+"""Table IV — effect of the compression method on the CBP5 framework.
+
+The paper recompresses the BT9 traces with zstd and reruns the CBP5
+framework: the speedup is only 1.02x-1.12x, proving that MBPlib's
+advantage comes from the format and library design, not the codec.
+
+Here the "modern codec" is xz (the zstd stand-in, as in Table I); the
+shape to reproduce is that the codec swap buys only a small factor,
+far below the MBPlib-style speedups of Table III.
+"""
+
+import pytest
+
+from repro.analysis.reporting import format_duration, format_table
+from repro.baselines.cbp5 import Cbp5Framework, FromMbpPredictor
+from repro.core.batch import TimingSummary
+from repro.predictors import TABLE2_PREDICTORS
+
+from conftest import emit_report
+
+PAPER_SPEEDUP = {
+    "Bimodal": 1.12, "Two-Level": 1.12, "GShare": 1.09,
+    "Tournament": 1.08, "2bc-gskew": 1.03, "Hashed Perc.": 1.03,
+    "TAGE": 1.02, "BATAGE": 1.05,
+}
+
+
+@pytest.fixture(scope="module")
+def timings(cbp5_suite, cbp5_bt9_gz_paths, cbp5_bt9_xz_paths):
+    results = {}
+    for label, factory in TABLE2_PREDICTORS.items():
+        gz_times, xz_times = [], []
+        for name in cbp5_suite:
+            gz_result = Cbp5Framework(cbp5_bt9_gz_paths[name]).run(
+                FromMbpPredictor(factory()))
+            xz_result = Cbp5Framework(cbp5_bt9_xz_paths[name]).run(
+                FromMbpPredictor(factory()))
+            assert gz_result.mispredictions == xz_result.mispredictions
+            gz_times.append(gz_result.simulation_time)
+            xz_times.append(xz_result.simulation_time)
+        results[label] = (TimingSummary.from_times(gz_times),
+                          TimingSummary.from_times(xz_times))
+    return results
+
+
+def test_table4_report(timings, report_only):
+    rows = []
+    for label, (gz_summary, xz_summary) in timings.items():
+        speedup = gz_summary.average / xz_summary.average
+        rows.append([
+            label,
+            format_duration(gz_summary.average),
+            format_duration(xz_summary.average),
+            f"{speedup:.2f} x",
+            f"{PAPER_SPEEDUP[label]:.2f} x",
+        ])
+    emit_report("table4_compression", format_table(
+        headers=["(Averages)", "CBP5 gzip", "CBP5 xz",
+                 "Speedup (measured)", "Speedup (paper)"],
+        rows=rows,
+        title=("TABLE IV - speedup of the CBP5 framework from swapping the "
+               "trace codec only (gzip -> xz, standing in for zstd)"),
+    ))
+
+
+def test_table4_shape(timings, report_only):
+    speedups = {
+        label: gz.average / xz.average
+        for label, (gz, xz) in timings.items()
+    }
+    # The codec swap must NOT explain the Table III speedups: it buys a
+    # small factor only.  (Python timing noise on sub-second runs means
+    # individual predictors can wobble below 1.0; the mean tells the
+    # story, and no predictor may gain anywhere near the library factor.)
+    mean_speedup = sum(speedups.values()) / len(speedups)
+    assert 0.7 < mean_speedup < 2.0, speedups
+    assert all(speedup < 3.0 for speedup in speedups.values()), speedups
+
+
+def test_bench_bt9_gz_read(benchmark, cbp5_bt9_gz_paths):
+    from repro.baselines.cbp5 import iter_bt9
+
+    path = next(iter(cbp5_bt9_gz_paths.values()))
+
+    def read():
+        return sum(1 for _ in iter_bt9(path))
+
+    count = benchmark.pedantic(read, rounds=3, iterations=1)
+    assert count > 0
+
+
+def test_bench_bt9_xz_read(benchmark, cbp5_bt9_xz_paths):
+    from repro.baselines.cbp5 import iter_bt9
+
+    path = next(iter(cbp5_bt9_xz_paths.values()))
+
+    def read():
+        return sum(1 for _ in iter_bt9(path))
+
+    count = benchmark.pedantic(read, rounds=3, iterations=1)
+    assert count > 0

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Run a miniature Championship Branch Prediction.
+
+The CBP methodology the paper builds on: a fixed trace suite, submitted
+predictors, and a leaderboard ranked by mean MPKI.  This example enters
+the whole Table II collection (plus the extension predictors) into a
+scaled-down championship over the four CBP5 workload categories.
+
+Run:  python examples/championship.py
+"""
+
+from repro.analysis import Championship
+from repro.core import SimulationConfig
+from repro.predictors import (
+    Batage,
+    Bimodal,
+    GAs,
+    GShare,
+    HashedPerceptron,
+    OGehl,
+    Tage,
+    TwoBcGskew,
+    Yags,
+    mcfarling_tournament,
+    tage_sc_l,
+)
+from repro.traces import generate_workload
+
+
+def main() -> None:
+    # The committee's trace suite: two traces per CBP5 category.
+    traces = {
+        f"{category.upper()}-{i}": generate_workload(
+            category, seed=100 + i, num_branches=12_000)
+        for category in ("short_mobile", "long_mobile",
+                         "short_server", "long_server")
+        for i in (1, 2)
+    }
+
+    championship = Championship(
+        traces, SimulationConfig(collect_most_failed=False))
+    championship.submit("bimodal-16K", lambda: Bimodal(log_table_size=14))
+    championship.submit("two-level-GAs", GAs)
+    championship.submit("gshare-64KB",
+                        lambda: GShare(history_length=15,
+                                       log_table_size=17))
+    championship.submit("tournament", mcfarling_tournament)
+    championship.submit("2bc-gskew", TwoBcGskew)
+    championship.submit("yags", Yags)
+    championship.submit("hashed-perceptron", HashedPerceptron)
+    championship.submit("o-gehl", OGehl)
+    championship.submit("tage", Tage)
+    championship.submit("batage", Batage)
+    championship.submit("tage-sc-l",
+                        lambda: tage_sc_l(num_tables=6, log_tagged_size=9))
+
+    entries = championship.run()
+    print(championship.leaderboard_table(entries))
+
+    winner = entries[0]
+    print(f"\nwinner: {winner.name} at {winner.mean_mpki:.4f} mean MPKI")
+    print("per-category means:")
+    for category, mpki in sorted(winner.per_category_mpki.items()):
+        print(f"  {category:<14s} {mpki:8.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""A classroom lab session (paper Section VIII-E).
+
+The paper pitches MBPlib as a teaching tool: results within seconds, and
+an examples library that walks the history of the field.  This script is
+that lecture: it runs every generation of predictor — static heuristics,
+bimodal, two-level, GShare, tournament, 2bc-gskew, hashed perceptron,
+TAGE, BATAGE — over the same workload and prints the progress of thirty
+years of branch prediction as one table.
+
+Run:  python examples/classroom_mpki_lab.py
+"""
+
+import statistics
+
+from repro import simulate
+from repro.core import SimulationConfig
+from repro.predictors import (
+    AlwaysTaken,
+    Batage,
+    Bimodal,
+    Btfnt,
+    GAs,
+    GShare,
+    HashedPerceptron,
+    Tage,
+    TwoBcGskew,
+    mcfarling_tournament,
+)
+from repro.traces import generate_workload
+
+LECTURE = [
+    ("always taken", "(straw man)", AlwaysTaken),
+    ("BTFNT", "1980s static heuristic", Btfnt),
+    ("bimodal", "Lee & Smith 1983", lambda: Bimodal(log_table_size=13)),
+    ("two-level GAs", "Yeh & Patt 1992", lambda: GAs(history_length=10)),
+    ("gshare", "McFarling 1993",
+     lambda: GShare(history_length=13, log_table_size=13)),
+    ("tournament", "Evers et al. 1996",
+     lambda: mcfarling_tournament(log_table_size=13)),
+    ("2bc-gskew", "Seznec & Michaud 1999 (EV8)",
+     lambda: TwoBcGskew(log_bank_size=12)),
+    ("hashed perceptron", "Tarjan & Skadron 2005",
+     lambda: HashedPerceptron(log_table_size=13)),
+    ("TAGE", "Seznec & Michaud 2006", Tage),
+    ("BATAGE", "Michaud 2018", Batage),
+]
+
+
+def main() -> None:
+    traces = [
+        generate_workload(category, seed=seed, num_branches=15_000)
+        for category in ("short_mobile", "short_server", "spec17_like")
+        for seed in (10, 11)
+    ]
+    config = SimulationConfig(collect_most_failed=False)
+
+    print("thirty years of branch prediction, one workload suite "
+          f"({len(traces)} traces):\n")
+    print(f"{'predictor':<20s} {'reference':<28s} {'mean MPKI':>10s}")
+    print("-" * 62)
+    for name, reference, factory in LECTURE:
+        mean_mpki = statistics.fmean(
+            simulate(factory(), trace, config).mpki for trace in traces)
+        print(f"{name:<20s} {reference:<28s} {mean_mpki:>10.3f}")
+
+    print("\nexercise for the reader: re-run with your own parameters "
+          "(every constructor argument is a knob) and try to beat TAGE.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Parameter optimization (paper Section VI-A, Listing 3).
+
+The paper's CMake for-loop generates one executable per GShare history
+length; in Python the same experiment is a plain loop.  We fix the table
+budget (T=14, a 32 kB predictor) and sweep the history length H over a
+small trace suite, then print the MPKI curve and the best H.
+
+Run:  python examples/parameter_sweep.py
+"""
+
+from repro.analysis import sweep_parameter
+from repro.predictors import GShare
+from repro.traces import generate_workload
+
+
+def main() -> None:
+    traces = [
+        generate_workload(category, seed=seed, num_branches=15_000)
+        for category in ("short_mobile", "short_server")
+        for seed in (1, 2)
+    ]
+
+    # foreach (h RANGE 2 20) ... the Listing 3 loop, as library calls.
+    sweep = sweep_parameter(
+        GShare, "history_length", range(2, 21, 2), traces,
+        fixed={"log_table_size": 14},
+    )
+
+    print("GShare, 32 kB table, sweeping global history length:\n")
+    print(f"{'H':>4s}  {'mean MPKI':>10s}  curve")
+    values = dict(sweep.series("history_length"))
+    worst = max(values.values())
+    for history_length, mpki in values.items():
+        bar = "#" * int(40 * mpki / worst)
+        print(f"{history_length:>4d}  {mpki:>10.4f}  {bar}")
+
+    best = sweep.best()
+    print(f"\nbest configuration: H={best.parameters['history_length']} "
+          f"(mean MPKI {best.mean_mpki:.4f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""repro — a Python reproduction of *MBPlib: Modular Branch Prediction
+Library* (Domínguez-Sánchez & Ros, ISPASS 2023).
+
+Like MBPlib, this package is a software suite of three libraries that can
+be used independently (paper Section III):
+
+* :mod:`repro.core` + :mod:`repro.sbbt` — the **simulation library**:
+  trace reader/writer for the SBBT binary format and the standard,
+  comparison and batch simulators.
+* :mod:`repro.utils` — the **utilities library**: saturating counters,
+  history registers, folded histories, hashing and table structures.
+* :mod:`repro.predictors` — the **examples library**: the paper's
+  Table II collection, from bimodal to TAGE and BATAGE.
+
+On top of those, this reproduction also ships the two comparator systems
+the paper evaluates against (:mod:`repro.baselines` — a CBP5-framework
+style simulator and a ChampSim-style cycle-level simulator), a synthetic
+trace generator (:mod:`repro.traces`, standing in for the unavailable
+CBP5/DPC3 trace sets), and analysis helpers (:mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro import GShare, simulate
+    from repro.traces import generate_workload
+
+    trace = generate_workload("short_server", seed=1)
+    result = simulate(GShare(history_length=15, log_table_size=17), trace)
+    print(result.to_json_string())
+"""
+
+from .core import (
+    Branch,
+    BranchType,
+    ComparisonResult,
+    Opcode,
+    Predictor,
+    SimulationConfig,
+    SimulationResult,
+    compare,
+    run_suite,
+    simulate,
+    simulate_file,
+)
+from .sbbt import SbbtReader, SbbtWriter, TraceData, read_trace, write_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Branch", "BranchType", "ComparisonResult", "Opcode", "Predictor",
+    "SimulationConfig", "SimulationResult", "compare", "run_suite",
+    "simulate", "simulate_file",
+    "SbbtReader", "SbbtWriter", "TraceData", "read_trace", "write_trace",
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    """Lazily re-export the examples library at the package root.
+
+    ``from repro import GShare`` works without importing every predictor
+    module at package-import time.
+    """
+    from . import predictors
+
+    if name in predictors.__all__:
+        return getattr(predictors, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,16 @@
+"""Analysis helpers: the Section II CPI model, parameter sweeps and
+searches (Section VI-A/B), and paper-style report formatting."""
+
+from .championship import Championship, LeaderboardEntry, Submission
+from .cpi import PipelineModel, speedup_from_mpki_reduction
+from .reporting import SpeedupRow, format_duration, format_table, speedup_table
+from .search import SearchResult, SearchSpace, hill_climb, random_search
+from .sweep import SweepPoint, SweepResult, sweep_grid, sweep_parameter
+
+__all__ = [
+    "Championship", "LeaderboardEntry", "Submission",
+    "PipelineModel", "speedup_from_mpki_reduction",
+    "SpeedupRow", "format_duration", "format_table", "speedup_table",
+    "SearchResult", "SearchSpace", "hill_climb", "random_search",
+    "SweepPoint", "SweepResult", "sweep_grid", "sweep_parameter",
+]

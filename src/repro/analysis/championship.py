@@ -1,0 +1,140 @@
+"""A Championship-Branch-Prediction-style evaluation harness.
+
+The paper frames its whole methodology around the CBP championships:
+contestants submit a predictor, the committee runs it over a fixed trace
+suite, and the leaderboard ranks submissions by **mean MPKI** (the only
+metric the championships use).  This module is that committee-in-a-box:
+register predictor factories, run them over a suite, get a ranked
+leaderboard with per-category breakdowns.
+
+It is also the natural classroom tool the paper pitches in §VIII-E —
+students submit factories, the harness produces the ranking.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence, Union
+
+from pathlib import Path
+
+from ..core.batch import run_suite
+from ..core.predictor import Predictor
+from ..core.simulator import SimulationConfig
+from .reporting import format_table
+
+__all__ = ["Submission", "LeaderboardEntry", "Championship"]
+
+TraceLike = Union["TraceData", str, Path]  # noqa: F821 - doc alias
+
+
+@dataclass(frozen=True, slots=True)
+class Submission:
+    """One contestant: a display name and a cold-predictor factory."""
+
+    name: str
+    factory: Callable[[], Predictor]
+
+
+@dataclass(slots=True)
+class LeaderboardEntry:
+    """One ranked row of the championship results."""
+
+    rank: int
+    name: str
+    mean_mpki: float
+    per_trace_mpki: dict[str, float]
+    per_category_mpki: dict[str, float] = field(default_factory=dict)
+    total_time: float = 0.0
+
+
+class Championship:
+    """Run submissions over a fixed trace suite and rank them.
+
+    Parameters
+    ----------
+    traces:
+        Mapping of trace name to trace (paths or in-memory data).  Trace
+        names of the form ``CATEGORY-n`` get per-category breakdowns.
+    config:
+        Simulation options applied to every run (e.g. warm-up).
+    """
+
+    def __init__(self, traces: Mapping[str, TraceLike],
+                 config: SimulationConfig | None = None):
+        if not traces:
+            raise ValueError("a championship needs at least one trace")
+        self.traces = dict(traces)
+        self.config = config or SimulationConfig(collect_most_failed=False)
+        self.submissions: list[Submission] = []
+
+    def submit(self, name: str,
+               factory: Callable[[], Predictor]) -> "Championship":
+        """Register a contestant; returns self for chaining."""
+        if any(existing.name == name for existing in self.submissions):
+            raise ValueError(f"duplicate submission name {name!r}")
+        self.submissions.append(Submission(name=name, factory=factory))
+        return self
+
+    @staticmethod
+    def _category(trace_name: str) -> str:
+        head, _, tail = trace_name.rpartition("-")
+        return head if head and tail.isdigit() else trace_name
+
+    def run(self) -> list[LeaderboardEntry]:
+        """Evaluate every submission; returns the ranked leaderboard."""
+        if not self.submissions:
+            raise ValueError("no submissions registered")
+        names = list(self.traces)
+        scored = []
+        for submission in self.submissions:
+            batch = run_suite(submission.factory,
+                              list(self.traces.values()),
+                              self.config, names=names)
+            per_trace = {result.trace_name: result.mpki
+                         for result in batch.results}
+            categories: dict[str, list[float]] = {}
+            for trace_name, mpki in per_trace.items():
+                categories.setdefault(self._category(trace_name),
+                                      []).append(mpki)
+            scored.append((
+                statistics.fmean(per_trace.values()),
+                submission.name,
+                per_trace,
+                {category: statistics.fmean(values)
+                 for category, values in categories.items()},
+                batch.timing.total,
+            ))
+        scored.sort(key=lambda row: (row[0], row[1]))
+        return [
+            LeaderboardEntry(
+                rank=rank + 1, name=name, mean_mpki=mean,
+                per_trace_mpki=per_trace,
+                per_category_mpki=per_category,
+                total_time=total_time,
+            )
+            for rank, (mean, name, per_trace, per_category, total_time)
+            in enumerate(scored)
+        ]
+
+    def leaderboard_table(
+            self, entries: Sequence[LeaderboardEntry] | None = None) -> str:
+        """Render the leaderboard as championship-style text."""
+        if entries is None:
+            entries = self.run()
+        categories = sorted({
+            category for entry in entries
+            for category in entry.per_category_mpki
+        })
+        headers = ["Rank", "Submission", "Mean MPKI",
+                   *categories, "Sim time"]
+        rows = [
+            [str(entry.rank), entry.name, f"{entry.mean_mpki:.4f}",
+             *(f"{entry.per_category_mpki.get(category, float('nan')):.3f}"
+               for category in categories),
+             f"{entry.total_time:.2f} s"]
+            for entry in entries
+        ]
+        return format_table(headers, rows,
+                            title="Championship leaderboard (lower is better)")

@@ -1,0 +1,74 @@
+"""The Section II analytic pipeline model.
+
+The paper motivates branch prediction with a back-of-envelope CPI model:
+a machine that fetches ``w`` instructions per cycle and resolves branches
+in pipeline stage ``d`` loses ``d - 1`` cycles per misprediction, so
+
+    CPI = 1/w + (MPKI / 1000) * (d - 1)
+
+With ``w=1, d=5``: 5 MPKI gives CPI 1.02 and 4 MPKI gives 1.016 — a 0.4 %
+speedup per MPKI saved.  With ``w=4, d=11``: 0.3 vs 0.29 CPI — 3.4 %.
+The wider and deeper the machine, the more a predictor matters; this
+module reproduces those numbers exactly
+(``benchmarks/test_section2_cpi_model.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PipelineModel", "speedup_from_mpki_reduction"]
+
+
+@dataclass(frozen=True, slots=True)
+class PipelineModel:
+    """An abstract in-order front end: fetch width and resolve stage.
+
+    Attributes
+    ----------
+    fetch_width:
+        Instructions fetched per cycle (the paper's 1- and 4-wide
+        examples).
+    resolve_stage:
+        1-based pipeline stage in which branches are evaluated; a
+        misprediction costs ``resolve_stage - 1`` penalty cycles.
+    """
+
+    fetch_width: int
+    resolve_stage: int
+
+    def __post_init__(self) -> None:
+        if self.fetch_width < 1:
+            raise ValueError("fetch_width must be >= 1")
+        if self.resolve_stage < 1:
+            raise ValueError("resolve_stage must be >= 1")
+
+    @property
+    def misprediction_penalty(self) -> int:
+        """Penalty cycles per misprediction."""
+        return self.resolve_stage - 1
+
+    def cpi(self, mpki: float) -> float:
+        """Cycles per instruction at a given misprediction rate."""
+        if mpki < 0:
+            raise ValueError("mpki must be non-negative")
+        return 1.0 / self.fetch_width + (mpki / 1000.0) * self.misprediction_penalty
+
+    def ipc(self, mpki: float) -> float:
+        """Instructions per cycle at a given misprediction rate."""
+        return 1.0 / self.cpi(mpki)
+
+    def speedup(self, mpki_before: float, mpki_after: float) -> float:
+        """Relative speedup from improving the predictor.
+
+        Returned as a fraction: ``0.004`` means 0.4 % faster.
+        """
+        return self.cpi(mpki_before) / self.cpi(mpki_after) - 1.0
+
+
+def speedup_from_mpki_reduction(fetch_width: int, resolve_stage: int,
+                                mpki_before: float,
+                                mpki_after: float) -> float:
+    """Functional form of :meth:`PipelineModel.speedup`."""
+    model = PipelineModel(fetch_width=fetch_width, resolve_stage=resolve_stage)
+    return model.speedup(mpki_before, mpki_after)

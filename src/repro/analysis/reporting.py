@@ -1,0 +1,86 @@
+"""Paper-style table rendering for the benchmark harness.
+
+Every Table I/III/IV benchmark prints its measured rows next to the
+paper's published values; this module holds the shared formatting so the
+benches stay declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["format_duration", "format_table", "SpeedupRow", "speedup_table"]
+
+
+def format_duration(seconds: float) -> str:
+    """Human units matching the paper's tables (ms / s / min / h)."""
+    if seconds < 0:
+        raise ValueError("durations are non-negative")
+    if seconds < 1.0:
+        return f"{seconds * 1000:.2f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f} s"
+    if seconds < 7200.0:
+        return f"{seconds / 60:.2f} min"
+    return f"{seconds / 3600:.2f} h"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]],
+                 title: str | None = None) -> str:
+    """Fixed-width text table with a rule under the header."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError("row width does not match headers")
+    widths = [
+        max(len(str(headers[c])), *(len(str(row[c])) for row in rows))
+        if rows else len(str(headers[c]))
+        for c in range(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True, slots=True)
+class SpeedupRow:
+    """One (predictor, statistic) row of a Table III-style comparison."""
+
+    label: str
+    statistic: str          # "Slowest" | "Average" | "Fastest"
+    baseline_seconds: float
+    library_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        """Baseline time over library time."""
+        if self.library_seconds == 0:
+            return float("inf")
+        return self.baseline_seconds / self.library_seconds
+
+
+def speedup_table(rows: Sequence[SpeedupRow], baseline_name: str,
+                  library_name: str, title: str) -> str:
+    """Render Table III's layout: predictor x {slowest,average,fastest}."""
+    body = [
+        [
+            row.label,
+            row.statistic,
+            format_duration(row.baseline_seconds),
+            format_duration(row.library_seconds),
+            f"{row.speedup:.2f} x",
+        ]
+        for row in rows
+    ]
+    return format_table(
+        headers=["Predictor", "Traces", baseline_name, library_name,
+                 "Speedup"],
+        rows=body,
+        title=title,
+    )

@@ -1,0 +1,144 @@
+"""Parameter-space search (paper Section VI-B).
+
+State-of-the-art predictors have dozens of parameters, so exhaustive
+sweeps are impossible; the paper's answer is that a *library* lets users
+drive any optimizer they like, calling the simulator inside the
+objective.  This module demonstrates exactly that with two dependency-
+free optimizers: seeded random search and greedy coordinate descent
+(hill climbing one parameter at a time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence, Union
+
+from pathlib import Path
+
+import numpy as np
+
+from ..core.batch import run_suite
+from ..core.predictor import Predictor
+from ..core.simulator import SimulationConfig
+from ..sbbt.trace import TraceData
+
+__all__ = ["SearchSpace", "SearchResult", "random_search", "hill_climb"]
+
+TraceLike = Union[TraceData, str, Path]
+
+
+@dataclass(frozen=True, slots=True)
+class SearchSpace:
+    """Discrete candidate values per constructor parameter."""
+
+    axes: dict[str, tuple[Any, ...]]
+
+    def __post_init__(self) -> None:
+        if not self.axes:
+            raise ValueError("search space needs at least one axis")
+        for name, values in self.axes.items():
+            if not values:
+                raise ValueError(f"axis {name!r} has no candidate values")
+
+    def size(self) -> int:
+        """Number of points in the full grid."""
+        size = 1
+        for values in self.axes.values():
+            size *= len(values)
+        return size
+
+    def sample(self, rng: np.random.Generator) -> dict[str, Any]:
+        """One uniformly random configuration."""
+        return {
+            name: values[int(rng.integers(len(values)))]
+            for name, values in self.axes.items()
+        }
+
+
+@dataclass(slots=True)
+class SearchResult:
+    """Best configuration found plus the full evaluation history."""
+
+    best_parameters: dict[str, Any]
+    best_mpki: float
+    evaluations: list[tuple[dict[str, Any], float]]
+
+    @property
+    def num_evaluations(self) -> int:
+        """Simulated configurations (the search budget consumed)."""
+        return len(self.evaluations)
+
+
+def _objective(factory: Callable[..., Predictor],
+               traces: Sequence[TraceLike],
+               config: SimulationConfig | None
+               ) -> Callable[[dict[str, Any]], float]:
+    cache: dict[tuple, float] = {}
+
+    def evaluate(parameters: dict[str, Any]) -> float:
+        key = tuple(sorted(parameters.items()))
+        if key not in cache:
+            batch = run_suite(lambda: factory(**parameters), traces, config)
+            cache[key] = batch.mean_mpki()
+        return cache[key]
+
+    return evaluate
+
+
+def random_search(factory: Callable[..., Predictor], space: SearchSpace,
+                  traces: Sequence[TraceLike], budget: int = 20,
+                  seed: int = 0,
+                  config: SimulationConfig | None = None) -> SearchResult:
+    """Evaluate ``budget`` random configurations; keep the best."""
+    if budget < 1:
+        raise ValueError("budget must be >= 1")
+    rng = np.random.default_rng(seed)
+    evaluate = _objective(factory, traces, config)
+    history = []
+    best_parameters: dict[str, Any] | None = None
+    best_mpki = float("inf")
+    for _ in range(budget):
+        parameters = space.sample(rng)
+        mpki = evaluate(parameters)
+        history.append((parameters, mpki))
+        if mpki < best_mpki:
+            best_parameters, best_mpki = parameters, mpki
+    assert best_parameters is not None
+    return SearchResult(best_parameters=best_parameters,
+                        best_mpki=best_mpki, evaluations=history)
+
+
+def hill_climb(factory: Callable[..., Predictor], space: SearchSpace,
+               traces: Sequence[TraceLike],
+               start: dict[str, Any] | None = None,
+               max_rounds: int = 5,
+               config: SimulationConfig | None = None) -> SearchResult:
+    """Greedy coordinate descent over the discrete space.
+
+    Each round tries every candidate value of every axis (one axis at a
+    time) and keeps any strict improvement; stops when a full round
+    changes nothing or ``max_rounds`` is exhausted.
+    """
+    evaluate = _objective(factory, traces, config)
+    current = dict(start) if start is not None else {
+        name: values[len(values) // 2] for name, values in space.axes.items()
+    }
+    history: list[tuple[dict[str, Any], float]] = []
+    current_mpki = evaluate(current)
+    history.append((dict(current), current_mpki))
+    for _ in range(max_rounds):
+        improved = False
+        for name, values in space.axes.items():
+            for value in values:
+                if value == current[name]:
+                    continue
+                candidate = {**current, name: value}
+                mpki = evaluate(candidate)
+                history.append((candidate, mpki))
+                if mpki < current_mpki:
+                    current, current_mpki = candidate, mpki
+                    improved = True
+        if not improved:
+            break
+    return SearchResult(best_parameters=current, best_mpki=current_mpki,
+                        evaluations=history)

@@ -1,0 +1,112 @@
+"""Parameter sweeps (paper Section VI-A).
+
+The paper's first use case: fix a table budget, sweep the GShare history
+length, and watch the MPKI.  In C++ MBPlib this is a CMake for-loop over
+template parameters (Listing 3); in Python the same idea is a plain loop
+over constructor arguments — the library design (user code owns the run)
+is what makes both one-liners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence, Union
+
+from pathlib import Path
+
+from ..core.batch import run_suite
+from ..core.predictor import Predictor
+from ..core.simulator import SimulationConfig
+from ..sbbt.trace import TraceData
+
+__all__ = ["SweepPoint", "SweepResult", "sweep_parameter", "sweep_grid"]
+
+TraceLike = Union[TraceData, str, Path]
+
+
+@dataclass(frozen=True, slots=True)
+class SweepPoint:
+    """One configuration's aggregate result over the sweep's trace set."""
+
+    parameters: dict[str, Any]
+    mean_mpki: float
+    aggregate_mpki: float
+    total_mispredictions: int
+
+    def __str__(self) -> str:
+        params = ", ".join(f"{k}={v}" for k, v in self.parameters.items())
+        return f"{params}: mean MPKI {self.mean_mpki:.4f}"
+
+
+@dataclass(slots=True)
+class SweepResult:
+    """All points of a sweep, with convenience selectors."""
+
+    points: list[SweepPoint]
+
+    def best(self) -> SweepPoint:
+        """The point with the lowest mean MPKI."""
+        if not self.points:
+            raise ValueError("empty sweep")
+        return min(self.points, key=lambda p: p.mean_mpki)
+
+    def series(self, parameter: str) -> list[tuple[Any, float]]:
+        """(parameter value, mean MPKI) pairs, for plotting or tables."""
+        return [(p.parameters[parameter], p.mean_mpki) for p in self.points]
+
+    def table(self) -> str:
+        """A fixed-width text table of every point."""
+        lines = []
+        for point in self.points:
+            params = " ".join(f"{k}={v}" for k, v in point.parameters.items())
+            lines.append(f"{params:<40s} mean_mpki={point.mean_mpki:10.4f}")
+        return "\n".join(lines)
+
+
+def sweep_parameter(factory: Callable[..., Predictor], parameter: str,
+                    values: Iterable[Any], traces: Sequence[TraceLike],
+                    config: SimulationConfig | None = None,
+                    fixed: dict[str, Any] | None = None) -> SweepResult:
+    """Sweep one constructor parameter of a predictor over a trace set.
+
+    >>> # sweep = sweep_parameter(GShare, "history_length", range(6, 31),
+    >>> #                         traces)   # the paper's Listing 3 sweep
+    """
+    fixed = dict(fixed or {})
+    points = []
+    for value in values:
+        parameters = {**fixed, parameter: value}
+        batch = run_suite(lambda: factory(**parameters), traces, config)
+        points.append(SweepPoint(
+            parameters=parameters,
+            mean_mpki=batch.mean_mpki(),
+            aggregate_mpki=batch.aggregate_mpki(),
+            total_mispredictions=batch.total_mispredictions,
+        ))
+    return SweepResult(points=points)
+
+
+def sweep_grid(factory: Callable[..., Predictor],
+               grid: dict[str, Sequence[Any]],
+               traces: Sequence[TraceLike],
+               config: SimulationConfig | None = None) -> SweepResult:
+    """Full-factorial sweep over a small parameter grid.
+
+    The number of configurations is the product of the grid's axis sizes
+    — exactly the exponential blow-up Section VI-B warns about, which is
+    why :mod:`repro.analysis.search` exists for large spaces.
+    """
+    import itertools
+
+    names = list(grid)
+    points = []
+    for combo in itertools.product(*(grid[name] for name in names)):
+        parameters = dict(zip(names, combo))
+        batch = run_suite(lambda: factory(**parameters), traces, config)
+        points.append(SweepPoint(
+            parameters=parameters,
+            mean_mpki=batch.mean_mpki(),
+            aggregate_mpki=batch.aggregate_mpki(),
+            total_mispredictions=batch.total_mispredictions,
+        ))
+    return SweepResult(points=points)

@@ -1,0 +1,12 @@
+"""The comparator systems of the paper's evaluation, rebuilt.
+
+* :mod:`repro.baselines.cbp5` — the CBP5 championship framework style:
+  plain-text BT9 traces, framework-owned main loop, fused update call.
+* :mod:`repro.baselines.champsim` — a ChampSim-style cycle-level
+  out-of-order core over per-instruction traces.
+
+Neither is needed to *use* the library; they exist so the Table I/III/IV
+experiments can be regenerated end to end.
+"""
+
+__all__ = ["cbp5", "champsim"]

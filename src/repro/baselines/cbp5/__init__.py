@@ -1,0 +1,12 @@
+"""CBP5-framework-style baseline (text traces, framework control flow)."""
+
+from .bt9 import Bt9Header, bt9_to_trace_data, iter_bt9, read_bt9_header, write_bt9
+from .framework import Cbp5Framework, Cbp5Result, cbp5_main
+from .interface import Cbp5Predictor, FromMbpPredictor, OpType
+
+__all__ = [
+    "Bt9Header", "bt9_to_trace_data", "iter_bt9", "read_bt9_header",
+    "write_bt9",
+    "Cbp5Framework", "Cbp5Result", "cbp5_main",
+    "Cbp5Predictor", "FromMbpPredictor", "OpType",
+]

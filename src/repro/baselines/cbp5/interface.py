@@ -1,0 +1,110 @@
+"""The CBP5 predictor interface and the MBPlib→CBP5 adapter.
+
+The championship framework defines a C++ class ``PREDICTOR`` with three
+methods — ``GetPrediction``, ``UpdatePredictor`` (conditional branches)
+and ``TrackOtherInst`` (everything else).  Note the contrast the paper
+draws: *update* does both training and tracking at once, which is exactly
+what blocks the partial-update meta-predictors of Section VI-D.
+
+:class:`FromMbpPredictor` adapts any :class:`repro.core.Predictor` to
+this interface, mirroring the paper's methodology of running "the same
+branch predictor implementations across the different simulators, with
+only small changes needed to comply with the different interfaces".
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+
+from ...core.branch import Branch, Opcode
+from ...core.predictor import Predictor
+
+__all__ = ["OpType", "Cbp5Predictor", "FromMbpPredictor"]
+
+
+class OpType(enum.IntEnum):
+    """The CBP5 framework's branch operation types."""
+
+    OP_JMP_DIRECT_UNCOND = 1
+    OP_JMP_INDIRECT_UNCOND = 2
+    OP_JMP_DIRECT_COND = 3
+    OP_JMP_INDIRECT_COND = 4
+    OP_CALL_DIRECT = 5
+    OP_CALL_INDIRECT = 6
+    OP_RET = 7
+
+    @classmethod
+    def from_opcode(cls, opcode: Opcode) -> "OpType":
+        """Map an SBBT opcode onto the CBP5 operation type."""
+        if opcode.is_return:
+            return cls.OP_RET
+        if opcode.is_call:
+            return (cls.OP_CALL_INDIRECT if opcode.is_indirect
+                    else cls.OP_CALL_DIRECT)
+        if opcode.is_conditional:
+            return (cls.OP_JMP_INDIRECT_COND if opcode.is_indirect
+                    else cls.OP_JMP_DIRECT_COND)
+        return (cls.OP_JMP_INDIRECT_UNCOND if opcode.is_indirect
+                else cls.OP_JMP_DIRECT_UNCOND)
+
+
+class Cbp5Predictor(abc.ABC):
+    """The championship's ``PREDICTOR`` class, Pythonized."""
+
+    @abc.abstractmethod
+    def get_prediction(self, pc: int) -> bool:
+        """Direction guess for the conditional branch at ``pc``."""
+
+    @abc.abstractmethod
+    def update_predictor(self, pc: int, op_type: OpType, resolve_dir: bool,
+                         pred_dir: bool, branch_target: int) -> None:
+        """Train *and* track with a resolved conditional branch."""
+
+    @abc.abstractmethod
+    def track_other_inst(self, pc: int, op_type: OpType,
+                         branch_target: int) -> None:
+        """Observe a non-conditional branch."""
+
+
+class FromMbpPredictor(Cbp5Predictor):
+    """Adapter: run an MBPlib-style predictor under the CBP5 interface.
+
+    The fused ``update_predictor`` simply calls ``train`` then ``track``
+    — the composition the simulator would have performed — so both
+    simulators produce **identical** predictions for the same trace,
+    which is the Section VII-C equivalence check.
+    """
+
+    _OP_OPCODES = {
+        OpType.OP_JMP_DIRECT_UNCOND: Opcode(0b0000),
+        OpType.OP_JMP_INDIRECT_UNCOND: Opcode(0b0010),
+        OpType.OP_JMP_DIRECT_COND: Opcode(0b0001),
+        OpType.OP_JMP_INDIRECT_COND: Opcode(0b0011),
+        OpType.OP_CALL_DIRECT: Opcode(0b1000),
+        OpType.OP_CALL_INDIRECT: Opcode(0b1010),
+        OpType.OP_RET: Opcode(0b0110),
+    }
+
+    def __init__(self, inner: Predictor):
+        self.inner = inner
+
+    def _branch(self, pc: int, op_type: OpType, taken: bool,
+                target: int) -> Branch:
+        return Branch(pc, target, self._OP_OPCODES[op_type], taken)
+
+    def get_prediction(self, pc: int) -> bool:
+        """Delegate to the inner predictor's ``predict``."""
+        return self.inner.predict(pc)
+
+    def update_predictor(self, pc: int, op_type: OpType, resolve_dir: bool,
+                         pred_dir: bool, branch_target: int) -> None:
+        """``train`` then ``track`` with the resolved branch."""
+        branch = self._branch(pc, op_type, resolve_dir, branch_target)
+        self.inner.train(branch)
+        self.inner.track(branch)
+
+    def track_other_inst(self, pc: int, op_type: OpType,
+                         branch_target: int) -> None:
+        """``track`` only (non-conditional branches are always taken)."""
+        self.inner.track(self._branch(pc, op_type, True, branch_target))

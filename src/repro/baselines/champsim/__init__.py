@@ -1,0 +1,25 @@
+"""ChampSim-style cycle-level baseline (per-instruction traces, O3 core)."""
+
+from .btb import Btb, ReturnAddressStack
+from .cache import Cache, MemoryHierarchy
+from .core import CoreConfig, CoreStats, O3Core
+from .indirect import GshareIndirect, IttageLite
+from .simulator import ChampsimResult, run_champsim
+from .trace import (
+    INSTRUCTION_RECORD_SIZE,
+    InstructionTrace,
+    instruction_trace_from_branches,
+    read_instruction_trace,
+    write_instruction_trace,
+)
+
+__all__ = [
+    "Btb", "ReturnAddressStack",
+    "Cache", "MemoryHierarchy",
+    "CoreConfig", "CoreStats", "O3Core",
+    "GshareIndirect", "IttageLite",
+    "ChampsimResult", "run_champsim",
+    "INSTRUCTION_RECORD_SIZE", "InstructionTrace",
+    "instruction_trace_from_branches", "read_instruction_trace",
+    "write_instruction_trace",
+]

@@ -1,0 +1,106 @@
+"""Branch target buffer and return-address stack.
+
+The ChampSim-style core needs target prediction, not just direction
+prediction: the paper's methodology pairs GShare with an 8K-entry BTB and
+BATAGE with high-end target predictors.  This module provides the two
+structural pieces: a set-associative LRU :class:`Btb` and a circular
+:class:`ReturnAddressStack`.
+"""
+
+from __future__ import annotations
+
+from ...utils.bits import is_power_of_two
+
+__all__ = ["Btb", "ReturnAddressStack"]
+
+
+class Btb:
+    """A set-associative branch target buffer with LRU replacement.
+
+    Each set is a Python dict from tag to target; dict insertion order
+    doubles as the LRU order (re-inserting moves an entry to the back).
+    """
+
+    def __init__(self, num_sets: int = 1024, ways: int = 8,
+                 instruction_shift: int = 0):
+        if not is_power_of_two(num_sets):
+            raise ValueError(f"num_sets must be a power of two, got {num_sets}")
+        if ways < 1:
+            raise ValueError(f"ways must be >= 1, got {ways}")
+        self.num_sets = num_sets
+        self.ways = ways
+        self.instruction_shift = instruction_shift
+        self._set_mask = num_sets - 1
+        self._index_bits = num_sets.bit_length() - 1
+        self._sets: list[dict[int, int]] = [dict() for _ in range(num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def num_entries(self) -> int:
+        """Total capacity in entries."""
+        return self.num_sets * self.ways
+
+    def _locate(self, ip: int) -> tuple[dict[int, int], int]:
+        line = ip >> self.instruction_shift
+        return self._sets[line & self._set_mask], line >> self._index_bits
+
+    def lookup(self, ip: int) -> int | None:
+        """Predicted target of the branch at ``ip``; None on a miss."""
+        entries, tag = self._locate(ip)
+        target = entries.get(tag)
+        if target is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        # Refresh LRU position.
+        del entries[tag]
+        entries[tag] = target
+        return target
+
+    def update(self, ip: int, target: int) -> None:
+        """Install or refresh the mapping ``ip -> target``."""
+        entries, tag = self._locate(ip)
+        if tag in entries:
+            del entries[tag]
+        elif len(entries) >= self.ways:
+            # Evict the least recently used entry (first inserted).
+            oldest = next(iter(entries))
+            del entries[oldest]
+        entries[tag] = target
+
+
+class ReturnAddressStack:
+    """A fixed-depth circular return-address stack.
+
+    Overflow silently wraps (oldest entries are clobbered) and underflow
+    returns ``None`` — both mirror hardware RAS behaviour, where a
+    mis-sized stack causes mispredicted returns rather than faults.
+    """
+
+    def __init__(self, depth: int = 32):
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        self.depth = depth
+        self._stack: list[int | None] = [None] * depth
+        self._top = 0      # index where the next push lands
+        self._live = 0     # number of valid entries (<= depth)
+
+    def push(self, return_address: int) -> None:
+        """Record the return address of a call."""
+        self._stack[self._top] = return_address
+        self._top = (self._top + 1) % self.depth
+        self._live = min(self.depth, self._live + 1)
+
+    def pop(self) -> int | None:
+        """Predicted target of a return; None when empty."""
+        if self._live == 0:
+            return None
+        self._top = (self._top - 1) % self.depth
+        self._live -= 1
+        value = self._stack[self._top]
+        self._stack[self._top] = None
+        return value
+
+    def __len__(self) -> int:
+        return self._live

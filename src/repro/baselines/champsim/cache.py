@@ -1,0 +1,101 @@
+"""A small cache hierarchy for the cycle-level core.
+
+The ChampSim baseline must pay memory latencies to be meaningfully
+cycle-accurate; this module provides set-associative LRU caches chained
+into an Ice-Lake-ish hierarchy (the paper configures ChampSim "with
+default parameters, similar to Intel's Ice Lake architecture").
+Latencies are load-to-use cycles, accumulated down the chain on misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...utils.bits import is_power_of_two
+
+__all__ = ["Cache", "MemoryHierarchy"]
+
+
+class Cache:
+    """A set-associative, LRU, inclusive-enough cache level.
+
+    Only hit/miss timing is modelled (no dirty state, no bandwidth): a
+    lookup returns the added latency and inserts the line on a miss after
+    consulting ``parent``.
+    """
+
+    def __init__(self, name: str, size_bytes: int, ways: int,
+                 line_size: int = 64, latency: int = 4,
+                 parent: "Cache | None" = None,
+                 miss_latency: int = 200):
+        if size_bytes % (ways * line_size):
+            raise ValueError(f"{name}: size must be sets*ways*line_size")
+        num_sets = size_bytes // (ways * line_size)
+        if not is_power_of_two(num_sets):
+            raise ValueError(f"{name}: set count {num_sets} not a power of two")
+        self.name = name
+        self.ways = ways
+        self.line_bits = line_size.bit_length() - 1
+        self.latency = latency
+        self.parent = parent
+        self.miss_latency = miss_latency
+        self._set_mask = num_sets - 1
+        self._index_bits = num_sets.bit_length() - 1
+        self._sets: list[dict[int, None]] = [dict() for _ in range(num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, address: int) -> int:
+        """Total latency to obtain the line holding ``address``."""
+        line = address >> self.line_bits
+        entries = self._sets[line & self._set_mask]
+        tag = line >> self._index_bits
+        if tag in entries:
+            self.hits += 1
+            del entries[tag]      # refresh LRU position
+            entries[tag] = None
+            return self.latency
+        self.misses += 1
+        if self.parent is not None:
+            below = self.parent.access(address)
+        else:
+            below = self.miss_latency
+        if len(entries) >= self.ways:
+            del entries[next(iter(entries))]
+        entries[tag] = None
+        return self.latency + below
+
+    def miss_rate(self) -> float:
+        """Fraction of accesses that missed (0.0 when never accessed)."""
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+
+@dataclass(slots=True)
+class MemoryHierarchy:
+    """L1I + L1D sharing an L2 and an LLC, Ice-Lake-ish sizing."""
+
+    l1i: Cache
+    l1d: Cache
+    l2: Cache
+    llc: Cache
+
+    @classmethod
+    def ice_lake_like(cls) -> "MemoryHierarchy":
+        """Build the default hierarchy used by the baseline core."""
+        llc = Cache("LLC", size_bytes=2 * 1024 * 1024, ways=16, latency=30,
+                    miss_latency=160)
+        l2 = Cache("L2", size_bytes=512 * 1024, ways=8, latency=10,
+                   parent=llc)
+        l1i = Cache("L1I", size_bytes=32 * 1024, ways=8, latency=1,
+                    parent=l2)
+        l1d = Cache("L1D", size_bytes=48 * 1024, ways=12, latency=4,
+                    parent=l2)
+        return cls(l1i=l1i, l1d=l1d, l2=l2, llc=llc)
+
+    def stats(self) -> dict[str, float]:
+        """Per-level miss rates for the simulator report."""
+        return {
+            cache.name: cache.miss_rate()
+            for cache in (self.l1i, self.l1d, self.l2, self.llc)
+        }

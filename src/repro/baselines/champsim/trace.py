@@ -1,0 +1,184 @@
+"""A champsimtrace-like per-instruction binary format.
+
+ChampSim traces record **every** instruction, not just branches, because
+a cycle-accurate simulator needs the full dynamic stream: each 64-byte
+record carries the instruction pointer, branch flags and the register and
+memory operands ("ChampSim needs to store the registers accessed by the
+instructions and information about all types of instructions, not just
+branches" — the paper's explanation of the DPC3 42× size ratio in
+Table I).
+
+Record layout (64 bytes, little endian, mirroring ChampSim's
+``input_instr``)::
+
+    u64 ip
+    u8  is_branch
+    u8  branch_taken
+    u8  destination_registers[2]
+    u8  source_registers[4]
+    u64 destination_memory[2]
+    u64 source_memory[4]
+
+We additionally prepend a 16-byte header (magic + instruction count) so
+readers can size buffers; real champsim traces are headerless, which does
+not affect any experiment.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ...core.errors import TraceFormatError
+from ...sbbt.compression import open_compressed
+from ...sbbt.trace import TraceData
+from ...utils.hashing import mix64
+
+__all__ = [
+    "INSTRUCTION_RECORD_SIZE",
+    "InstructionTrace",
+    "instruction_trace_from_branches",
+    "write_instruction_trace",
+    "read_instruction_trace",
+]
+
+#: Bytes per instruction record, matching ChampSim's input_instr.
+INSTRUCTION_RECORD_SIZE = 64
+
+_MAGIC = b"CSIMTRC\n"
+_HEADER = struct.Struct("<8sQ")
+
+#: numpy dtype of one record.
+RECORD_DTYPE = np.dtype([
+    ("ip", "<u8"),
+    ("is_branch", "u1"),
+    ("branch_taken", "u1"),
+    ("dest_regs", "u1", (2,)),
+    ("src_regs", "u1", (4,)),
+    ("dest_mem", "<u8", (2,)),
+    ("src_mem", "<u8", (4,)),
+])
+assert RECORD_DTYPE.itemsize == INSTRUCTION_RECORD_SIZE
+
+
+@dataclass(slots=True)
+class InstructionTrace:
+    """A decoded per-instruction trace (numpy record array).
+
+    ``records`` has :data:`RECORD_DTYPE`; branch records carry the
+    direction in ``branch_taken`` and their target in ``dest_mem[0]``
+    (ChampSim reconstructs targets from the next ip; storing it keeps our
+    reader simple without changing the record size).
+    """
+
+    records: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def num_branches(self) -> int:
+        """Number of branch records."""
+        return int(self.records["is_branch"].sum())
+
+    def branch_mask(self) -> np.ndarray:
+        """Boolean mask over records selecting branches."""
+        return self.records["is_branch"].astype(bool)
+
+
+def instruction_trace_from_branches(trace: TraceData,
+                                    seed: int = 7) -> InstructionTrace:
+    """Expand a branch trace into a full per-instruction stream.
+
+    Every gap of ``g`` non-branch instructions becomes ``g`` filler
+    records with sequential instruction pointers and deterministic
+    pseudo-random register/memory operands (~30 % loads, ~12 % stores —
+    a typical integer-code mix), followed by the branch record itself.
+    """
+    total = len(trace) + int(trace.gaps.sum(dtype=np.int64))
+    records = np.zeros(total, dtype=RECORD_DTYPE)
+
+    ips = trace.ips.tolist()
+    targets = trace.targets.tolist()
+    taken = trace.taken.tolist()
+    opcodes = trace.opcodes.tolist()
+    gaps = trace.gaps.tolist()
+
+    position = 0
+    fall_through = ips[0] - 4 * (gaps[0] + 1) if len(trace) else 0
+    out_ip = records["ip"]
+    out_isbr = records["is_branch"]
+    out_taken = records["branch_taken"]
+    out_dmem = records["dest_mem"]
+    out_smem = records["src_mem"]
+    out_dreg = records["dest_regs"]
+    out_sreg = records["src_regs"]
+
+    for i in range(len(trace)):
+        gap = gaps[i]
+        # Filler instructions run sequentially up to the branch.
+        current = ips[i] - 4 * gap
+        for _ in range(gap):
+            # Static properties (operation kind, registers) depend on the
+            # instruction address only; memory addresses additionally
+            # stride with the dynamic position, so repeated executions
+            # touch different data — real traces have exactly this mix of
+            # redundancy (code) and entropy (data), which is what keeps
+            # the compressed record stream from collapsing to nothing.
+            h = mix64(current ^ seed)
+            out_ip[position] = current
+            out_dreg[position][1] = h & 0x3F
+            out_sreg[position][0] = (h >> 6) & 0x3F
+            out_sreg[position][1] = (h >> 12) & 0x3F
+            kind = h % 100
+            if kind < 30:  # load
+                stride = 8 + (h >> 20) % 64 * 8
+                out_smem[position][0] = (0x7000_0000_0000 + (h & 0xFF_F000)
+                                         + (position * stride) % 0x10_0000)
+            elif kind < 42:  # store
+                stride = 8 + (h >> 26) % 64 * 8
+                out_dmem[position][0] = (0x7000_0000_0000 + (h & 0xFF_F000)
+                                         + (position * stride) % 0x10_0000)
+            position += 1
+            current += 4
+        out_ip[position] = ips[i]
+        out_isbr[position] = 1
+        out_taken[position] = 1 if taken[i] else 0
+        out_dmem[position][0] = targets[i] if taken[i] else 0
+        # Flag bits for the reader: conditional / indirect / type.
+        out_dreg[position][0] = opcodes[i]
+        position += 1
+    assert position == total
+    return InstructionTrace(records=records)
+
+
+def write_instruction_trace(path: str | os.PathLike,
+                            trace: InstructionTrace) -> int:
+    """Write header + records (codec from suffix); returns on-disk size."""
+    with open_compressed(path, "wb") as stream:
+        stream.write(_HEADER.pack(_MAGIC, len(trace.records)))
+        stream.write(trace.records.tobytes())
+    return Path(path).stat().st_size
+
+
+def read_instruction_trace(path: str | os.PathLike) -> InstructionTrace:
+    """Read and decode a champsimtrace-like file."""
+    with open_compressed(path, "rb") as stream:
+        payload = stream.read()
+    if len(payload) < _HEADER.size:
+        raise TraceFormatError(f"{path}: truncated header")
+    magic, count = _HEADER.unpack(payload[:_HEADER.size])
+    if magic != _MAGIC:
+        raise TraceFormatError(f"{path}: bad magic {magic!r}")
+    body = payload[_HEADER.size:]
+    expected = count * INSTRUCTION_RECORD_SIZE
+    if len(body) != expected:
+        raise TraceFormatError(
+            f"{path}: body is {len(body)} bytes, expected {expected}"
+        )
+    records = np.frombuffer(body, dtype=RECORD_DTYPE).copy()
+    return InstructionTrace(records=records)

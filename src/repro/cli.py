@@ -1,0 +1,203 @@
+"""Command-line interface: ``mbp <subcommand>``.
+
+Small front doors over the library — the library itself stays the
+primary interface (user code calls it), but the everyday chores are one
+command away:
+
+* ``mbp simulate``  — run a named predictor over an SBBT trace.
+* ``mbp compare``   — run two predictors in parallel (Section VI-C).
+* ``mbp info``      — trace statistics (gap bounds, branch mix).
+* ``mbp generate``  — synthesize a workload trace to a file.
+* ``mbp translate`` — convert between BT9 / champsimtrace / SBBT.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Sequence
+
+from .core.comparison import compare
+from .core.predictor import Predictor
+from .core.simulator import SimulationConfig, simulate
+from .predictors import TABLE2_PREDICTORS
+from .sbbt.reader import read_trace
+from .sbbt.writer import write_trace
+from .traces.inspect import analyze_trace
+from .traces.synth import generate_trace
+from .traces.translate import bt9_to_sbbt, champsim_to_sbbt, sbbt_to_bt9
+from .traces.workloads import PROFILES
+
+__all__ = ["main", "build_parser", "make_predictor", "PREDICTOR_CHOICES"]
+
+#: CLI name -> zero-argument predictor factory.
+PREDICTOR_CHOICES: dict[str, Callable[[], Predictor]] = {
+    "bimodal": TABLE2_PREDICTORS["Bimodal"],
+    "two-level": TABLE2_PREDICTORS["Two-Level"],
+    "gshare": TABLE2_PREDICTORS["GShare"],
+    "tournament": TABLE2_PREDICTORS["Tournament"],
+    "gskew": TABLE2_PREDICTORS["2bc-gskew"],
+    "perceptron": TABLE2_PREDICTORS["Hashed Perc."],
+    "tage": TABLE2_PREDICTORS["TAGE"],
+    "batage": TABLE2_PREDICTORS["BATAGE"],
+}
+
+
+def make_predictor(name: str) -> Predictor:
+    """Instantiate a predictor by its CLI name."""
+    try:
+        return PREDICTOR_CHOICES[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown predictor {name!r}; choose from "
+            f"{', '.join(sorted(PREDICTOR_CHOICES))}"
+        ) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for shell-completion tooling)."""
+    parser = argparse.ArgumentParser(
+        prog="mbp",
+        description="Modular branch prediction toolkit (MBPlib reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate_parser = sub.add_parser(
+        "simulate", help="run a predictor over an SBBT trace")
+    simulate_parser.add_argument("trace", help="path to an SBBT trace")
+    simulate_parser.add_argument(
+        "--predictor", default="gshare", choices=sorted(PREDICTOR_CHOICES))
+    simulate_parser.add_argument("--warmup", type=int, default=0,
+                                 metavar="INSTRUCTIONS")
+    simulate_parser.add_argument("--max-instructions", type=int, default=None)
+    simulate_parser.add_argument("--compact", action="store_true",
+                                 help="one-line summary instead of JSON")
+
+    compare_parser = sub.add_parser(
+        "compare", help="simulate two predictors in parallel")
+    compare_parser.add_argument("trace")
+    compare_parser.add_argument("predictor_a",
+                                choices=sorted(PREDICTOR_CHOICES))
+    compare_parser.add_argument("predictor_b",
+                                choices=sorted(PREDICTOR_CHOICES))
+    compare_parser.add_argument("--warmup", type=int, default=0)
+
+    info_parser = sub.add_parser("info", help="print trace statistics")
+    info_parser.add_argument("trace")
+    info_parser.add_argument("--json", action="store_true")
+
+    generate_parser = sub.add_parser(
+        "generate", help="synthesize a workload trace")
+    generate_parser.add_argument("output", help="output path (.sbbt[.xz|.gz])")
+    generate_parser.add_argument("--category", default="short_server",
+                                 choices=sorted(PROFILES))
+    generate_parser.add_argument("--branches", type=int, default=100_000)
+    generate_parser.add_argument("--seed", type=int, default=0)
+
+    translate_parser = sub.add_parser(
+        "translate", help="convert a trace between formats")
+    translate_parser.add_argument("source")
+    translate_parser.add_argument("destination")
+    translate_parser.add_argument(
+        "--direction", required=True,
+        choices=["bt9-to-sbbt", "sbbt-to-bt9", "champsim-to-sbbt"])
+
+    championship_parser = sub.add_parser(
+        "championship",
+        help="rank predictors CBP-style over a set of SBBT traces")
+    championship_parser.add_argument("traces", nargs="+",
+                                     help="paths to SBBT traces")
+    championship_parser.add_argument(
+        "--predictors", nargs="+", default=sorted(PREDICTOR_CHOICES),
+        choices=sorted(PREDICTOR_CHOICES), metavar="NAME",
+        help="contestants (default: the whole Table II set)")
+    championship_parser.add_argument("--warmup", type=int, default=0)
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = SimulationConfig(warmup_instructions=args.warmup,
+                              max_instructions=args.max_instructions)
+    result = simulate(make_predictor(args.predictor), args.trace, config)
+    if args.compact:
+        print(result.summary())
+    else:
+        print(result.to_json_string())
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    config = SimulationConfig(warmup_instructions=args.warmup)
+    result = compare(make_predictor(args.predictor_a),
+                     make_predictor(args.predictor_b), args.trace, config)
+    print(json.dumps(result.to_json(), indent=2))
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    statistics = analyze_trace(read_trace(args.trace))
+    if args.json:
+        print(json.dumps(statistics.to_json(), indent=2))
+    else:
+        print(statistics.summary())
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    trace = generate_trace(PROFILES[args.category], args.seed, args.branches)
+    size = write_trace(args.output, trace)
+    print(f"wrote {args.output}: {len(trace)} branches, "
+          f"{trace.num_instructions} instructions, {size} bytes on disk")
+    return 0
+
+
+def _cmd_translate(args: argparse.Namespace) -> int:
+    translators = {
+        "bt9-to-sbbt": bt9_to_sbbt,
+        "sbbt-to-bt9": sbbt_to_bt9,
+        "champsim-to-sbbt": champsim_to_sbbt,
+    }
+    report = translators[args.direction](args.source, args.destination)
+    print(f"{report.source} ({report.source_bytes} B) -> "
+          f"{report.destination} ({report.destination_bytes} B): "
+          f"{report.size_ratio:.2f}x smaller, "
+          f"{report.num_branches} branches")
+    return 0
+
+
+def _cmd_championship(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .analysis.championship import Championship
+
+    traces = {Path(path).name: path for path in args.traces}
+    championship = Championship(
+        traces,
+        SimulationConfig(warmup_instructions=args.warmup,
+                         collect_most_failed=False),
+    )
+    for name in args.predictors:
+        championship.submit(name, PREDICTOR_CHOICES[name])
+    print(championship.leaderboard_table())
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "compare": _cmd_compare,
+    "info": _cmd_info,
+    "generate": _cmd_generate,
+    "translate": _cmd_translate,
+    "championship": _cmd_championship,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point used by the ``mbp`` console script."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""The simulation library core (paper Sections III-IV).
+
+Everything needed to run a user-defined branch predictor over a program
+trace and obtain a JSON result object: the branch model, the
+``predict``/``train``/``track`` predictor interface, the standard and
+comparison simulators, batch running, and the metrics/output machinery.
+"""
+
+from .branch import (
+    OPCODE_CALL,
+    OPCODE_COND_JUMP,
+    OPCODE_IND_CALL,
+    OPCODE_IND_JUMP,
+    OPCODE_JUMP,
+    OPCODE_RET,
+    Branch,
+    BranchType,
+    Opcode,
+)
+from .batch import BatchResult, TimingSummary, run_suite
+from .comparison import (
+    ComparisonEntry,
+    ComparisonResult,
+    MultiComparisonResult,
+    compare,
+    compare_many,
+)
+from .errors import (
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+    TraceError,
+    TraceFormatError,
+    TraceValidationError,
+)
+from .metrics import BranchStats, MostFailedEntry, accuracy, most_failed_branches, mpki
+from .output import SIMULATOR_NAME, SIMULATOR_VERSION, SimulationResult
+from .predictor import MetadataMixin, Predictor
+from .simulator import SimulationConfig, simulate, simulate_file
+
+__all__ = [
+    "Branch", "BranchType", "Opcode",
+    "OPCODE_CALL", "OPCODE_COND_JUMP", "OPCODE_IND_CALL", "OPCODE_IND_JUMP",
+    "OPCODE_JUMP", "OPCODE_RET",
+    "BatchResult", "TimingSummary", "run_suite",
+    "ComparisonEntry", "ComparisonResult", "MultiComparisonResult",
+    "compare", "compare_many",
+    "ConfigurationError", "ReproError", "SimulationError", "TraceError",
+    "TraceFormatError", "TraceValidationError",
+    "BranchStats", "MostFailedEntry", "accuracy", "most_failed_branches",
+    "mpki",
+    "SIMULATOR_NAME", "SIMULATOR_VERSION", "SimulationResult",
+    "MetadataMixin", "Predictor",
+    "SimulationConfig", "simulate", "simulate_file",
+]

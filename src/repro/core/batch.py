@@ -1,0 +1,147 @@
+"""Batch simulation over trace suites.
+
+The paper's evaluation methodology runs every predictor over whole suites
+of traces and reports the slowest / average / fastest simulation time
+(Table III).  This module is the harness for that: run a predictor factory
+over many traces — serially or across processes — and aggregate timing
+and MPKI distributions.
+
+A *factory* (zero-argument callable returning a fresh
+:class:`~repro.core.predictor.Predictor`) is used instead of a predictor
+instance so every trace starts from cold state, exactly like launching a
+fresh simulator binary per trace.
+"""
+
+from __future__ import annotations
+
+import statistics
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Sequence, Union
+
+from ..sbbt.trace import TraceData
+from .output import SimulationResult
+from .predictor import Predictor
+from .simulator import SimulationConfig, simulate
+
+__all__ = ["TimingSummary", "BatchResult", "run_suite"]
+
+PredictorFactory = Callable[[], Predictor]
+TraceLike = Union[TraceData, str, Path]
+
+
+@dataclass(frozen=True, slots=True)
+class TimingSummary:
+    """Slowest / average / fastest of a set of per-trace wall times.
+
+    The exact aggregation Table III reports for each (simulator,
+    predictor) pair.
+    """
+
+    slowest: float
+    average: float
+    fastest: float
+    total: float
+
+    @classmethod
+    def from_times(cls, times: Sequence[float]) -> "TimingSummary":
+        """Aggregate a non-empty sequence of wall-clock times."""
+        if not times:
+            raise ValueError("cannot summarize an empty set of times")
+        return cls(
+            slowest=max(times),
+            average=statistics.fmean(times),
+            fastest=min(times),
+            total=sum(times),
+        )
+
+
+@dataclass(slots=True)
+class BatchResult:
+    """Results of one predictor over a suite of traces."""
+
+    results: list[SimulationResult]
+
+    @property
+    def timing(self) -> TimingSummary:
+        """Slowest/average/fastest simulation time across the suite."""
+        return TimingSummary.from_times(
+            [r.simulation_time for r in self.results]
+        )
+
+    @property
+    def total_mispredictions(self) -> int:
+        """Mispredictions summed over every trace."""
+        return sum(r.mispredictions for r in self.results)
+
+    @property
+    def total_instructions(self) -> int:
+        """Measured instructions summed over every trace."""
+        return sum(r.simulation_instructions for r in self.results)
+
+    def mean_mpki(self) -> float:
+        """Arithmetic mean of per-trace MPKIs (the championship metric)."""
+        if not self.results:
+            raise ValueError("empty batch")
+        return statistics.fmean(r.mpki for r in self.results)
+
+    def aggregate_mpki(self) -> float:
+        """MPKI over the pooled instruction stream of the whole suite."""
+        instructions = self.total_instructions
+        if instructions == 0:
+            return 0.0
+        return 1000.0 * self.total_mispredictions / instructions
+
+    def by_trace(self) -> dict[str, SimulationResult]:
+        """Results keyed by trace name."""
+        return {r.trace_name: r for r in self.results}
+
+
+def _run_one(factory: PredictorFactory, trace: TraceLike,
+             config: SimulationConfig, name: str | None) -> SimulationResult:
+    """Simulate one trace with a freshly constructed predictor."""
+    return simulate(factory(), trace, config, trace_name=name)
+
+
+def run_suite(factory: PredictorFactory, traces: Sequence[TraceLike],
+              config: SimulationConfig | None = None, *,
+              names: Sequence[str] | None = None,
+              workers: int = 1) -> BatchResult:
+    """Run a fresh predictor over every trace of a suite.
+
+    Parameters
+    ----------
+    factory:
+        Zero-argument callable building a cold predictor.  Must be
+        picklable when ``workers > 1`` (module-level function or class).
+    traces:
+        Paths to SBBT traces or in-memory :class:`TraceData` objects.
+    names:
+        Optional display names (defaults to paths / ``trace[i]``).
+    workers:
+        Process count.  ``1`` (default) runs inline, which is also the
+        right mode for timing measurements — parallel workers contend for
+        cores and distort per-trace times.
+    """
+    config = config or SimulationConfig()
+    if names is not None and len(names) != len(traces):
+        raise ValueError("names and traces must have the same length")
+    resolved_names = list(names) if names is not None else [
+        str(t) if not isinstance(t, TraceData) else f"trace[{i}]"
+        for i, t in enumerate(traces)
+    ]
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers == 1 or len(traces) <= 1:
+        results = [
+            _run_one(factory, trace, config, name)
+            for trace, name in zip(traces, resolved_names)
+        ]
+        return BatchResult(results=results)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(_run_one, factory, trace, config, name)
+            for trace, name in zip(traces, resolved_names)
+        ]
+        return BatchResult(results=[f.result() for f in futures])

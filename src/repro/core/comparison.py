@@ -1,0 +1,339 @@
+"""The comparison simulator (paper Section VI-C).
+
+Apart from the standard simulator, MBPlib offers a simulator that runs
+*two* predictors in parallel over the same trace, to determine which
+occurrences are mispredicted by only one of them.  Its ``most_failed``
+section contains the branches that account for the biggest difference in
+MPKI — which tells you which branches your new component predicts better
+and whether any branch's predictability worsened.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Union
+
+from pathlib import Path
+
+from ..sbbt.trace import TraceData
+from .metrics import accuracy, mpki
+from .output import SIMULATOR_VERSION
+from .predictor import Predictor
+from .simulator import SimulationConfig, _resolve_trace
+
+__all__ = ["ComparisonEntry", "ComparisonResult", "compare"]
+
+TraceLike = Union[TraceData, str, Path]
+
+
+@dataclass(frozen=True, slots=True)
+class ComparisonEntry:
+    """Per-branch divergence row of the comparison output.
+
+    ``mpki_delta`` is ``mpki_b - mpki_a`` restricted to this branch:
+    positive means predictor B mispredicts this branch more.
+    """
+
+    ip: int
+    occurrences: int
+    mispredictions_a: int
+    mispredictions_b: int
+    mpki_delta: float
+    only_a: int
+    only_b: int
+
+
+@dataclass(slots=True)
+class ComparisonResult:
+    """Everything a comparison simulation produces."""
+
+    trace_name: str
+    simulation_instructions: int
+    num_conditional_branches: int
+    mispredictions_a: int
+    mispredictions_b: int
+    both_wrong: int
+    only_a_wrong: int
+    only_b_wrong: int
+    simulation_time: float
+    predictor_a_metadata: dict[str, Any]
+    predictor_b_metadata: dict[str, Any]
+    most_failed: list[ComparisonEntry] = field(default_factory=list)
+
+    @property
+    def mpki_a(self) -> float:
+        """MPKI of the first predictor."""
+        return mpki(self.mispredictions_a, self.simulation_instructions)
+
+    @property
+    def mpki_b(self) -> float:
+        """MPKI of the second predictor."""
+        return mpki(self.mispredictions_b, self.simulation_instructions)
+
+    @property
+    def mpki_delta(self) -> float:
+        """``mpki_b - mpki_a`` (negative = B is the better predictor)."""
+        return self.mpki_b - self.mpki_a
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON object following the standard simulator's section layout."""
+        return {
+            "metadata": {
+                "simulator": "repro MBPlib-style comparison simulator",
+                "version": SIMULATOR_VERSION,
+                "trace": self.trace_name,
+                "simulation_instr": self.simulation_instructions,
+                "num_conditional_branches": self.num_conditional_branches,
+                "predictor_a": self.predictor_a_metadata,
+                "predictor_b": self.predictor_b_metadata,
+            },
+            "metrics": {
+                "mpki_a": self.mpki_a,
+                "mpki_b": self.mpki_b,
+                "mpki_delta": self.mpki_delta,
+                "mispredictions_a": self.mispredictions_a,
+                "mispredictions_b": self.mispredictions_b,
+                "accuracy_a": accuracy(self.mispredictions_a,
+                                       self.num_conditional_branches),
+                "accuracy_b": accuracy(self.mispredictions_b,
+                                       self.num_conditional_branches),
+                "both_wrong": self.both_wrong,
+                "only_a_wrong": self.only_a_wrong,
+                "only_b_wrong": self.only_b_wrong,
+                "simulation_time": self.simulation_time,
+            },
+            "most_failed": [
+                {
+                    "ip": e.ip,
+                    "occurrences": e.occurrences,
+                    "mispredictions_a": e.mispredictions_a,
+                    "mispredictions_b": e.mispredictions_b,
+                    "mpki_delta": e.mpki_delta,
+                    "only_a": e.only_a,
+                    "only_b": e.only_b,
+                }
+                for e in self.most_failed
+            ],
+        }
+
+
+def compare(predictor_a: Predictor, predictor_b: Predictor, trace: TraceLike,
+            config: SimulationConfig | None = None, *,
+            max_entries: int = 32,
+            trace_name: str | None = None) -> ComparisonResult:
+    """Simulate two predictors in parallel over the same trace.
+
+    Both predictors see the identical predict/train/track sequence, so the
+    result isolates the effect of the design difference.  ``most_failed``
+    is sorted by absolute per-branch MPKI difference.
+    """
+    config = config or SimulationConfig()
+    data, default_name = _resolve_trace(trace)
+    name = trace_name if trace_name is not None else default_name
+
+    start = time.perf_counter()
+    warmup = config.warmup_instructions
+    track_all = not config.track_only_conditional
+
+    instructions = 0
+    conditional = 0
+    wrong_a = wrong_b = both = only_a = only_b = 0
+    # ip -> [occurrences, mispredictions_a, mispredictions_b, only_a, only_b]
+    per_branch: dict[int, list[int]] = {}
+
+    for branch, gap in data.iter_branches():
+        instructions += gap + 1
+        if (config.max_instructions is not None
+                and instructions > config.max_instructions):
+            instructions -= gap + 1
+            break
+        in_measurement = instructions > warmup
+        if branch.opcode.is_conditional:
+            miss_a = predictor_a.predict(branch.ip) != branch.taken
+            miss_b = predictor_b.predict(branch.ip) != branch.taken
+            if in_measurement:
+                conditional += 1
+                wrong_a += miss_a
+                wrong_b += miss_b
+                both += miss_a and miss_b
+                only_a += miss_a and not miss_b
+                only_b += miss_b and not miss_a
+                cell = per_branch.get(branch.ip)
+                if cell is None:
+                    cell = per_branch[branch.ip] = [0, 0, 0, 0, 0]
+                cell[0] += 1
+                cell[1] += miss_a
+                cell[2] += miss_b
+                cell[3] += miss_a and not miss_b
+                cell[4] += miss_b and not miss_a
+            predictor_a.train(branch)
+            predictor_b.train(branch)
+            predictor_a.track(branch)
+            predictor_b.track(branch)
+        elif track_all:
+            predictor_a.track(branch)
+            predictor_b.track(branch)
+
+    elapsed = time.perf_counter() - start
+    measured = max(0, instructions - warmup)
+
+    ranked = sorted(
+        per_branch.items(),
+        key=lambda item: (-abs(item[1][2] - item[1][1]), item[0]),
+    )
+    entries = [
+        ComparisonEntry(
+            ip=ip,
+            occurrences=cell[0],
+            mispredictions_a=cell[1],
+            mispredictions_b=cell[2],
+            mpki_delta=mpki(cell[2], measured) - mpki(cell[1], measured),
+            only_a=cell[3],
+            only_b=cell[4],
+        )
+        for ip, cell in ranked[:max_entries]
+        if cell[1] != cell[2]
+    ]
+    return ComparisonResult(
+        trace_name=name,
+        simulation_instructions=measured,
+        num_conditional_branches=conditional,
+        mispredictions_a=wrong_a,
+        mispredictions_b=wrong_b,
+        both_wrong=both,
+        only_a_wrong=only_a,
+        only_b_wrong=only_b,
+        simulation_time=elapsed,
+        predictor_a_metadata=predictor_a.metadata_stats(),
+        predictor_b_metadata=predictor_b.metadata_stats(),
+        most_failed=entries,
+    )
+
+
+@dataclass(slots=True)
+class MultiComparisonResult:
+    """Results of N predictors over one trace, plus the agreement matrix."""
+
+    trace_name: str
+    simulation_instructions: int
+    num_conditional_branches: int
+    names: list[str]
+    mispredictions: list[int]
+    #: ``both_wrong[i][j]`` = branches mispredicted by both i and j.
+    both_wrong: list[list[int]]
+    simulation_time: float
+
+    def mpki_of(self, index: int) -> float:
+        """MPKI of predictor ``index``."""
+        return mpki(self.mispredictions[index], self.simulation_instructions)
+
+    def ranking(self) -> list[tuple[str, float]]:
+        """(name, mpki) pairs sorted best first."""
+        pairs = [(self.names[i], self.mpki_of(i))
+                 for i in range(len(self.names))]
+        return sorted(pairs, key=lambda pair: pair[1])
+
+    def overlap(self, i: int, j: int) -> float:
+        """Jaccard overlap of two predictors' misprediction sets.
+
+        High overlap means the designs fail on the same branches (little
+        to gain from combining them); low overlap is hybridization food.
+        """
+        union = (self.mispredictions[i] + self.mispredictions[j]
+                 - self.both_wrong[i][j])
+        if union == 0:
+            return 1.0
+        return self.both_wrong[i][j] / union
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON report with the full agreement matrix."""
+        return {
+            "metadata": {
+                "simulator": "repro MBPlib-style multi-comparison simulator",
+                "trace": self.trace_name,
+                "simulation_instr": self.simulation_instructions,
+                "num_conditional_branches": self.num_conditional_branches,
+                "predictors": self.names,
+            },
+            "metrics": {
+                "mpki": {self.names[i]: self.mpki_of(i)
+                         for i in range(len(self.names))},
+                "mispredictions": dict(zip(self.names, self.mispredictions)),
+                "both_wrong": self.both_wrong,
+                "simulation_time": self.simulation_time,
+            },
+        }
+
+
+def compare_many(predictors: "dict[str, Predictor]", trace: TraceLike,
+                 config: SimulationConfig | None = None, *,
+                 trace_name: str | None = None) -> MultiComparisonResult:
+    """Simulate any number of predictors in parallel over one trace.
+
+    Generalizes :func:`compare`: every predictor sees the identical
+    predict/train/track sequence in a single pass over the trace, and the
+    result carries the pairwise both-wrong matrix, from which per-pair
+    misprediction overlaps (and hybridization potential) can be read.
+    """
+    if not predictors:
+        raise ValueError("compare_many needs at least one predictor")
+    config = config or SimulationConfig()
+    data, default_name = _resolve_trace(trace)
+    name = trace_name if trace_name is not None else default_name
+    names = list(predictors)
+    instances = [predictors[n] for n in names]
+    count = len(instances)
+
+    start = time.perf_counter()
+    warmup = config.warmup_instructions
+    track_all = not config.track_only_conditional
+
+    instructions = 0
+    conditional = 0
+    wrong_totals = [0] * count
+    both = [[0] * count for _ in range(count)]
+
+    for branch, gap in data.iter_branches():
+        instructions += gap + 1
+        if (config.max_instructions is not None
+                and instructions > config.max_instructions):
+            instructions -= gap + 1
+            break
+        if branch.opcode & 1:
+            wrong = [p.predict(branch.ip) != branch.taken
+                     for p in instances]
+            if instructions > warmup:
+                conditional += 1
+                for i in range(count):
+                    if wrong[i]:
+                        wrong_totals[i] += 1
+                        row = both[i]
+                        for j in range(i, count):
+                            if wrong[j]:
+                                row[j] += 1
+            for p in instances:
+                p.train(branch)
+            for p in instances:
+                p.track(branch)
+        elif track_all:
+            for p in instances:
+                p.track(branch)
+
+    # Mirror the upper triangle.
+    for i in range(count):
+        for j in range(i):
+            both[i][j] = both[j][i]
+
+    return MultiComparisonResult(
+        trace_name=name,
+        simulation_instructions=max(0, instructions - warmup),
+        num_conditional_branches=conditional,
+        names=names,
+        mispredictions=wrong_totals,
+        both_wrong=both,
+        simulation_time=time.perf_counter() - start,
+    )
+
+
+__all__ += ["MultiComparisonResult", "compare_many"]

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the repro library.
+
+Everything raised on purpose by this package derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "TraceError",
+    "TraceFormatError",
+    "TraceValidationError",
+    "SimulationError",
+    "ConfigurationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TraceError(ReproError):
+    """Base class for trace reading/writing problems."""
+
+
+class TraceFormatError(TraceError):
+    """The byte stream is not a well-formed trace of the expected format."""
+
+
+class TraceValidationError(TraceError):
+    """A structurally well-formed record violates a semantic rule.
+
+    The SBBT specification has two such rules (Section IV-C): unconditional
+    branches must be taken, and a not-taken conditional-indirect branch
+    must have a null target.
+    """
+
+
+class SimulationError(ReproError):
+    """A simulation could not be carried out as requested."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured with inconsistent parameters."""

@@ -1,0 +1,128 @@
+"""The predictor interface (paper Section IV-A/B).
+
+A branch predictor is a class that derives from :class:`Predictor` and
+overrides three functions:
+
+``predict(ip)``
+    Return the outcome guess for the branch at ``ip``.  Must not change
+    state in a way that affects future predictions (it may cache work for
+    the matching ``train`` call — see the tournament example).
+
+``train(branch)``
+    Update the *prediction* structures given the resolved outcome.
+
+``track(branch)``
+    Update the *scenario* structures (recent-behaviour state such as
+    global history) given the resolved outcome.
+
+The split between ``train`` and ``track`` is the library's composability
+mechanism: a meta-predictor may train a sub-component selectively (partial
+update) while still tracking every branch through it, something that is
+impossible when one ``update`` function does both jobs (Section VI-D).
+
+When driven by the standard simulator, ``train`` is invoked for
+conditional branches only, and ``track`` is invoked for every branch,
+after ``train``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+from .branch import Branch
+
+__all__ = ["Predictor", "MetadataMixin"]
+
+
+class Predictor(abc.ABC):
+    """Abstract base class of every branch predictor.
+
+    Subclasses must implement :meth:`predict`, :meth:`train` and
+    :meth:`track`; the remaining hooks are optional and feed the
+    simulator's JSON output (Section IV-E).
+    """
+
+    @abc.abstractmethod
+    def predict(self, ip: int) -> bool:
+        """Guess the outcome of the branch at address ``ip``.
+
+        Must be observably pure with respect to future predictions.
+        """
+
+    @abc.abstractmethod
+    def train(self, branch: Branch) -> None:
+        """Update prediction structures with the resolved ``branch``."""
+
+    @abc.abstractmethod
+    def track(self, branch: Branch) -> None:
+        """Update scenario structures with the resolved ``branch``."""
+
+    # ------------------------------------------------------------------
+    # Optional hooks (the "other functions" of Section IV-A).
+    # ------------------------------------------------------------------
+
+    def metadata_stats(self) -> dict[str, Any]:
+        """Static configuration for the output's ``metadata.predictor``.
+
+        Conventionally includes a ``"name"`` key plus the parameter
+        selection, so a results file is self-describing.
+        """
+        return {"name": type(self).__name__}
+
+    def execution_stats(self) -> dict[str, Any]:
+        """Dynamic statistics for the output's ``predictor_statistics``.
+
+        Populated by designs that count internal events (table conflicts,
+        allocation failures, provider distribution, ...).
+        """
+        return {}
+
+    def on_warmup_end(self) -> None:
+        """Called by the simulator when warm-up instructions are over.
+
+        Predictors that keep their own statistics can reset them here so
+        that ``execution_stats`` only reflects the measured region.
+        """
+
+    # ------------------------------------------------------------------
+    # Convenience.
+    # ------------------------------------------------------------------
+
+    def update(self, branch: Branch) -> None:
+        """``train`` then ``track`` in one call.
+
+        This is the single-function update style of ChampSim and the CBP5
+        framework; provided so predictors written against this library are
+        easy to drive from the baseline simulators.
+        """
+        if branch.is_conditional:
+            self.train(branch)
+        self.track(branch)
+
+    def name(self) -> str:
+        """The predictor's display name (from :meth:`metadata_stats`)."""
+        return str(self.metadata_stats().get("name", type(self).__name__))
+
+
+class MetadataMixin:
+    """Mixin that assembles ``metadata_stats`` from declared parameters.
+
+    Subclasses set ``_metadata_name`` and list parameter attribute names in
+    ``_metadata_params``; the mixin reflects them into the JSON dict.  This
+    keeps the "every example is parameterizable and self-describing"
+    property of the paper's examples library without repeating dict
+    literals in every predictor.
+    """
+
+    _metadata_name: str = ""
+    _metadata_params: tuple[str, ...] = ()
+
+    def metadata_stats(self) -> dict[str, Any]:
+        """Reflect the declared parameters into the metadata dict."""
+        stats: dict[str, Any] = {
+            "name": self._metadata_name or type(self).__name__
+        }
+        for param in self._metadata_params:
+            stats[param] = getattr(self, param)
+        return stats

@@ -1,0 +1,179 @@
+"""The standard simulator (paper Section IV).
+
+What the simulator does, in the paper's words: read a program trace with
+the branches seen during execution, ask the predictor to anticipate the
+outcome of those branches, and record how many times the predictor was
+incorrect.
+
+Driving rules (Section IV-B):
+
+* ``predict`` and ``train`` are invoked for **conditional** branches only;
+* ``track`` is invoked for **every** branch (unless the user asks for
+  ``track_only_conditional``), after ``train``;
+* mispredictions inside the warm-up instruction window are not counted.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Union
+
+from ..sbbt.reader import read_trace
+from ..sbbt.trace import TraceData
+from .errors import SimulationError
+from .metrics import BranchStats, most_failed_branches
+from .output import SimulationResult
+from .predictor import Predictor
+
+__all__ = ["SimulationConfig", "simulate", "simulate_file"]
+
+TraceLike = Union[TraceData, str, Path]
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationConfig:
+    """Knobs of the standard simulator.
+
+    Attributes
+    ----------
+    warmup_instructions:
+        Mispredictions of branches within the first ``n`` instructions are
+        not counted (the predictor still predicts/trains/tracks).
+    max_instructions:
+        Stop the simulation once this many instructions have executed
+        (``None`` = run the whole trace).  The output's
+        ``exhausted_trace`` flag records whether the trace ran out first.
+    track_only_conditional:
+        When true, ``track`` is only called for conditional branches —
+        the option surfaced in the Listing-1 metadata.
+    collect_most_failed:
+        Per-branch statistics cost memory and time; disable them for pure
+        speed measurements (the Table III benchmarks keep them on, as
+        MBPlib's standard simulator always collects them).
+    """
+
+    warmup_instructions: int = 0
+    max_instructions: int | None = None
+    track_only_conditional: bool = False
+    collect_most_failed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.warmup_instructions < 0:
+            raise SimulationError("warmup_instructions must be non-negative")
+        if self.max_instructions is not None and self.max_instructions < 0:
+            raise SimulationError("max_instructions must be non-negative")
+
+
+def _resolve_trace(trace: TraceLike) -> tuple[TraceData, str]:
+    """Accept in-memory data or a path; return (data, display name)."""
+    if isinstance(trace, TraceData):
+        return trace, "<memory>"
+    return read_trace(trace), str(trace)
+
+
+def simulate(predictor: Predictor, trace: TraceLike,
+             config: SimulationConfig | None = None, *,
+             trace_name: str | None = None) -> SimulationResult:
+    """Run ``predictor`` over ``trace`` and return the full result object.
+
+    This is the library's main entry point — the user code calls it (the
+    library never owns ``main``), which is the design inversion the paper
+    argues for against framework-style simulators.
+    """
+    config = config or SimulationConfig()
+    data, default_name = _resolve_trace(trace)
+    name = trace_name if trace_name is not None else default_name
+
+    start = time.perf_counter()
+
+    warmup = config.warmup_instructions
+    limit = config.max_instructions
+    track_all = not config.track_only_conditional
+    collect = config.collect_most_failed
+
+    predict = predictor.predict
+    train = predictor.train
+    track = predictor.track
+
+    instructions = 0
+    branch_instructions = 0
+    conditional_branches = 0
+    mispredictions = 0
+    exhausted = True
+    warmup_pending = warmup > 0
+    # ip -> [occurrences, mispredictions]; plain lists keep the hot loop
+    # free of method-call overhead, wrapped into BranchStats at the end.
+    per_branch: dict[int, list[int]] = {}
+    per_branch_get = per_branch.get
+
+    for branch, gap in data.iter_branches():
+        instructions += gap + 1
+        if limit is not None and instructions > limit:
+            instructions -= gap + 1
+            exhausted = False
+            break
+        branch_instructions += 1
+        if warmup_pending and instructions > warmup:
+            warmup_pending = False
+            predictor.on_warmup_end()
+        if branch.opcode & 1:  # conditional (opcode bit 0)
+            prediction = predict(branch.ip)
+            mispredicted = prediction != branch.taken
+            if instructions > warmup:
+                conditional_branches += 1
+                if mispredicted:
+                    mispredictions += 1
+                if collect:
+                    cell = per_branch_get(branch.ip)
+                    if cell is None:
+                        per_branch[branch.ip] = [1, 1 if mispredicted else 0]
+                    else:
+                        cell[0] += 1
+                        if mispredicted:
+                            cell[1] += 1
+            train(branch)
+            track(branch)
+        elif track_all:
+            track(branch)
+
+    if exhausted and data.num_instructions > instructions:
+        # Non-branch instructions after the last branch still count.
+        trailing = data.num_instructions - instructions
+        if limit is not None and instructions + trailing > limit:
+            instructions = limit
+            exhausted = False
+        else:
+            instructions += trailing
+
+    elapsed = time.perf_counter() - start
+
+    measured_instructions = max(0, instructions - warmup)
+    most_failed = (
+        most_failed_branches(
+            {ip: BranchStats(cell[0], cell[1])
+             for ip, cell in per_branch.items()},
+            mispredictions, measured_instructions,
+        )
+        if collect else []
+    )
+    return SimulationResult(
+        trace_name=name,
+        warmup_instructions=warmup,
+        simulation_instructions=measured_instructions,
+        exhausted_trace=exhausted,
+        num_branch_instructions=branch_instructions,
+        num_conditional_branches=conditional_branches,
+        mispredictions=mispredictions,
+        simulation_time=elapsed,
+        predictor_metadata=predictor.metadata_stats(),
+        predictor_statistics=predictor.execution_stats(),
+        most_failed=most_failed,
+    )
+
+
+def simulate_file(predictor: Predictor, path: str | Path,
+                  config: SimulationConfig | None = None) -> SimulationResult:
+    """Convenience wrapper: simulate the SBBT trace stored at ``path``."""
+    return simulate(predictor, Path(path), config)

@@ -1,0 +1,263 @@
+"""Vectorized simulation engines for table-indexed predictors.
+
+A pure-Python per-branch loop is orders of magnitude too slow to sweep
+hundreds of traces, so this module provides numpy engines for the two
+classic table predictors (bimodal, GShare) that are **bit-exact**
+equivalents of their scalar counterparts — property-tested against them —
+while running the whole trace in a handful of array passes.
+
+The key observation is that both predictors' *inputs* are derivable from
+the trace alone: the global history at branch ``t`` is just the packed
+outcomes of the previous branches, and the table index is a pure hash of
+(ip, history).  What remains sequential is each table entry's saturating
+counter — a ±1 random walk clamped to ``[lo, hi]`` — and clamped walks
+have an associative structure:
+
+every update is the map ``s -> min(hi, max(lo, s + x))``, and the class
+of maps ``s -> min(B, max(A, s + C))`` is **closed under composition**::
+
+    (g . f)(s) = min(B', max(A', s + C'))
+    C' = Cf + Cg
+    A' = max(Ag, Af + Cg)
+    B' = min(Bg, max(Ag, Bf + Cg))
+
+so the counter state *before* every update is an exclusive prefix
+composition — computable with a segmented Hillis-Steele scan in
+``O(n log n)`` vector operations, with segments delimited by table index.
+
+This is the reproduction's analogue of MBPlib's C++-level speed work and
+the subject of the ``benchmarks/test_ablation_vectorized.py`` ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sbbt.trace import TraceData
+from .errors import SimulationError
+
+__all__ = [
+    "VectorizedResult",
+    "clamped_walk_states",
+    "global_history_windows",
+    "xor_fold_array",
+    "simulate_bimodal_vectorized",
+    "simulate_gshare_vectorized",
+]
+
+_BIG = np.int64(1 << 40)  # sentinel for the identity map's bounds
+
+
+@dataclass(frozen=True, slots=True)
+class VectorizedResult:
+    """Outcome of a vectorized simulation.
+
+    ``predictions`` is per *conditional* branch, in trace order — exactly
+    what the scalar predictor's ``predict`` would have returned — so the
+    equivalence tests can compare prediction streams, not just totals.
+    """
+
+    num_conditional_branches: int
+    mispredictions: int
+    simulation_instructions: int
+    predictions: np.ndarray
+
+    @property
+    def mpki(self) -> float:
+        """Mispredictions per kilo-instruction."""
+        if self.simulation_instructions == 0:
+            return 0.0
+        return 1000.0 * self.mispredictions / self.simulation_instructions
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of conditional branches predicted correctly."""
+        if self.num_conditional_branches == 0:
+            return 1.0
+        return 1.0 - self.mispredictions / self.num_conditional_branches
+
+
+def clamped_walk_states(segments: np.ndarray, steps: np.ndarray,
+                        lo: int, hi: int, initial: int = 0) -> np.ndarray:
+    """State *before* each ±1 step of per-segment clamped walks.
+
+    Parameters
+    ----------
+    segments:
+        Segment key per element; elements of one segment must be
+        contiguous and the array non-decreasing within runs (use a stable
+        argsort by key to arrange this).
+    steps:
+        ``+1`` / ``-1`` increments.
+    lo, hi:
+        Clamp bounds.
+    initial:
+        Every segment's starting state.
+
+    Returns the walk state seen by each element before its own step —
+    i.e. the value the predictor read to make its prediction.
+    """
+    n = len(segments)
+    if len(steps) != n:
+        raise SimulationError("segments and steps must have equal length")
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+
+    # Inclusive element maps: s -> min(hi, max(lo, s + x)).
+    A = np.full(n, lo, dtype=np.int64)
+    B = np.full(n, hi, dtype=np.int64)
+    C = steps.astype(np.int64)
+
+    positions = np.arange(n, dtype=np.int64)
+    is_start = np.empty(n, dtype=bool)
+    is_start[0] = True
+    np.not_equal(segments[1:], segments[:-1], out=is_start[1:])
+    segment_start = np.maximum.accumulate(np.where(is_start, positions, 0))
+
+    shift = 1
+    while shift < n:
+        can = positions >= segment_start + shift
+        src = positions - shift
+        a_prev = A[src[can]]
+        b_prev = B[src[can]]
+        c_prev = C[src[can]]
+        a_cur = A[can]
+        b_cur = B[can]
+        c_cur = C[can]
+        new_a = np.maximum(a_cur, a_prev + c_cur)
+        new_b = np.minimum(b_cur, np.maximum(a_cur, b_prev + c_cur))
+        new_c = c_prev + c_cur
+        A[can] = new_a
+        B[can] = new_b
+        C[can] = new_c
+        shift *= 2
+
+    # Exclusive prefix: the state before element i is the inclusive map
+    # of element i-1 applied to the initial state (identity at starts).
+    before = np.full(n, initial, dtype=np.int64)
+    tail = ~is_start
+    prev = positions[tail] - 1
+    before[tail] = np.minimum(
+        B[prev], np.maximum(A[prev], initial + C[prev])
+    )
+    return before
+
+
+def global_history_windows(outcomes: np.ndarray,
+                           history_length: int) -> np.ndarray:
+    """Packed global history seen *before* each branch.
+
+    ``result[t]`` has bit ``k`` equal to the outcome of branch
+    ``t - 1 - k`` — the same convention as
+    :class:`repro.utils.history.GlobalHistory` after ``t`` pushes.
+    """
+    if not 1 <= history_length <= 63:
+        raise SimulationError("history_length must be in [1, 63]")
+    n = len(outcomes)
+    bits = outcomes.astype(np.uint64)
+    history = np.zeros(n, dtype=np.uint64)
+    for age in range(1, history_length + 1):
+        history[age:] |= bits[:-age] << np.uint64(age - 1)
+    return history
+
+
+def xor_fold_array(values: np.ndarray, width: int) -> np.ndarray:
+    """Vectorized :func:`repro.utils.hashing.xor_fold` over uint64s."""
+    if width <= 0:
+        raise SimulationError("width must be positive")
+    mask = np.uint64((1 << width) - 1)
+    shift = np.uint64(width)
+    remaining = values.astype(np.uint64).copy()
+    result = np.zeros(len(values), dtype=np.uint64)
+    while remaining.any():
+        result ^= remaining & mask
+        remaining >>= shift
+    return result
+
+
+def _finish(trace: TraceData, conditional: np.ndarray,
+            predictions: np.ndarray,
+            warmup_instructions: int) -> VectorizedResult:
+    """Count mispredictions over the post-warm-up region."""
+    taken = trace.taken[conditional]
+    wrong = predictions != taken
+    if warmup_instructions > 0:
+        numbers = trace.instruction_numbers()[conditional]
+        measured = numbers > warmup_instructions
+        mispredictions = int((wrong & measured).sum())
+        num_conditional = int(measured.sum())
+    else:
+        mispredictions = int(wrong.sum())
+        num_conditional = int(conditional.sum())
+    instructions = max(0, trace.num_instructions - warmup_instructions)
+    return VectorizedResult(
+        num_conditional_branches=num_conditional,
+        mispredictions=mispredictions,
+        simulation_instructions=instructions,
+        predictions=predictions,
+    )
+
+
+def simulate_bimodal_vectorized(trace: TraceData, log_table_size: int = 14,
+                                counter_width: int = 2,
+                                instruction_shift: int = 0,
+                                warmup_instructions: int = 0
+                                ) -> VectorizedResult:
+    """Bit-exact vectorized run of :class:`repro.predictors.Bimodal`.
+
+    Each table entry's counter sequence is independent, so branches are
+    grouped by table index (stable sort) and every group's counter walk
+    is resolved by one segmented scan.
+    """
+    if counter_width < 1:
+        raise SimulationError("counter_width must be >= 1")
+    conditional = trace.conditional_mask()
+    ips = trace.ips[conditional]
+    taken = trace.taken[conditional]
+    n = len(ips)
+    mask = np.uint64((1 << log_table_size) - 1)
+    indices = (ips >> np.uint64(instruction_shift)) & mask
+
+    order = np.argsort(indices, kind="stable")
+    lo = -(1 << (counter_width - 1))
+    hi = (1 << (counter_width - 1)) - 1
+    steps = np.where(taken[order], 1, -1)
+    before = clamped_walk_states(indices[order], steps, lo, hi)
+
+    predictions = np.empty(n, dtype=bool)
+    predictions[order] = before >= 0
+    return _finish(trace, conditional, predictions, warmup_instructions)
+
+
+def simulate_gshare_vectorized(trace: TraceData, history_length: int = 15,
+                               log_table_size: int = 17,
+                               counter_width: int = 2,
+                               warmup_instructions: int = 0
+                               ) -> VectorizedResult:
+    """Bit-exact vectorized run of :class:`repro.predictors.GShare`.
+
+    GShare's scenario state (the global history register) is a pure
+    function of the preceding outcomes, so it is precomputed for every
+    branch; after that the problem reduces to the same grouped
+    clamped-walk scan as bimodal, keyed by the hashed index.
+    """
+    if counter_width < 1:
+        raise SimulationError("counter_width must be >= 1")
+    # track() pushes *every* branch outcome (unconditional = taken).
+    history = global_history_windows(trace.taken, history_length)
+    conditional = trace.conditional_mask()
+    ips = trace.ips[conditional]
+    taken = trace.taken[conditional]
+    indices = xor_fold_array(ips ^ history[conditional], log_table_size)
+
+    order = np.argsort(indices, kind="stable")
+    lo = -(1 << (counter_width - 1))
+    hi = (1 << (counter_width - 1)) - 1
+    steps = np.where(taken[order], 1, -1)
+    before = clamped_walk_states(indices[order], steps, lo, hi)
+
+    predictions = np.empty(len(ips), dtype=bool)
+    predictions[order] = before >= 0
+    return _finish(trace, conditional, predictions, warmup_instructions)

@@ -1,0 +1,120 @@
+"""Branch filters — composable wrappers in front of a predictor.
+
+Section IV-B of the paper: "a filter may decide that it is not necessary
+to track some branches".  A filter owns an inner predictor and decides
+which ``predict``/``train``/``track`` calls reach it — the third kind of
+composition (after meta-predictors and side predictors) that the
+``train``/``track`` split enables.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.branch import Branch
+from ..core.predictor import Predictor
+
+__all__ = ["ConditionalOnlyFilter", "NeverTakenFilter"]
+
+
+class ConditionalOnlyFilter(Predictor):
+    """Forward ``track`` only for conditional branches.
+
+    Equivalent to running the inner predictor with the simulator's
+    ``track_only_conditional`` option, but as a component — so it also
+    works when the inner predictor is buried inside a meta-predictor.
+    """
+
+    def __init__(self, inner: Predictor):
+        self.inner = inner
+
+    def predict(self, ip: int) -> bool:  # noqa: D102 - delegation
+        return self.inner.predict(ip)
+
+    def train(self, branch: Branch) -> None:  # noqa: D102 - delegation
+        self.inner.train(branch)
+
+    def track(self, branch: Branch) -> None:
+        """Drop unconditional branches before they reach the inner state."""
+        if branch.is_conditional:
+            self.inner.track(branch)
+
+    def metadata_stats(self) -> dict[str, Any]:  # noqa: D102 - delegation
+        return {
+            "name": "repro ConditionalOnlyFilter",
+            "inner": self.inner.metadata_stats(),
+        }
+
+    def execution_stats(self) -> dict[str, Any]:  # noqa: D102 - delegation
+        return self.inner.execution_stats()
+
+    def on_warmup_end(self) -> None:  # noqa: D102 - delegation
+        self.inner.on_warmup_end()
+
+
+class NeverTakenFilter(Predictor):
+    """Handle never-taken branches without consuming inner capacity.
+
+    A large fraction of static branches are never taken (error paths,
+    defensive checks).  The filter predicts those not-taken itself and
+    neither trains nor tracks the inner predictor with them, freeing
+    table capacity — a classic championship trick.  A branch graduates to
+    the inner predictor the first time it is taken, permanently.
+    """
+
+    def __init__(self, inner: Predictor, *, track_filtered: bool = False):
+        self.inner = inner
+        self.track_filtered = track_filtered
+        self._seen_taken: set[int] = set()
+        self._stat_filtered = 0
+
+    def _is_filtered(self, ip: int) -> bool:
+        return ip not in self._seen_taken
+
+    def predict(self, ip: int) -> bool:
+        """Not-taken for branches that never were; inner otherwise."""
+        if self._is_filtered(ip):
+            return False
+        return self.inner.predict(ip)
+
+    def train(self, branch: Branch) -> None:
+        """Graduate a branch on its first taken outcome."""
+        if self._is_filtered(branch.ip):
+            self._stat_filtered += 1
+            if branch.taken:
+                self._seen_taken.add(branch.ip)
+                # Seed the inner predictor with the surprising outcome.
+                self.inner.predict(branch.ip)
+                self.inner.train(branch)
+            return
+        self.inner.train(branch)
+
+    def track(self, branch: Branch) -> None:
+        """Filtered branches optionally bypass scenario tracking too."""
+        if self._is_filtered(branch.ip) and not self.track_filtered:
+            return
+        self.inner.track(branch)
+
+    def metadata_stats(self) -> dict[str, Any]:
+        """Nested self-description."""
+        return {
+            "name": "repro NeverTakenFilter",
+            "track_filtered": self.track_filtered,
+            "inner": self.inner.metadata_stats(),
+        }
+
+    def execution_stats(self) -> dict[str, Any]:
+        """Filter hit counts plus inner statistics."""
+        stats: dict[str, Any] = {
+            "filtered_trainings": self._stat_filtered,
+            "graduated_branches": len(self._seen_taken),
+        }
+        inner_stats = self.inner.execution_stats()
+        if inner_stats:
+            stats["inner"] = inner_stats
+        return stats
+
+    def on_warmup_end(self) -> None:
+        """Propagate and reset the filter counter."""
+        self._stat_filtered = 0
+        self.inner.on_warmup_end()

@@ -1,0 +1,164 @@
+"""The 2bc-gskew predictor (Seznec & Michaud, 1999).
+
+2bc-gskew is a de-aliased hybrid: an **e-gskew** majority vote over three
+counter banks (a bimodal bank ``BIM`` and two history banks ``G0``/``G1``
+indexed with *skewed* hash functions so an alias in one bank is not an
+alias in the others) arbitrated against the plain bimodal bank by a
+**meta** bank.  It was the direction predictor of the Alpha EV8 design
+and is Table II's "more effective but still old" example.
+
+The partial-update policy follows the original technical report:
+
+* meta is trained only when the bimodal and e-gskew predictions differ;
+* on a correct final prediction, only the banks that *agreed* with the
+  outcome are strengthened (and the bimodal bank only when it provided);
+* on a misprediction, every bank is trained towards the outcome (only
+  the providing side when meta was confident in it, all banks otherwise).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.branch import Branch
+from ..core.predictor import Predictor
+from ..utils.bits import mask
+from ..utils.hashing import skew_hash, xor_fold
+
+__all__ = ["TwoBcGskew"]
+
+
+class TwoBcGskew(Predictor):
+    """2bc-gskew with four equally sized banks of 2-bit counters.
+
+    Parameters
+    ----------
+    log_bank_size:
+        log2 of each bank's counter count.
+    history_length_g0, history_length_g1:
+        Global history bits mixed into the two skewed banks (the classic
+        configuration gives G1 a longer history than G0).
+    """
+
+    def __init__(self, log_bank_size: int = 14,
+                 history_length_g0: int = 9,
+                 history_length_g1: int = 16):
+        if log_bank_size < 2:
+            raise ValueError("log_bank_size must be >= 2")
+        if history_length_g0 < 1 or history_length_g1 < 1:
+            raise ValueError("history lengths must be >= 1")
+        self.log_bank_size = log_bank_size
+        self.history_length_g0 = history_length_g0
+        self.history_length_g1 = history_length_g1
+        size = 1 << log_bank_size
+        self._bim = [0] * size
+        self._g0 = [0] * size
+        self._g1 = [0] * size
+        self._meta = [0] * size
+        self._ghist = 0
+        self._history_mask = mask(max(history_length_g0, history_length_g1))
+        # Cached per-prediction state, consumed by train (predict-then-
+        # train protocol, same caching idiom as the tournament).
+        self._cached_ip: int | None = None
+        self._cache: tuple[int, int, int, int, bool, bool, bool, bool] | None = None
+
+    # ------------------------------------------------------------------
+    # Indexing.
+    # ------------------------------------------------------------------
+
+    def _indices(self, ip: int) -> tuple[int, int, int, int]:
+        """Bank indices: bimodal and meta by address, G0/G1 skewed."""
+        w = self.log_bank_size
+        bim_index = xor_fold(ip, w)
+        h0 = self._ghist & mask(self.history_length_g0)
+        h1 = self._ghist & mask(self.history_length_g1)
+        v0 = xor_fold(ip ^ (h0 << 1), w)
+        v1 = xor_fold(ip ^ (h1 << 1), w)
+        g0_index = skew_hash(v0, xor_fold(ip, w), 0, w)
+        g1_index = skew_hash(v1, xor_fold(ip, w), 1, w)
+        meta_index = bim_index
+        return bim_index, g0_index, g1_index, meta_index
+
+    def _compute(self, ip: int) -> tuple[int, int, int, int, bool, bool, bool, bool]:
+        bi, g0i, g1i, mi = self._indices(ip)
+        bim_pred = self._bim[bi] >= 0
+        g0_pred = self._g0[g0i] >= 0
+        g1_pred = self._g1[g1i] >= 0
+        # e-gskew majority over the three direction banks.
+        majority = (bim_pred + g0_pred + g1_pred) >= 2
+        use_gskew = self._meta[mi] >= 0
+        final = majority if use_gskew else bim_pred
+        return bi, g0i, g1i, mi, bim_pred, g0_pred, g1_pred, final
+
+    # ------------------------------------------------------------------
+    # Predictor interface.
+    # ------------------------------------------------------------------
+
+    def predict(self, ip: int) -> bool:
+        """Meta selects between the bimodal bank and the e-gskew majority."""
+        state = self._compute(ip)
+        self._cached_ip = ip
+        self._cache = state
+        return state[7]
+
+    @staticmethod
+    def _bump(table: list[int], index: int, taken: bool) -> None:
+        v = table[index]
+        if taken:
+            if v < 1:
+                table[index] = v + 1
+        elif v > -2:
+            table[index] = v - 1
+
+    def train(self, branch: Branch) -> None:
+        """Partial-update policy of the original 2bc-gskew."""
+        if self._cached_ip != branch.ip or self._cache is None:
+            self.predict(branch.ip)
+        assert self._cache is not None
+        bi, g0i, g1i, mi, bim_pred, g0_pred, g1_pred, final = self._cache
+        taken = branch.taken
+        majority = (bim_pred + g0_pred + g1_pred) >= 2
+        use_gskew = self._meta[mi] >= 0
+
+        # Meta learns which side was right, only when they disagreed.
+        if bim_pred != majority:
+            self._bump(self._meta, mi, majority == taken)
+
+        if final == taken:
+            # Correct: strengthen only the agreeing banks of the provider
+            # side (and BIM whenever it agreed — it is also G0/G1's ally).
+            if use_gskew:
+                if bim_pred == taken:
+                    self._bump(self._bim, bi, taken)
+                if g0_pred == taken:
+                    self._bump(self._g0, g0i, taken)
+                if g1_pred == taken:
+                    self._bump(self._g1, g1i, taken)
+            else:
+                self._bump(self._bim, bi, taken)
+        else:
+            # Mispredict: retrain everything towards the outcome.
+            self._bump(self._bim, bi, taken)
+            self._bump(self._g0, g0i, taken)
+            self._bump(self._g1, g1i, taken)
+        self._cached_ip = None
+        self._cache = None
+
+    def track(self, branch: Branch) -> None:
+        """Shift the outcome into the shared global history."""
+        self._ghist = ((self._ghist << 1) | branch.taken) & self._history_mask
+        self._cached_ip = None
+        self._cache = None
+
+    def metadata_stats(self) -> dict[str, Any]:
+        """Self-description for the simulator output."""
+        return {
+            "name": "repro 2bc-gskew",
+            "log_bank_size": self.log_bank_size,
+            "history_length_g0": self.history_length_g0,
+            "history_length_g1": self.history_length_g1,
+        }
+
+    def storage_bits(self) -> int:
+        """Hardware budget of the configuration, in bits."""
+        return 4 * (1 << self.log_bank_size) * 2

@@ -1,0 +1,199 @@
+"""A loop predictor and the side-predictor wrapper that attaches it.
+
+Loop predictors capture the one pattern counter tables are structurally
+bad at: a loop back-edge taken exactly ``N`` times and then not taken.
+An entry learns the trip count; once it has seen the same count twice
+(confidence), it predicts the exit with certainty.
+
+The paper's Section VI-C motivates the comparison simulator with exactly
+this scenario ("compare the effectiveness of adding a new component, like
+a loop predictor, to our design"); :class:`WithLoopPredictor` is that new
+component as a composable wrapper, and
+``examples/predictor_comparison.py`` is the experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.branch import Branch
+from ..core.predictor import Predictor
+from ..utils.bits import mask
+from ..utils.hashing import xor_fold
+
+__all__ = ["LoopPredictor", "WithLoopPredictor"]
+
+
+class _LoopEntry:
+    """One monitored branch: learned trip count and live iteration."""
+
+    __slots__ = ("tag", "past_count", "current_count", "confidence", "age")
+
+    def __init__(self, tag: int):
+        self.tag = tag
+        self.past_count = 0
+        self.current_count = 0
+        self.confidence = 0
+        self.age = 0
+
+
+class LoopPredictor(Predictor):
+    """A standalone loop predictor.
+
+    Useful mostly as a side predictor: :meth:`is_valid` tells the owner
+    whether the current prediction is backed by a confident loop entry.
+
+    Parameters
+    ----------
+    log_table_size:
+        log2 of the number of loop entries.
+    tag_width:
+        Partial tag bits per entry.
+    max_count:
+        Largest learnable trip count.
+    confidence_threshold:
+        Times the same trip count must repeat before predictions are
+        marked valid.
+    """
+
+    def __init__(self, log_table_size: int = 6, tag_width: int = 14,
+                 max_count: int = 1 << 14, confidence_threshold: int = 2):
+        if log_table_size < 0:
+            raise ValueError("log_table_size must be >= 0")
+        if confidence_threshold < 1:
+            raise ValueError("confidence_threshold must be >= 1")
+        self.log_table_size = log_table_size
+        self.tag_width = tag_width
+        self.max_count = max_count
+        self.confidence_threshold = confidence_threshold
+        self._entries: list[_LoopEntry | None] = [None] * (1 << log_table_size)
+        self._last_valid = False
+
+    def _index_tag(self, ip: int) -> tuple[int, int]:
+        return (xor_fold(ip, self.log_table_size),
+                xor_fold(ip, self.tag_width) & mask(self.tag_width))
+
+    def _entry_for(self, ip: int) -> _LoopEntry | None:
+        index, tag = self._index_tag(ip)
+        entry = self._entries[index]
+        if entry is not None and entry.tag == tag:
+            return entry
+        return None
+
+    def predict(self, ip: int) -> bool:
+        """Taken until the learned trip count is reached, then not-taken."""
+        entry = self._entry_for(ip)
+        if entry is None or entry.confidence < self.confidence_threshold:
+            self._last_valid = False
+            return True  # back-edges are overwhelmingly taken
+        self._last_valid = True
+        # past_count taken iterations precede each exit; the branch at
+        # position current_count is taken exactly while below that.
+        return entry.current_count < entry.past_count
+
+    def is_valid(self) -> bool:
+        """Whether the *latest* ``predict`` was backed by a confident entry."""
+        return self._last_valid
+
+    def train(self, branch: Branch) -> None:
+        """Learn trip counts from completed loop executions."""
+        index, tag = self._index_tag(branch.ip)
+        entry = self._entries[index]
+        if entry is None or entry.tag != tag:
+            # Adopt the slot for this branch if it is free or stale.
+            if entry is None or entry.age == 0:
+                if branch.taken:  # only bother with branches that loop
+                    fresh = _LoopEntry(tag)
+                    fresh.current_count = 1
+                    fresh.age = 31
+                    self._entries[index] = fresh
+            else:
+                entry.age -= 1
+            return
+        entry.age = min(31, entry.age + 1)
+        if branch.taken:
+            entry.current_count += 1
+            if entry.current_count > self.max_count:
+                # Not a bounded loop; stop trusting it.
+                entry.confidence = 0
+                entry.current_count = 0
+        else:
+            # Loop exit: compare this execution's trip count to the past.
+            if entry.current_count == entry.past_count:
+                entry.confidence = min(self.confidence_threshold + 1,
+                                       entry.confidence + 1)
+            else:
+                entry.past_count = entry.current_count
+                entry.confidence = 0
+            entry.current_count = 0
+
+    def track(self, branch: Branch) -> None:
+        """The loop predictor keeps no global scenario state."""
+
+    def metadata_stats(self) -> dict[str, Any]:
+        """Self-description for the simulator output."""
+        return {
+            "name": "repro LoopPredictor",
+            "log_table_size": self.log_table_size,
+            "tag_width": self.tag_width,
+            "max_count": self.max_count,
+            "confidence_threshold": self.confidence_threshold,
+        }
+
+
+class WithLoopPredictor(Predictor):
+    """Attach a loop predictor to any main predictor.
+
+    When the loop predictor has a confident entry for the branch, its
+    prediction overrides the main predictor's.  Both components train on
+    every conditional branch; both track every branch — a textbook use of
+    the composability that the ``train``/``track`` split provides.
+    """
+
+    def __init__(self, main: Predictor,
+                 loop: LoopPredictor | None = None):
+        self.main = main
+        self.loop = loop if loop is not None else LoopPredictor()
+        self._stat_overrides = 0
+
+    def predict(self, ip: int) -> bool:
+        """Loop prediction wins when valid; otherwise defer to main."""
+        loop_prediction = self.loop.predict(ip)
+        main_prediction = self.main.predict(ip)
+        if self.loop.is_valid():
+            if loop_prediction != main_prediction:
+                self._stat_overrides += 1
+            return loop_prediction
+        return main_prediction
+
+    def train(self, branch: Branch) -> None:
+        """Train both components with the program branch."""
+        self.main.train(branch)
+        self.loop.train(branch)
+
+    def track(self, branch: Branch) -> None:
+        """Track both components with the program branch."""
+        self.main.track(branch)
+        self.loop.track(branch)
+
+    def metadata_stats(self) -> dict[str, Any]:
+        """Nested self-description of both components."""
+        return {
+            "name": "repro WithLoopPredictor",
+            "main": self.main.metadata_stats(),
+            "loop": self.loop.metadata_stats(),
+        }
+
+    def execution_stats(self) -> dict[str, Any]:
+        """How often the loop predictor overrode the main prediction."""
+        stats = {"loop_overrides": self._stat_overrides}
+        main_stats = self.main.execution_stats()
+        if main_stats:
+            stats["main"] = main_stats
+        return stats
+
+    def on_warmup_end(self) -> None:
+        """Propagate the warm-up boundary; reset the override counter."""
+        self._stat_overrides = 0
+        self.main.on_warmup_end()
+        self.loop.on_warmup_end()

@@ -1,0 +1,76 @@
+"""Static (history-less) predictors.
+
+These are the degenerate baselines every branch-prediction course starts
+from; they also serve as cheap sub-components (a never-taken default, a
+tie-breaker) and as the fastest possible predictor for simulator-overhead
+measurements.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.branch import Branch
+from ..core.predictor import Predictor
+
+__all__ = ["AlwaysTaken", "AlwaysNotTaken", "Btfnt"]
+
+
+class AlwaysTaken(Predictor):
+    """Predict taken for every branch."""
+
+    def predict(self, ip: int) -> bool:  # noqa: D102 - interface
+        return True
+
+    def train(self, branch: Branch) -> None:  # noqa: D102 - interface
+        pass
+
+    def track(self, branch: Branch) -> None:  # noqa: D102 - interface
+        pass
+
+    def metadata_stats(self) -> dict[str, Any]:  # noqa: D102 - interface
+        return {"name": "repro AlwaysTaken"}
+
+
+class AlwaysNotTaken(Predictor):
+    """Predict not-taken for every branch."""
+
+    def predict(self, ip: int) -> bool:  # noqa: D102 - interface
+        return False
+
+    def train(self, branch: Branch) -> None:  # noqa: D102 - interface
+        pass
+
+    def track(self, branch: Branch) -> None:  # noqa: D102 - interface
+        pass
+
+    def metadata_stats(self) -> dict[str, Any]:  # noqa: D102 - interface
+        return {"name": "repro AlwaysNotTaken"}
+
+
+class Btfnt(Predictor):
+    """Backward-taken / forward-not-taken.
+
+    The classic static heuristic: loop-closing (backward) branches are
+    predicted taken, forward branches not-taken.  ``predict`` only
+    receives the instruction address, so the branch direction is learned
+    from the targets observed in ``track`` (first sighting defaults to
+    not-taken, matching a hardware BTFNT whose BTB has no entry yet).
+    """
+
+    def __init__(self) -> None:
+        self._is_backward: dict[int, bool] = {}
+
+    def predict(self, ip: int) -> bool:  # noqa: D102 - interface
+        return self._is_backward.get(ip, False)
+
+    def train(self, branch: Branch) -> None:  # noqa: D102 - interface
+        pass
+
+    def track(self, branch: Branch) -> None:
+        """Learn whether the branch at this address jumps backwards."""
+        if branch.target:
+            self._is_backward[branch.ip] = branch.target < branch.ip
+
+    def metadata_stats(self) -> dict[str, Any]:  # noqa: D102 - interface
+        return {"name": "repro BTFNT"}

@@ -1,0 +1,242 @@
+"""Two-level adaptive predictors (Yeh & Patt, 1992).
+
+The two-level family is a 3×3 design space named by a three-letter code:
+
+* first letter — scope of the **history registers** (first level):
+  ``G``\\ lobal (one register), ``P``\\ er-address (one per branch
+  address), ``S``\\ et (one per address set);
+* ``A`` — *adaptive* (always);
+* last letter — scope of the **pattern tables** (second level):
+  ``g``\\ lobal (one table), ``p``\\ er-address, ``s``\\ et.
+
+:class:`TwoLevel` implements the whole space with two scope parameters,
+which is how "all versions of Two Level: GAg, GAs, PAs, SAp, etc."
+(paper Table II) come from a single class; the module exports one factory
+per classic variant.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from ..core.branch import Branch
+from ..core.predictor import Predictor
+from ..utils.bits import mask
+from ..utils.history import LocalHistoryTable
+
+__all__ = [
+    "Scope", "TwoLevel",
+    "GAg", "GAp", "GAs", "PAg", "PAp", "PAs", "SAg", "SAp", "SAs",
+]
+
+
+class Scope(enum.Enum):
+    """Sharing granularity of a two-level structure."""
+
+    GLOBAL = "global"
+    PER_ADDRESS = "per_address"
+    PER_SET = "per_set"
+
+    def letter(self, *, level: int) -> str:
+        """The scheme-name letter for this scope at a given level."""
+        letters = {
+            Scope.GLOBAL: ("G", "g"),
+            Scope.PER_ADDRESS: ("P", "p"),
+            Scope.PER_SET: ("S", "s"),
+        }
+        return letters[self][0 if level == 1 else 1]
+
+
+class TwoLevel(Predictor):
+    """The generic two-level adaptive predictor.
+
+    Parameters
+    ----------
+    history_scope:
+        Scope of the first-level history registers.
+    pattern_scope:
+        Scope of the second-level pattern tables.
+    history_length:
+        Bits of outcome history per register (also the pattern-table
+        index width).
+    log_histories:
+        log2 of the number of first-level registers (ignored for a
+        global register).
+    log_pattern_tables:
+        log2 of the number of second-level tables (ignored for a global
+        table).
+    set_shift:
+        Address bits dropped when forming a *set* index, so nearby
+        branches share a set structure.
+    counter_width:
+        Bits per pattern-table counter.
+    """
+
+    def __init__(self, history_scope: Scope = Scope.GLOBAL,
+                 pattern_scope: Scope = Scope.GLOBAL,
+                 history_length: int = 12, log_histories: int = 10,
+                 log_pattern_tables: int = 4, set_shift: int = 4,
+                 counter_width: int = 2):
+        if history_length < 1:
+            raise ValueError("history_length must be >= 1")
+        if history_length > 24:
+            raise ValueError(
+                "history_length above 24 would need a pattern table of "
+                f"2**{history_length} counters; refusing"
+            )
+        if log_histories < 0 or log_pattern_tables < 0 or set_shift < 0:
+            raise ValueError("table size parameters must be non-negative")
+        if counter_width < 1:
+            raise ValueError("counter_width must be >= 1")
+        self.history_scope = Scope(history_scope)
+        self.pattern_scope = Scope(pattern_scope)
+        self.history_length = history_length
+        self.log_histories = log_histories
+        self.log_pattern_tables = log_pattern_tables
+        self.set_shift = set_shift
+        self.counter_width = counter_width
+
+        self._max = (1 << (counter_width - 1)) - 1
+        self._min = -(1 << (counter_width - 1))
+        self._history_mask = mask(history_length)
+
+        if self.history_scope is Scope.GLOBAL:
+            self._global_history = 0
+            self._local = None
+        else:
+            self._global_history = 0
+            self._local = LocalHistoryTable(1 << log_histories, history_length)
+
+        num_tables = (1 if self.pattern_scope is Scope.GLOBAL
+                      else 1 << log_pattern_tables)
+        self.num_pattern_tables = num_tables
+        self._tables = [[0] * (1 << history_length) for _ in range(num_tables)]
+        self._table_mask = num_tables - 1
+
+    # ------------------------------------------------------------------
+    # Index selection.
+    # ------------------------------------------------------------------
+
+    def _history_index(self, ip: int) -> int:
+        if self.history_scope is Scope.PER_SET:
+            return (ip >> self.set_shift) & mask(self.log_histories)
+        return ip & mask(self.log_histories)
+
+    def _history_for(self, ip: int) -> int:
+        if self._local is None:
+            return self._global_history
+        return self._local.read(self._history_index(ip))
+
+    def _pattern_table(self, ip: int) -> list[int]:
+        if self.pattern_scope is Scope.GLOBAL:
+            return self._tables[0]
+        if self.pattern_scope is Scope.PER_SET:
+            return self._tables[(ip >> self.set_shift) & self._table_mask]
+        return self._tables[ip & self._table_mask]
+
+    # ------------------------------------------------------------------
+    # Predictor interface.
+    # ------------------------------------------------------------------
+
+    def predict(self, ip: int) -> bool:
+        """Index the pattern table with this branch's history register."""
+        return self._pattern_table(ip)[self._history_for(ip)] >= 0
+
+    def train(self, branch: Branch) -> None:
+        """Saturating update of the selected pattern counter."""
+        table = self._pattern_table(branch.ip)
+        i = self._history_for(branch.ip)
+        v = table[i]
+        if branch.taken:
+            if v < self._max:
+                table[i] = v + 1
+        elif v > self._min:
+            table[i] = v - 1
+
+    def track(self, branch: Branch) -> None:
+        """Shift the outcome into this branch's history register."""
+        if self._local is None:
+            self._global_history = (
+                ((self._global_history << 1) | branch.taken)
+                & self._history_mask
+            )
+        else:
+            self._local.push(self._history_index(branch.ip), branch.taken)
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    def scheme_name(self) -> str:
+        """The classic three-letter scheme name, e.g. ``"GAs"``."""
+        return (self.history_scope.letter(level=1) + "A"
+                + self.pattern_scope.letter(level=2))
+
+    def metadata_stats(self) -> dict[str, Any]:
+        """Self-description for the simulator output."""
+        return {
+            "name": f"repro TwoLevel {self.scheme_name()}",
+            "scheme": self.scheme_name(),
+            "history_length": self.history_length,
+            "log_histories": self.log_histories,
+            "num_pattern_tables": self.num_pattern_tables,
+            "set_shift": self.set_shift,
+            "counter_width": self.counter_width,
+        }
+
+    def storage_bits(self) -> int:
+        """Hardware budget of the configuration, in bits."""
+        pattern = (self.num_pattern_tables * (1 << self.history_length)
+                   * self.counter_width)
+        if self._local is None:
+            first = self.history_length
+        else:
+            first = (1 << self.log_histories) * self.history_length
+        return pattern + first
+
+
+def GAg(history_length: int = 16, **kwargs: Any) -> TwoLevel:
+    """Global history register, global pattern table."""
+    return TwoLevel(Scope.GLOBAL, Scope.GLOBAL, history_length, **kwargs)
+
+
+def GAp(history_length: int = 12, **kwargs: Any) -> TwoLevel:
+    """Global history register, per-address pattern tables."""
+    return TwoLevel(Scope.GLOBAL, Scope.PER_ADDRESS, history_length, **kwargs)
+
+
+def GAs(history_length: int = 12, **kwargs: Any) -> TwoLevel:
+    """Global history register, per-set pattern tables."""
+    return TwoLevel(Scope.GLOBAL, Scope.PER_SET, history_length, **kwargs)
+
+
+def PAg(history_length: int = 12, **kwargs: Any) -> TwoLevel:
+    """Per-address history registers, global pattern table."""
+    return TwoLevel(Scope.PER_ADDRESS, Scope.GLOBAL, history_length, **kwargs)
+
+
+def PAp(history_length: int = 10, **kwargs: Any) -> TwoLevel:
+    """Per-address history registers, per-address pattern tables."""
+    return TwoLevel(Scope.PER_ADDRESS, Scope.PER_ADDRESS, history_length,
+                    **kwargs)
+
+
+def PAs(history_length: int = 10, **kwargs: Any) -> TwoLevel:
+    """Per-address history registers, per-set pattern tables."""
+    return TwoLevel(Scope.PER_ADDRESS, Scope.PER_SET, history_length, **kwargs)
+
+
+def SAg(history_length: int = 12, **kwargs: Any) -> TwoLevel:
+    """Per-set history registers, global pattern table."""
+    return TwoLevel(Scope.PER_SET, Scope.GLOBAL, history_length, **kwargs)
+
+
+def SAp(history_length: int = 10, **kwargs: Any) -> TwoLevel:
+    """Per-set history registers, per-address pattern tables."""
+    return TwoLevel(Scope.PER_SET, Scope.PER_ADDRESS, history_length, **kwargs)
+
+
+def SAs(history_length: int = 10, **kwargs: Any) -> TwoLevel:
+    """Per-set history registers, per-set pattern tables."""
+    return TwoLevel(Scope.PER_SET, Scope.PER_SET, history_length, **kwargs)

@@ -1,0 +1,157 @@
+"""The YAGS predictor (Eden & Mudge, 1998).
+
+YAGS — Yet Another Global Scheme — refines the agree/filter idea: a
+bimodal *choice* table captures each branch's bias, and two small tagged
+direction caches store only the **exceptions** (taken-cache: branches
+that went taken although their bias says not-taken; not-taken-cache: the
+converse).  Because only exceptions consume history-indexed storage,
+YAGS gets gshare-class accuracy from much smaller tables.
+
+Included as an extension beyond the paper's Table II list — the examples
+library is explicitly pitched as a growing collection.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.branch import Branch
+from ..core.predictor import Predictor
+from ..utils.bits import mask
+from ..utils.hashing import xor_fold
+
+__all__ = ["Yags"]
+
+
+class _ExceptionCache:
+    """A tagged table of 2-bit counters (one YAGS direction cache)."""
+
+    __slots__ = ("log_size", "tag_width", "tags", "counters")
+
+    def __init__(self, log_size: int, tag_width: int):
+        size = 1 << log_size
+        self.log_size = log_size
+        self.tag_width = tag_width
+        self.tags = [-1] * size
+        self.counters = [0] * size
+
+    def lookup(self, index: int, tag: int) -> int | None:
+        if self.tags[index] == tag:
+            return self.counters[index]
+        return None
+
+    def update(self, index: int, tag: int, taken: bool) -> None:
+        if self.tags[index] != tag:
+            self.tags[index] = tag
+            self.counters[index] = 0 if taken else -1
+            return
+        value = self.counters[index] + (1 if taken else -1)
+        self.counters[index] = min(1, max(-2, value))
+
+
+class Yags(Predictor):
+    """YAGS with a bimodal choice table and two exception caches.
+
+    Parameters
+    ----------
+    log_choice_size:
+        log2 of the bimodal choice table.
+    log_cache_size:
+        log2 of each direction cache.
+    tag_width:
+        Partial tag bits stored in the caches.
+    history_length:
+        Global history bits hashed into the cache index.
+    """
+
+    def __init__(self, log_choice_size: int = 13, log_cache_size: int = 11,
+                 tag_width: int = 8, history_length: int = 12):
+        if log_choice_size < 1 or log_cache_size < 1:
+            raise ValueError("table sizes must be >= 1 bit of index")
+        if tag_width < 1:
+            raise ValueError("tag_width must be >= 1")
+        if history_length < 1:
+            raise ValueError("history_length must be >= 1")
+        self.log_choice_size = log_choice_size
+        self.log_cache_size = log_cache_size
+        self.tag_width = tag_width
+        self.history_length = history_length
+        self._choice = [0] * (1 << log_choice_size)
+        self._taken_cache = _ExceptionCache(log_cache_size, tag_width)
+        self._not_taken_cache = _ExceptionCache(log_cache_size, tag_width)
+        self._ghist = 0
+        self._cached_ip: int | None = None
+        self._cache: tuple | None = None
+
+    def _indices(self, ip: int) -> tuple[int, int, int]:
+        choice_index = ip & mask(self.log_choice_size)
+        cache_index = xor_fold(ip ^ self._ghist, self.log_cache_size)
+        tag = xor_fold(ip >> 1, self.tag_width)
+        return choice_index, cache_index, tag
+
+    def _compute(self, ip: int) -> tuple:
+        choice_index, cache_index, tag = self._indices(ip)
+        bias_taken = self._choice[choice_index] >= 0
+        # Consult the cache that stores exceptions to this bias.
+        cache = (self._not_taken_cache if bias_taken
+                 else self._taken_cache)
+        exception = cache.lookup(cache_index, tag)
+        if exception is not None:
+            final = exception >= 0
+        else:
+            final = bias_taken
+        return (choice_index, cache_index, tag, bias_taken,
+                exception is not None, final)
+
+    def predict(self, ip: int) -> bool:
+        """Bias from the choice table unless an exception entry hits."""
+        state = self._compute(ip)
+        self._cached_ip = ip
+        self._cache = state
+        return state[5]
+
+    def train(self, branch: Branch) -> None:
+        """Update choice and the relevant exception cache."""
+        if self._cached_ip != branch.ip or self._cache is None:
+            self.predict(branch.ip)
+        assert self._cache is not None
+        (choice_index, cache_index, tag, bias_taken, cache_hit,
+         final) = self._cache
+        taken = branch.taken
+
+        # The choice table trains except when it disagreed with the
+        # outcome but the exception cache covered for it (keeping the
+        # bias stable is the point of the scheme).
+        if not (bias_taken != taken and cache_hit and final == taken):
+            value = self._choice[choice_index] + (1 if taken else -1)
+            self._choice[choice_index] = min(1, max(-2, value))
+
+        # The exception cache for this bias trains when the outcome
+        # contradicts the bias (a new exception) or when it already hit.
+        cache = (self._not_taken_cache if bias_taken
+                 else self._taken_cache)
+        if taken != bias_taken or cache_hit:
+            cache.update(cache_index, tag, taken)
+        self._cached_ip = None
+
+    def track(self, branch: Branch) -> None:
+        """Shift the outcome into the global history register."""
+        self._ghist = (((self._ghist << 1) | branch.taken)
+                       & mask(self.history_length))
+        self._cached_ip = None
+
+    def metadata_stats(self) -> dict[str, Any]:
+        """Self-description for the simulator output."""
+        return {
+            "name": "repro YAGS",
+            "log_choice_size": self.log_choice_size,
+            "log_cache_size": self.log_cache_size,
+            "tag_width": self.tag_width,
+            "history_length": self.history_length,
+        }
+
+    def storage_bits(self) -> int:
+        """Hardware budget of the configuration, in bits."""
+        choice = (1 << self.log_choice_size) * 2
+        caches = 2 * (1 << self.log_cache_size) * (2 + self.tag_width)
+        return choice + caches + self.history_length

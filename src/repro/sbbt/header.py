@@ -1,0 +1,110 @@
+"""The SBBT header (paper Fig. 1).
+
+The header spans 24 bytes (192 bits; the figure caption's "196" is a typo
+— the body text and the field widths give 192):
+
+====================  =======  ==============================================
+Field                 Size     Contents
+====================  =======  ==============================================
+signature             5 bytes  ``b"SBBT\\n"``
+version               3 bytes  major, minor, patch as unsigned 8-bit numbers
+instruction count     8 bytes  u64 little-endian — instructions (branch and
+                               non-branch) executed during tracing
+branch count          8 bytes  u64 little-endian — branches in the trace
+====================  =======  ==============================================
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import BinaryIO
+
+from ..core.errors import TraceFormatError
+
+__all__ = ["SbbtHeader", "HEADER_SIZE", "SIGNATURE", "FORMAT_VERSION"]
+
+#: On-disk size of the header in bytes.
+HEADER_SIZE = 24
+
+#: The 5-byte magic that characterises the SBBT filetype.
+SIGNATURE = b"SBBT\n"
+
+#: The format version implemented by this module (1.0.0, as in the paper).
+FORMAT_VERSION = (1, 0, 0)
+
+_STRUCT = struct.Struct("<5s3B QQ")
+assert _STRUCT.size == HEADER_SIZE
+
+
+@dataclass(frozen=True, slots=True)
+class SbbtHeader:
+    """Decoded SBBT header.
+
+    Attributes
+    ----------
+    num_instructions:
+        Instructions (branch and non-branch) executed while tracing.
+    num_branches:
+        Number of 128-bit branch packets that follow the header.
+    version:
+        (major, minor, patch) of the producing writer.
+    """
+
+    num_instructions: int
+    num_branches: int
+    version: tuple[int, int, int] = FORMAT_VERSION
+
+    def __post_init__(self) -> None:
+        if self.num_instructions < 0:
+            raise ValueError("num_instructions must be non-negative")
+        if self.num_branches < 0:
+            raise ValueError("num_branches must be non-negative")
+        if self.num_branches > self.num_instructions:
+            raise ValueError(
+                f"trace claims more branches ({self.num_branches}) than "
+                f"instructions ({self.num_instructions})"
+            )
+        if len(self.version) != 3 or any(not 0 <= v < 256 for v in self.version):
+            raise ValueError(f"version must be three bytes, got {self.version}")
+
+    def encode(self) -> bytes:
+        """Serialize to the 24-byte on-disk representation."""
+        major, minor, patch = self.version
+        return _STRUCT.pack(SIGNATURE, major, minor, patch,
+                            self.num_instructions, self.num_branches)
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "SbbtHeader":
+        """Parse a 24-byte header, validating signature and version."""
+        if len(payload) < HEADER_SIZE:
+            raise TraceFormatError(
+                f"truncated SBBT header: got {len(payload)} bytes, "
+                f"need {HEADER_SIZE}"
+            )
+        signature, major, minor, patch, instructions, branches = (
+            _STRUCT.unpack(payload[:HEADER_SIZE])
+        )
+        if signature != SIGNATURE:
+            raise TraceFormatError(
+                f"bad SBBT signature {signature!r} (expected {SIGNATURE!r})"
+            )
+        if major != FORMAT_VERSION[0]:
+            raise TraceFormatError(
+                f"unsupported SBBT major version {major} "
+                f"(this reader implements {FORMAT_VERSION[0]}.x)"
+            )
+        try:
+            return cls(num_instructions=instructions, num_branches=branches,
+                       version=(major, minor, patch))
+        except ValueError as exc:
+            raise TraceFormatError(str(exc)) from exc
+
+    @classmethod
+    def read_from(cls, stream: BinaryIO) -> "SbbtHeader":
+        """Read and parse the header from an open binary stream."""
+        return cls.decode(stream.read(HEADER_SIZE))
+
+    def version_string(self) -> str:
+        """The version as a dotted string, e.g. ``"1.0.0"``."""
+        return ".".join(str(v) for v in self.version)

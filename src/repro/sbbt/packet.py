@@ -1,0 +1,164 @@
+"""The SBBT branch packet (paper Fig. 2).
+
+Each packet spans 128 bits, divided into two 64-bit little-endian blocks:
+
+* **Block 1** — branch instruction address, opcode and outcome.
+* **Block 2** — branch target address and the number of (non-branch)
+  instructions executed since the previous branch.
+
+Addresses occupy the 52 *most significant* bits of each block; the
+simulator recovers the 64-bit address with an **arithmetic** 12-bit shift,
+which sign-extends bit 51.  That covers both x86-64's 48-bit and
+ARMv8-A LVA's 52-bit canonical virtual addresses, including the
+kernel-half addresses whose upper bits are all ones.
+
+The 12 low metadata bits are laid out as follows (the paper fixes the
+*fields* but not their bit order; this reproduction defines it and the
+writer/reader pair is the normative implementation):
+
+=====  ===========  ==================================================
+Bits   Block 1      Block 2
+=====  ===========  ==================================================
+0-3    opcode       ┐
+4-10   reserved(0)  ├ instructions executed on the path to this branch
+11     outcome      ┘ (12-bit unsigned, at most 4095)
+=====  ===========  ==================================================
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..core.branch import Branch, Opcode
+from ..core.errors import TraceFormatError, TraceValidationError
+from ..utils.bits import mask, sign_extend
+
+__all__ = [
+    "PACKET_SIZE",
+    "MAX_GAP",
+    "SbbtPacket",
+    "encode_address",
+    "decode_address",
+    "is_encodable_address",
+]
+
+#: On-disk size of one packet in bytes.
+PACKET_SIZE = 16
+
+#: Maximum number of instructions between two consecutive branches (the
+#: 12-bit gap field).  The paper verifies no CBP5/DPC3 trace exceeds it.
+MAX_GAP = (1 << 12) - 1
+
+_ADDR_WIDTH = 52
+_ADDR_SHIFT = 12
+_META_MASK = mask(_ADDR_SHIFT)
+_OUTCOME_BIT = 1 << 11
+_U64 = (1 << 64) - 1
+
+_STRUCT = struct.Struct("<QQ")
+assert _STRUCT.size == PACKET_SIZE
+
+
+def is_encodable_address(address: int) -> bool:
+    """Whether ``address`` survives the 52-bit sign-extending round trip.
+
+    Canonical addresses have bits 63..51 all equal; anything else cannot
+    be represented in the packet's 52-bit field.
+    """
+    if not 0 <= address <= _U64:
+        return False
+    return (sign_extend(address & mask(_ADDR_WIDTH), _ADDR_WIDTH) & _U64) == address
+
+
+def encode_address(address: int) -> int:
+    """Place ``address`` into the 52 most-significant bits of a block."""
+    if not is_encodable_address(address):
+        raise TraceValidationError(
+            f"address {address:#x} is not canonical for 52-bit encoding"
+        )
+    return (address & mask(_ADDR_WIDTH)) << _ADDR_SHIFT
+
+
+def decode_address(block: int) -> int:
+    """Recover the 64-bit address: arithmetic right shift by 12 bits."""
+    return sign_extend(block >> _ADDR_SHIFT, _ADDR_WIDTH) & _U64
+
+
+@dataclass(frozen=True, slots=True)
+class SbbtPacket:
+    """One decoded SBBT packet: a branch plus its instruction gap.
+
+    Attributes
+    ----------
+    branch:
+        The branch this packet describes.
+    gap:
+        Instructions executed since the previous branch, not counting
+        either branch (0..4095).  Storing the gap lets a simulator know
+        the instruction number of every branch, which is what makes
+        warm-up regions possible.
+    """
+
+    branch: Branch
+    gap: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.gap <= MAX_GAP:
+            raise TraceValidationError(
+                f"instruction gap {self.gap} does not fit in 12 bits "
+                f"(max {MAX_GAP})"
+            )
+
+    def encode(self) -> bytes:
+        """Serialize to the 16-byte on-disk representation.
+
+        Raises :class:`~repro.core.errors.TraceValidationError` when the
+        branch violates one of the format's validity rules (see
+        :mod:`repro.sbbt.validate`).
+        """
+        from .validate import validate_branch  # local import avoids a cycle
+
+        validate_branch(self.branch)
+        b = self.branch
+        block1 = encode_address(b.ip) | int(b.opcode)
+        if b.taken:
+            block1 |= _OUTCOME_BIT
+        block2 = encode_address(b.target) | self.gap
+        return _STRUCT.pack(block1, block2)
+
+    @classmethod
+    def decode(cls, payload: bytes, *, validate: bool = True) -> "SbbtPacket":
+        """Parse one 16-byte packet.
+
+        With ``validate=True`` (the default) the semantic rules of the
+        format are enforced; readers that want raw access (e.g. trace
+        repair tools) can disable it.
+        """
+        if len(payload) < PACKET_SIZE:
+            raise TraceFormatError(
+                f"truncated SBBT packet: got {len(payload)} bytes, "
+                f"need {PACKET_SIZE}"
+            )
+        block1, block2 = _STRUCT.unpack(payload[:PACKET_SIZE])
+        reserved = (block1 >> 4) & mask(7)
+        if reserved:
+            raise TraceFormatError(
+                f"reserved bits must be zero in SBBT 1.0, got {reserved:#x}"
+            )
+        try:
+            opcode = Opcode(block1 & mask(4))
+        except ValueError as exc:
+            raise TraceFormatError(str(exc)) from exc
+        branch = Branch(
+            ip=decode_address(block1),
+            target=decode_address(block2),
+            opcode=opcode,
+            taken=bool(block1 & _OUTCOME_BIT),
+        )
+        packet = cls(branch=branch, gap=block2 & _META_MASK)
+        if validate:
+            from .validate import validate_branch
+
+            validate_branch(branch)
+        return packet

@@ -1,0 +1,44 @@
+"""Semantic validity rules of the SBBT format (paper Section IV-C).
+
+Not all field combinations are valid.  Two rules must be obeyed:
+
+1. If the branch is **not conditional**, the outcome bit must mark the
+   branch as taken (unconditional branches always execute their jump).
+2. If the branch is **conditional and indirect** and the outcome is *not
+   taken*, the target address must be null (``0x0``) — a not-taken
+   indirect branch resolved no target.
+"""
+
+from __future__ import annotations
+
+from ..core.branch import Branch
+from ..core.errors import TraceValidationError
+
+__all__ = ["validate_branch", "branch_violations"]
+
+
+def branch_violations(branch: Branch) -> list[str]:
+    """Return human-readable descriptions of every rule ``branch`` breaks.
+
+    An empty list means the branch is valid.
+    """
+    violations = []
+    if not branch.opcode.is_conditional and not branch.taken:
+        violations.append(
+            f"unconditional branch at {branch.ip:#x} marked not-taken "
+            "(rule 1: non-conditional branches must be taken)"
+        )
+    if (branch.opcode.is_conditional and branch.opcode.is_indirect
+            and not branch.taken and branch.target != 0):
+        violations.append(
+            f"not-taken conditional-indirect branch at {branch.ip:#x} has "
+            f"non-null target {branch.target:#x} (rule 2)"
+        )
+    return violations
+
+
+def validate_branch(branch: Branch) -> None:
+    """Raise :class:`TraceValidationError` if ``branch`` breaks a rule."""
+    violations = branch_violations(branch)
+    if violations:
+        raise TraceValidationError("; ".join(violations))

@@ -1,0 +1,38 @@
+"""Trace infrastructure: synthetic generation, suites, translation,
+inspection.
+
+Stands in for the paper's curated CBP5/DPC3 trace sets (no longer
+distributed) and reimplements its BT9/champsimtrace translators.
+"""
+
+from .inspect import TraceStatistics, analyze_trace
+from .synth import SyntheticProgram, WorkloadProfile, generate_trace
+from .tracer import PythonTracer, trace_python_function
+from .translate import (
+    TranslationReport,
+    bt9_to_sbbt,
+    champsim_to_sbbt,
+    champsim_trace_to_branches,
+    sbbt_to_bt9,
+)
+from .workloads import (
+    CBP5_EVALUATION_SUITE,
+    CBP5_TRAINING_SUITE,
+    DPC3_SUITE,
+    PROFILES,
+    SuiteSpec,
+    generate_suite,
+    generate_workload,
+    write_suite,
+)
+
+__all__ = [
+    "TraceStatistics", "analyze_trace",
+    "SyntheticProgram", "WorkloadProfile", "generate_trace",
+    "PythonTracer", "trace_python_function",
+    "TranslationReport", "bt9_to_sbbt", "champsim_to_sbbt",
+    "champsim_trace_to_branches", "sbbt_to_bt9",
+    "CBP5_EVALUATION_SUITE", "CBP5_TRAINING_SUITE", "DPC3_SUITE",
+    "PROFILES", "SuiteSpec", "generate_suite", "generate_workload",
+    "write_suite",
+]

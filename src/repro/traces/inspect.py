@@ -1,0 +1,106 @@
+"""Trace inspection: the statistics behind format-design decisions.
+
+The paper justifies SBBT's 12-bit gap field by checking that no CBP5 or
+DPC3 trace has two consecutive branches more than 4096 instructions
+apart, and cites the 15-25 % branch-density range.  This module computes
+those statistics — and everything else one wants to know about a trace
+before trusting an experiment on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..sbbt.trace import TraceData
+
+__all__ = ["TraceStatistics", "analyze_trace"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceStatistics:
+    """Summary statistics of one branch trace."""
+
+    num_instructions: int
+    num_branches: int
+    num_conditional: int
+    num_unconditional: int
+    num_indirect: int
+    num_calls: int
+    num_returns: int
+    num_static_branches: int
+    taken_fraction: float
+    branch_density: float
+    max_gap: int
+    mean_gap: float
+    gap_fits_12_bits: bool
+
+    def to_json(self) -> dict[str, Any]:
+        """Plain-dict form for JSON output."""
+        return {
+            "num_instructions": self.num_instructions,
+            "num_branches": self.num_branches,
+            "num_conditional": self.num_conditional,
+            "num_unconditional": self.num_unconditional,
+            "num_indirect": self.num_indirect,
+            "num_calls": self.num_calls,
+            "num_returns": self.num_returns,
+            "num_static_branches": self.num_static_branches,
+            "taken_fraction": self.taken_fraction,
+            "branch_density": self.branch_density,
+            "max_gap": self.max_gap,
+            "mean_gap": self.mean_gap,
+            "gap_fits_12_bits": self.gap_fits_12_bits,
+        }
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        return "\n".join([
+            f"instructions        : {self.num_instructions}",
+            f"branches            : {self.num_branches} "
+            f"({self.branch_density:.1%} of instructions)",
+            f"  conditional       : {self.num_conditional}",
+            f"  unconditional     : {self.num_unconditional}",
+            f"  indirect          : {self.num_indirect}",
+            f"  calls / returns   : {self.num_calls} / {self.num_returns}",
+            f"static branch sites : {self.num_static_branches}",
+            f"taken fraction      : {self.taken_fraction:.1%}",
+            f"max / mean gap      : {self.max_gap} / {self.mean_gap:.2f}"
+            f" (12-bit safe: {self.gap_fits_12_bits})",
+        ])
+
+
+def analyze_trace(trace: TraceData) -> TraceStatistics:
+    """Compute :class:`TraceStatistics` for an in-memory trace."""
+    n = len(trace)
+    if n == 0:
+        return TraceStatistics(
+            num_instructions=trace.num_instructions, num_branches=0,
+            num_conditional=0, num_unconditional=0, num_indirect=0,
+            num_calls=0, num_returns=0, num_static_branches=0,
+            taken_fraction=0.0, branch_density=0.0, max_gap=0,
+            mean_gap=0.0, gap_fits_12_bits=True,
+        )
+    opcodes = trace.opcodes
+    conditional = (opcodes & 1).astype(bool)
+    indirect = (opcodes & 2).astype(bool)
+    branch_type = opcodes >> 2
+    gaps = trace.gaps.astype(np.int64)
+    return TraceStatistics(
+        num_instructions=trace.num_instructions,
+        num_branches=n,
+        num_conditional=int(conditional.sum()),
+        num_unconditional=int((~conditional).sum()),
+        num_indirect=int(indirect.sum()),
+        num_calls=int((branch_type == 0b10).sum()),
+        num_returns=int((branch_type == 0b01).sum()),
+        num_static_branches=int(len(np.unique(trace.ips))),
+        taken_fraction=float(trace.taken.mean()),
+        branch_density=(n / trace.num_instructions
+                        if trace.num_instructions else 0.0),
+        max_gap=int(gaps.max()),
+        mean_gap=float(gaps.mean()),
+        gap_fits_12_bits=bool(gaps.max() <= 4095),
+    )

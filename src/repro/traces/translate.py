@@ -1,0 +1,126 @@
+"""Trace format translators.
+
+MBPlib ships programs to translate BT9 and champsimtrace files into SBBT
+so users can reuse traces they already recorded (paper Section IV-D).
+The same translators exist here, built on the independent reader/writer
+subcomponents of each format package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..baselines.champsim.trace import InstructionTrace, read_instruction_trace
+from ..baselines.cbp5.bt9 import bt9_to_trace_data, write_bt9
+from ..sbbt.reader import read_trace
+from ..sbbt.trace import TraceData
+from ..sbbt.writer import write_trace
+
+__all__ = [
+    "TranslationReport",
+    "bt9_to_sbbt",
+    "sbbt_to_bt9",
+    "champsim_to_sbbt",
+    "champsim_trace_to_branches",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class TranslationReport:
+    """Before/after sizes of one translation (the Table I quantity)."""
+
+    source: str
+    destination: str
+    num_branches: int
+    source_bytes: int
+    destination_bytes: int
+
+    @property
+    def size_ratio(self) -> float:
+        """``source / destination`` — the paper reports 7.3x for CBP5."""
+        if self.destination_bytes == 0:
+            return float("inf")
+        return self.source_bytes / self.destination_bytes
+
+
+def bt9_to_sbbt(source: str | Path, destination: str | Path) -> TranslationReport:
+    """Translate a BT9-like text trace to SBBT."""
+    source = Path(source)
+    destination = Path(destination)
+    data = bt9_to_trace_data(source)
+    size = write_trace(destination, data)
+    return TranslationReport(
+        source=str(source), destination=str(destination),
+        num_branches=len(data),
+        source_bytes=source.stat().st_size, destination_bytes=size,
+    )
+
+
+def sbbt_to_bt9(source: str | Path, destination: str | Path) -> TranslationReport:
+    """Translate an SBBT trace to the BT9-like text format."""
+    source = Path(source)
+    destination = Path(destination)
+    data = read_trace(source)
+    size = write_bt9(destination, data)
+    return TranslationReport(
+        source=str(source), destination=str(destination),
+        num_branches=len(data),
+        source_bytes=source.stat().st_size, destination_bytes=size,
+    )
+
+
+def champsim_trace_to_branches(trace: InstructionTrace) -> TraceData:
+    """Project a per-instruction trace down to its branch records.
+
+    The inverse of
+    :func:`repro.baselines.champsim.instruction_trace_from_branches`:
+    gaps are recovered by counting the non-branch records between
+    branches.
+    """
+    records = trace.records
+    branch_mask = records["is_branch"].astype(bool)
+    positions = np.flatnonzero(branch_mask)
+    n = len(positions)
+    if n == 0:
+        return TraceData.empty()
+    gaps = np.empty(n, dtype=np.int64)
+    gaps[0] = positions[0]
+    gaps[1:] = np.diff(positions) - 1
+    taken = records["branch_taken"][positions].astype(bool)
+    targets = records["dest_mem"][positions, 0].astype(np.uint64)
+    targets[~taken] = 0
+    opcodes = (records["dest_regs"][positions, 0] & 0xF).astype(np.uint8)
+    # A not-taken conditional direct branch may keep its target in SBBT,
+    # but the per-instruction format only stores taken targets; restore
+    # the only value rule 2 allows for indirect conditionals (null) and
+    # leave direct ones null too (information lost in champsim format).
+    return TraceData(
+        ips=records["ip"][positions].astype(np.uint64),
+        targets=targets,
+        opcodes=opcodes,
+        taken=taken,
+        gaps=gaps.astype(np.uint16),
+        num_instructions=len(records),
+    )
+
+
+def champsim_to_sbbt(source: str | Path,
+                     destination: str | Path) -> TranslationReport:
+    """Translate a champsimtrace-like file to SBBT.
+
+    This is the translation behind Table I's DPC3 row, where the ratio is
+    largest because the source stores every instruction.
+    """
+    source = Path(source)
+    destination = Path(destination)
+    instruction_trace = read_instruction_trace(source)
+    data = champsim_trace_to_branches(instruction_trace)
+    size = write_trace(destination, data)
+    return TranslationReport(
+        source=str(source), destination=str(destination),
+        num_branches=len(data),
+        source_bytes=source.stat().st_size, destination_bytes=size,
+    )

@@ -1,0 +1,178 @@
+"""Named workload suites mimicking the paper's trace sets.
+
+The CBP5 traces are grouped into four categories (SHORT/LONG ×
+MOBILE/SERVER) and the DPC3 set is built from SPEC CPU2017.  This module
+defines one :class:`~repro.traces.synth.WorkloadProfile` per category —
+mobile workloads have small code footprints and regular loops, server
+workloads large footprints and more data-dependent branching — plus suite
+builders that generate numbered traces deterministically.
+
+Trace counts and lengths are scaled down from the paper's (223 training
+traces of up to 55 G instructions) to laptop-Python scale; the *relative*
+structure between suites is what matters for the experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from ..sbbt.trace import TraceData
+from ..sbbt.writer import write_trace
+from .synth import WorkloadProfile, generate_trace
+
+__all__ = [
+    "PROFILES",
+    "SuiteSpec",
+    "CBP5_TRAINING_SUITE",
+    "CBP5_EVALUATION_SUITE",
+    "DPC3_SUITE",
+    "generate_workload",
+    "generate_suite",
+    "write_suite",
+]
+
+#: Per-category profiles.  SERVER: big code footprint, noisy branches.
+#: MOBILE: small kernels, loopy and regular.  SPEC17-like: in between,
+#: loop-heavy with stable trip counts.
+PROFILES: dict[str, WorkloadProfile] = {
+    "short_mobile": WorkloadProfile(
+        num_functions=12, loops_per_function=3.0, mean_trip_count=20.0,
+        stable_loop_fraction=0.7, branches_per_block=3.0,
+        mean_block_length=4.0, biased_fraction=0.5, pattern_fraction=0.2,
+        correlated_fraction=0.2, indirect_fraction=0.15,
+    ),
+    "long_mobile": WorkloadProfile(
+        num_functions=16, loops_per_function=3.0, mean_trip_count=24.0,
+        stable_loop_fraction=0.6, branches_per_block=3.0,
+        mean_block_length=4.0, biased_fraction=0.5, pattern_fraction=0.15,
+        correlated_fraction=0.2, indirect_fraction=0.15,
+        phase_period=40_000,
+    ),
+    "short_server": WorkloadProfile(
+        num_functions=64, loops_per_function=1.5, mean_trip_count=8.0,
+        stable_loop_fraction=0.35, branches_per_block=6.0,
+        mean_block_length=6.0, biased_fraction=0.4, pattern_fraction=0.15,
+        correlated_fraction=0.25, indirect_fraction=0.4,
+    ),
+    "long_server": WorkloadProfile(
+        num_functions=96, loops_per_function=1.5, mean_trip_count=8.0,
+        stable_loop_fraction=0.3, branches_per_block=6.0,
+        mean_block_length=6.0, biased_fraction=0.4, pattern_fraction=0.12,
+        correlated_fraction=0.25, indirect_fraction=0.4,
+        phase_period=60_000,
+    ),
+    "spec17_like": WorkloadProfile(
+        num_functions=40, loops_per_function=2.5, mean_trip_count=16.0,
+        stable_loop_fraction=0.55, branches_per_block=4.0,
+        mean_block_length=5.0, biased_fraction=0.4, pattern_fraction=0.2,
+        correlated_fraction=0.3, indirect_fraction=0.25,
+    ),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class SuiteSpec:
+    """A reproducible suite: (category, trace count, branches per trace).
+
+    ``length_spread`` makes trace lengths heterogeneous, like the real
+    CBP5 set whose traces span two orders of magnitude — that spread is
+    what gives Table III distinct slowest/average/fastest rows.
+    """
+
+    name: str
+    categories: tuple[str, ...]
+    traces_per_category: int
+    branches_per_trace: int
+    length_spread: float = 4.0
+    seed: int = 2023
+
+    def trace_plans(self) -> list[tuple[str, str, int, int]]:
+        """Expand to (trace_name, category, seed, num_branches) tuples."""
+        plans = []
+        for c, category in enumerate(self.categories):
+            for i in range(self.traces_per_category):
+                # Deterministic per-trace length between 1/spread and
+                # spread times the nominal size (geometric progression).
+                position = (i / max(1, self.traces_per_category - 1)
+                            if self.traces_per_category > 1 else 0.5)
+                factor = self.length_spread ** (2.0 * position - 1.0)
+                branches = max(1000, int(self.branches_per_trace * factor))
+                plans.append((
+                    f"{category.upper()}-{i + 1}",
+                    category,
+                    self.seed + c * 1000 + i,
+                    branches,
+                ))
+        return plans
+
+
+#: Scaled-down counterparts of the paper's three trace sets (Table I).
+CBP5_TRAINING_SUITE = SuiteSpec(
+    name="cbp5-training",
+    categories=("short_mobile", "long_mobile", "short_server", "long_server"),
+    traces_per_category=5,
+    branches_per_trace=40_000,
+    seed=51,
+)
+
+CBP5_EVALUATION_SUITE = SuiteSpec(
+    name="cbp5-evaluation",
+    categories=("short_mobile", "long_mobile", "short_server", "long_server"),
+    traces_per_category=8,
+    branches_per_trace=25_000,
+    seed=52,
+)
+
+DPC3_SUITE = SuiteSpec(
+    name="dpc3",
+    categories=("spec17_like",),
+    traces_per_category=6,
+    branches_per_trace=40_000,
+    seed=53,
+)
+
+
+def generate_workload(category: str, seed: int = 0,
+                      num_branches: int = 50_000) -> TraceData:
+    """Generate a single trace of a named category.
+
+    >>> trace = generate_workload("short_mobile", seed=1, num_branches=2000)
+    >>> len(trace)
+    2000
+    """
+    if category not in PROFILES:
+        raise KeyError(
+            f"unknown workload category {category!r}; "
+            f"choose from {sorted(PROFILES)}"
+        )
+    return generate_trace(PROFILES[category], seed, num_branches)
+
+
+def generate_suite(spec: SuiteSpec) -> dict[str, TraceData]:
+    """Generate every trace of a suite, keyed by trace name."""
+    return {
+        name: generate_trace(PROFILES[category], seed, branches)
+        for name, category, seed, branches in spec.trace_plans()
+    }
+
+
+def write_suite(spec: SuiteSpec, directory: str | Path,
+                suffix: str = ".sbbt.xz",
+                progress: Callable[[str], None] | None = None) -> list[Path]:
+    """Generate a suite and write each trace as an SBBT file.
+
+    ``suffix`` selects the codec (``.sbbt`` raw, ``.sbbt.xz`` the default
+    high-ratio codec).  Returns the written paths in suite order.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for name, category, seed, branches in spec.trace_plans():
+        path = directory / f"{name}{suffix}"
+        if progress is not None:
+            progress(f"generating {path.name} ({branches} branches)")
+        write_trace(path, generate_trace(PROFILES[category], seed, branches))
+        paths.append(path)
+    return paths

@@ -1,0 +1,140 @@
+"""Bit-manipulation helpers shared across the library.
+
+These mirror the small header-only helpers of MBPlib's utilities library:
+masking, sign extension, bit reversal and width computations.  They are the
+vocabulary used by the SBBT codec (:mod:`repro.sbbt`) and by the hashed
+indexing schemes of the example predictors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "mask",
+    "bit",
+    "get_bits",
+    "set_bits",
+    "sign_extend",
+    "is_power_of_two",
+    "ceil_log2",
+    "floor_log2",
+    "reverse_bits",
+    "popcount",
+    "rotate_left",
+    "rotate_right",
+]
+
+_U64 = (1 << 64) - 1
+
+
+def mask(width: int) -> int:
+    """Return an integer with the ``width`` least-significant bits set.
+
+    >>> mask(4)
+    15
+    >>> mask(0)
+    0
+    """
+    if width < 0:
+        raise ValueError(f"mask width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def bit(value: int, index: int) -> int:
+    """Return bit ``index`` of ``value`` as ``0`` or ``1``."""
+    if index < 0:
+        raise ValueError(f"bit index must be non-negative, got {index}")
+    return (value >> index) & 1
+
+
+def get_bits(value: int, low: int, width: int) -> int:
+    """Extract ``width`` bits of ``value`` starting at bit ``low``.
+
+    >>> get_bits(0b110100, 2, 3)
+    5
+    """
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    return (value >> low) & mask(width)
+
+
+def set_bits(value: int, low: int, width: int, field: int) -> int:
+    """Return ``value`` with bits ``[low, low+width)`` replaced by ``field``.
+
+    ``field`` must fit in ``width`` bits.
+    """
+    if field & ~mask(width):
+        raise ValueError(f"field {field:#x} does not fit in {width} bits")
+    cleared = value & ~(mask(width) << low)
+    return cleared | (field << low)
+
+
+def sign_extend(value: int, width: int) -> int:
+    """Interpret the low ``width`` bits of ``value`` as a two's-complement
+    signed integer.
+
+    >>> sign_extend(0b1111, 4)
+    -1
+    >>> sign_extend(0b0111, 4)
+    7
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    value &= mask(width)
+    sign_bit = 1 << (width - 1)
+    return (value ^ sign_bit) - sign_bit
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return ``True`` when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def ceil_log2(value: int) -> int:
+    """Smallest ``k`` such that ``2**k >= value`` (``value`` must be > 0)."""
+    if value <= 0:
+        raise ValueError(f"value must be positive, got {value}")
+    return (value - 1).bit_length()
+
+
+def floor_log2(value: int) -> int:
+    """Largest ``k`` such that ``2**k <= value`` (``value`` must be > 0)."""
+    if value <= 0:
+        raise ValueError(f"value must be positive, got {value}")
+    return value.bit_length() - 1
+
+
+def reverse_bits(value: int, width: int) -> int:
+    """Reverse the low ``width`` bits of ``value``.
+
+    >>> reverse_bits(0b0011, 4)
+    12
+    """
+    value &= mask(width)
+    result = 0
+    for _ in range(width):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+def popcount(value: int) -> int:
+    """Number of set bits in ``value`` (which must be non-negative)."""
+    if value < 0:
+        raise ValueError("popcount of a negative value is undefined")
+    return value.bit_count()
+
+
+def rotate_left(value: int, amount: int, width: int) -> int:
+    """Rotate the low ``width`` bits of ``value`` left by ``amount``."""
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    amount %= width
+    value &= mask(width)
+    return ((value << amount) | (value >> (width - amount))) & mask(width)
+
+
+def rotate_right(value: int, amount: int, width: int) -> int:
+    """Rotate the low ``width`` bits of ``value`` right by ``amount``."""
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    return rotate_left(value, width - (amount % width), width)

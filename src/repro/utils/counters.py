@@ -1,0 +1,348 @@
+"""Fixed-width saturating counters.
+
+The MBPlib utilities library models fixed-width counters as classes with
+custom arithmetic so that predictors read naturally (``table[i].sum_or_sub(
+taken)``), handle all inputs and saturate correctly.  This module provides:
+
+* :class:`SignedSaturatingCounter` — two's-complement style counter in
+  ``[-2**(w-1), 2**(w-1) - 1]``; MBPlib's ``mbp::i2`` is the ``width=2``
+  case.  ``value >= 0`` is read as *predict taken*.
+* :class:`UnsignedSaturatingCounter` — counter in ``[0, 2**w - 1]``;
+  ``value >= 2**(w-1)`` is read as *predict taken* (the classic 2-bit
+  bimodal counter is the ``width=2`` case).
+* :class:`CounterArray` — a numpy-backed array of signed saturating
+  counters, the storage used by every table-based example predictor.
+
+All counters are deterministic, pure-Python observable state, which is what
+makes the simulator reproducible (Section VII-C of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "SignedSaturatingCounter",
+    "UnsignedSaturatingCounter",
+    "CounterArray",
+    "i2",
+    "u2",
+]
+
+
+class SignedSaturatingCounter:
+    """A two's-complement saturating counter of ``width`` bits.
+
+    The counter saturates at ``[-2**(width-1), 2**(width-1) - 1]``.  The
+    taken/not-taken convention follows MBPlib's ``i2``: non-negative values
+    predict *taken*.
+
+    >>> c = SignedSaturatingCounter(2)
+    >>> c.value
+    0
+    >>> c.sum_or_sub(True).value
+    1
+    >>> c.sum_or_sub(True).value       # saturates at +1 for width=2
+    1
+    """
+
+    __slots__ = ("_width", "_min", "_max", "_value")
+
+    def __init__(self, width: int, value: int = 0):
+        if width < 1:
+            raise ValueError(f"counter width must be >= 1, got {width}")
+        self._width = width
+        self._min = -(1 << (width - 1))
+        self._max = (1 << (width - 1)) - 1
+        self._value = 0
+        self.value = value
+
+    @property
+    def width(self) -> int:
+        """Number of bits of the counter."""
+        return self._width
+
+    @property
+    def min(self) -> int:
+        """Smallest representable value."""
+        return self._min
+
+    @property
+    def max(self) -> int:
+        """Largest representable value."""
+        return self._max
+
+    @property
+    def value(self) -> int:
+        """Current counter value."""
+        return self._value
+
+    @value.setter
+    def value(self, new_value: int) -> None:
+        if not self._min <= new_value <= self._max:
+            raise ValueError(
+                f"value {new_value} out of range [{self._min}, {self._max}]"
+            )
+        self._value = new_value
+
+    def increment(self) -> "SignedSaturatingCounter":
+        """Add one, saturating at the maximum.  Returns ``self``."""
+        if self._value < self._max:
+            self._value += 1
+        return self
+
+    def decrement(self) -> "SignedSaturatingCounter":
+        """Subtract one, saturating at the minimum.  Returns ``self``."""
+        if self._value > self._min:
+            self._value -= 1
+        return self
+
+    def sum_or_sub(self, condition: bool) -> "SignedSaturatingCounter":
+        """Increment when ``condition`` is true, else decrement.
+
+        This is MBPlib's ``sumOrSub``: the idiomatic way to train a counter
+        with a branch outcome.
+        """
+        return self.increment() if condition else self.decrement()
+
+    def is_taken(self) -> bool:
+        """Prediction read-out: non-negative means *taken*."""
+        return self._value >= 0
+
+    def is_saturated(self) -> bool:
+        """Whether the counter sits at either rail."""
+        return self._value in (self._min, self._max)
+
+    def reset(self, value: int = 0) -> None:
+        """Set the counter back to ``value`` (default 0, weakly taken)."""
+        self.value = value
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __index__(self) -> int:
+        return self._value
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SignedSaturatingCounter):
+            return self._width == other._width and self._value == other._value
+        if isinstance(other, int):
+            return self._value == other
+        return NotImplemented
+
+    def __lt__(self, other: int) -> bool:
+        return self._value < int(other)
+
+    def __le__(self, other: int) -> bool:
+        return self._value <= int(other)
+
+    def __gt__(self, other: int) -> bool:
+        return self._value > int(other)
+
+    def __ge__(self, other: int) -> bool:
+        return self._value >= int(other)
+
+    def __hash__(self) -> int:
+        return hash((self._width, self._value))
+
+    def __repr__(self) -> str:
+        return f"SignedSaturatingCounter(width={self._width}, value={self._value})"
+
+
+class UnsignedSaturatingCounter:
+    """An unsigned saturating counter of ``width`` bits in ``[0, 2**w - 1]``.
+
+    The taken threshold is the midpoint ``2**(width-1)``; the width-2
+    instance is the classic bimodal strongly/weakly taken automaton.
+
+    >>> c = UnsignedSaturatingCounter(2, value=1)
+    >>> c.is_taken()
+    False
+    >>> c.increment().is_taken()
+    True
+    """
+
+    __slots__ = ("_width", "_max", "_value")
+
+    def __init__(self, width: int, value: int = 0):
+        if width < 1:
+            raise ValueError(f"counter width must be >= 1, got {width}")
+        self._width = width
+        self._max = (1 << width) - 1
+        self._value = 0
+        self.value = value
+
+    @property
+    def width(self) -> int:
+        """Number of bits of the counter."""
+        return self._width
+
+    @property
+    def max(self) -> int:
+        """Largest representable value."""
+        return self._max
+
+    @property
+    def taken_threshold(self) -> int:
+        """Smallest value read as *taken*."""
+        return 1 << (self._width - 1)
+
+    @property
+    def value(self) -> int:
+        """Current counter value."""
+        return self._value
+
+    @value.setter
+    def value(self, new_value: int) -> None:
+        if not 0 <= new_value <= self._max:
+            raise ValueError(f"value {new_value} out of range [0, {self._max}]")
+        self._value = new_value
+
+    def increment(self) -> "UnsignedSaturatingCounter":
+        """Add one, saturating at the maximum.  Returns ``self``."""
+        if self._value < self._max:
+            self._value += 1
+        return self
+
+    def decrement(self) -> "UnsignedSaturatingCounter":
+        """Subtract one, saturating at zero.  Returns ``self``."""
+        if self._value > 0:
+            self._value -= 1
+        return self
+
+    def sum_or_sub(self, condition: bool) -> "UnsignedSaturatingCounter":
+        """Increment when ``condition`` is true, else decrement."""
+        return self.increment() if condition else self.decrement()
+
+    def is_taken(self) -> bool:
+        """Prediction read-out: at or above the midpoint means *taken*."""
+        return self._value >= self.taken_threshold
+
+    def is_saturated(self) -> bool:
+        """Whether the counter sits at either rail."""
+        return self._value in (0, self._max)
+
+    def reset(self, value: int = 0) -> None:
+        """Set the counter back to ``value``."""
+        self.value = value
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __index__(self) -> int:
+        return self._value
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, UnsignedSaturatingCounter):
+            return self._width == other._width and self._value == other._value
+        if isinstance(other, int):
+            return self._value == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._width, self._value))
+
+    def __repr__(self) -> str:
+        return f"UnsignedSaturatingCounter(width={self._width}, value={self._value})"
+
+
+def i2(value: int = 0) -> SignedSaturatingCounter:
+    """MBPlib's ``mbp::i2``: a 2-bit signed saturating counter."""
+    return SignedSaturatingCounter(2, value)
+
+
+def u2(value: int = 0) -> UnsignedSaturatingCounter:
+    """A 2-bit unsigned saturating counter (classic bimodal cell)."""
+    return UnsignedSaturatingCounter(2, value)
+
+
+class CounterArray:
+    """A numpy-backed array of signed saturating counters.
+
+    This is the bulk-storage counterpart of :class:`SignedSaturatingCounter`
+    used by table-based predictors, where a Python object per table entry
+    would be prohibitively slow.  Values live in ``[-2**(w-1), 2**(w-1)-1]``
+    and the taken convention matches ``i2`` (non-negative = taken).
+
+    >>> t = CounterArray(8, width=2)
+    >>> t.update(3, True)
+    >>> t.is_taken(3)
+    True
+    """
+
+    __slots__ = ("_width", "_min", "_max", "_values")
+
+    def __init__(self, size: int, width: int = 2, fill: int = 0):
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        if width < 1:
+            raise ValueError(f"counter width must be >= 1, got {width}")
+        self._width = width
+        self._min = -(1 << (width - 1))
+        self._max = (1 << (width - 1)) - 1
+        if not self._min <= fill <= self._max:
+            raise ValueError(f"fill {fill} out of range [{self._min}, {self._max}]")
+        self._values = np.full(size, fill, dtype=np.int32)
+
+    @property
+    def width(self) -> int:
+        """Number of bits of each counter."""
+        return self._width
+
+    @property
+    def min(self) -> int:
+        """Smallest representable value."""
+        return self._min
+
+    @property
+    def max(self) -> int:
+        """Largest representable value."""
+        return self._max
+
+    @property
+    def values(self) -> np.ndarray:
+        """The raw numpy storage (read-mostly; mutate via :meth:`update`)."""
+        return self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __getitem__(self, index: int) -> int:
+        return int(self._values[index])
+
+    def __setitem__(self, index: int, value: int) -> None:
+        if not self._min <= value <= self._max:
+            raise ValueError(f"value {value} out of range [{self._min}, {self._max}]")
+        self._values[index] = value
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(int(v) for v in self._values)
+
+    def update(self, index: int, taken: bool) -> None:
+        """Saturating ``sum_or_sub`` at ``index``."""
+        v = self._values[index]
+        if taken:
+            if v < self._max:
+                self._values[index] = v + 1
+        elif v > self._min:
+            self._values[index] = v - 1
+
+    def is_taken(self, index: int) -> bool:
+        """Prediction read-out at ``index``: non-negative means taken."""
+        return bool(self._values[index] >= 0)
+
+    def strength(self, index: int) -> int:
+        """Distance from the weakest state (0 or -1), a confidence proxy."""
+        v = int(self._values[index])
+        return v if v >= 0 else -v - 1
+
+    def reset(self, fill: int = 0) -> None:
+        """Reset every counter to ``fill``."""
+        if not self._min <= fill <= self._max:
+            raise ValueError(f"fill {fill} out of range [{self._min}, {self._max}]")
+        self._values.fill(fill)
+
+    def __repr__(self) -> str:
+        return f"CounterArray(size={len(self)}, width={self._width})"

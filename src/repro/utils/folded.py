@@ -1,0 +1,148 @@
+"""Folded (cyclic-shift-register) history.
+
+TAGE-family predictors index tables with *very* long global histories
+(hundreds of bits).  Recomputing ``xor_fold(history, width)`` on every
+branch would cost O(history_length); the classic trick (due to Michaud's
+PPM/TAGE implementations) maintains the folded value incrementally with a
+cyclic shift register so each update is O(1):
+
+    folded' = rotate(folded) ^ inserted_bit ^ evicted_bit_at_its_folded_position
+
+:class:`FoldedHistory` implements exactly that and is property-tested
+against the direct ``xor_fold`` computation.
+"""
+
+from __future__ import annotations
+
+from .bits import mask
+
+__all__ = ["FoldedHistory", "HistoryWindow"]
+
+
+class HistoryWindow:
+    """A bounded window of raw branch outcomes, oldest ones discarded.
+
+    :class:`FoldedHistory` needs to know the bit that *leaves* the history
+    window on every update.  Predictors with several folded registers share
+    one window sized to the longest history.
+    """
+
+    __slots__ = ("_length", "_bits", "_head")
+
+    def __init__(self, length: int):
+        if length < 1:
+            raise ValueError(f"length must be >= 1, got {length}")
+        self._length = length
+        self._bits = bytearray(length)
+        self._head = 0  # position of the newest outcome
+
+    @property
+    def length(self) -> int:
+        """Capacity of the window in outcomes."""
+        return self._length
+
+    def push(self, taken: bool) -> None:
+        """Record a new outcome, discarding the oldest."""
+        self._head = (self._head - 1) % self._length
+        self._bits[self._head] = 1 if taken else 0
+
+    def __getitem__(self, age: int) -> int:
+        """Outcome ``age`` branches ago (0 = newest) as 0/1."""
+        if not 0 <= age < self._length:
+            raise IndexError(f"age {age} out of range [0, {self._length})")
+        return self._bits[(self._head + age) % self._length]
+
+    def value(self, length: int) -> int:
+        """Pack the newest ``length`` outcomes: bit ``i`` = outcome ``i`` ago."""
+        if not 0 <= length <= self._length:
+            raise ValueError(f"length {length} out of range [0, {self._length}]")
+        result = 0
+        for age in range(length - 1, -1, -1):
+            result = (result << 1) | self[age]
+        return result
+
+    def reset(self) -> None:
+        """Clear the window (all not-taken)."""
+        for i in range(self._length):
+            self._bits[i] = 0
+
+    def __repr__(self) -> str:
+        return f"HistoryWindow(length={self._length})"
+
+
+class FoldedHistory:
+    """Incrementally maintained ``xor_fold`` of the newest ``history_length``
+    outcomes, folded into ``folded_width`` bits.
+
+    The invariant, checked by the test suite, is::
+
+        folded.value == xor_fold(window.value(history_length), folded_width)
+
+    after any sequence of synchronized ``update`` / ``push`` calls.
+
+    Parameters
+    ----------
+    history_length:
+        Number of outcomes covered by this folded register.
+    folded_width:
+        Width in bits of the folded value (e.g. the log2 of a TAGE table
+        size, or a tag width).
+    """
+
+    __slots__ = ("_history_length", "_folded_width", "_evict_pos", "_value")
+
+    def __init__(self, history_length: int, folded_width: int):
+        if history_length < 1:
+            raise ValueError(f"history_length must be >= 1, got {history_length}")
+        if folded_width < 1:
+            raise ValueError(f"folded_width must be >= 1, got {folded_width}")
+        self._history_length = history_length
+        self._folded_width = folded_width
+        # Folded bit position where the outgoing (oldest) bit currently sits.
+        self._evict_pos = history_length % folded_width
+        self._value = 0
+
+    @property
+    def history_length(self) -> int:
+        """Number of outcomes covered."""
+        return self._history_length
+
+    @property
+    def folded_width(self) -> int:
+        """Width of the folded value in bits."""
+        return self._folded_width
+
+    @property
+    def value(self) -> int:
+        """The folded history, equal to ``xor_fold(raw_history, width)``."""
+        return self._value
+
+    def update(self, new_bit: bool, evicted_bit: int) -> None:
+        """Shift in ``new_bit`` and remove ``evicted_bit``.
+
+        ``evicted_bit`` must be the outcome that was recorded
+        ``history_length`` branches ago (i.e. ``window[history_length - 1]``
+        *before* the window itself is pushed).
+        """
+        w = self._folded_width
+        value = self._value
+        # Rotate left by 1 within the folded width, inserting the new bit.
+        value = (value << 1) | int(bool(new_bit))
+        value ^= value >> w  # fold the carried-out MSB back into bit 0
+        value &= mask(w)
+        # The evicted history bit, after this rotation, sits at _evict_pos.
+        value ^= (evicted_bit & 1) << self._evict_pos
+        self._value = value
+
+    def reset(self) -> None:
+        """Clear the folded register (consistent with an all-zero window)."""
+        self._value = 0
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:
+        return (
+            f"FoldedHistory(history_length={self._history_length}, "
+            f"folded_width={self._folded_width}, value={self._value:#x})"
+        )

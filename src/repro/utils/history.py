@@ -1,0 +1,186 @@
+"""Branch history registers.
+
+The *scenario* of a predictor — MBPlib's term for the information recorded
+about recent program behaviour (Section IV-A) — is almost always some form
+of history register.  This module provides the three classic kinds:
+
+* :class:`GlobalHistory` — a shift register of recent branch outcomes.
+* :class:`PathHistory` — a rolling hash of recent branch addresses.
+* :class:`LocalHistoryTable` — per-address outcome histories, the
+  first-level table of two-level predictors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bits import mask
+from .hashing import path_hash_step
+
+__all__ = ["GlobalHistory", "PathHistory", "LocalHistoryTable"]
+
+
+class GlobalHistory:
+    """A global branch-outcome shift register of ``length`` bits.
+
+    Bit 0 is the outcome of the most recent branch; pushing shifts older
+    outcomes towards higher bit positions, exactly like the ``std::bitset``
+    usage in the paper's GShare listing (``ghist <<= 1; ghist[0] = taken``).
+
+    >>> h = GlobalHistory(4)
+    >>> h.push(True); h.push(False); h.push(True)
+    >>> h.value
+    5
+    """
+
+    __slots__ = ("_length", "_value")
+
+    def __init__(self, length: int, value: int = 0):
+        if length < 1:
+            raise ValueError(f"history length must be >= 1, got {length}")
+        if value & ~mask(length):
+            raise ValueError(f"value {value:#x} does not fit in {length} bits")
+        self._length = length
+        self._value = value
+
+    @property
+    def length(self) -> int:
+        """Number of outcomes remembered."""
+        return self._length
+
+    @property
+    def value(self) -> int:
+        """The packed history: bit ``i`` is the outcome ``i`` branches ago."""
+        return self._value
+
+    def push(self, taken: bool) -> None:
+        """Record the outcome of the newest branch."""
+        self._value = ((self._value << 1) | int(bool(taken))) & mask(self._length)
+
+    def newest(self) -> bool:
+        """Outcome of the most recent branch recorded."""
+        return bool(self._value & 1)
+
+    def __getitem__(self, age: int) -> bool:
+        """Outcome of the branch ``age`` branches ago (0 = newest)."""
+        if not 0 <= age < self._length:
+            raise IndexError(f"age {age} out of range [0, {self._length})")
+        return bool((self._value >> age) & 1)
+
+    def taken_count(self) -> int:
+        """Number of taken outcomes currently in the register."""
+        return self._value.bit_count()
+
+    def reset(self) -> None:
+        """Clear the register (all not-taken)."""
+        self._value = 0
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __repr__(self) -> str:
+        return f"GlobalHistory(length={self._length}, value={self._value:#x})"
+
+
+class PathHistory:
+    """A rolling hash of the addresses of recent branches.
+
+    Perceptron-family predictors (Tarjan & Skadron's hashed perceptron)
+    index some tables with *path* rather than *outcome* history; this class
+    maintains that hash incrementally in ``width`` bits.
+    """
+
+    __slots__ = ("_width", "_value")
+
+    def __init__(self, width: int, value: int = 0):
+        if width < 1:
+            raise ValueError(f"path history width must be >= 1, got {width}")
+        if value & ~mask(width):
+            raise ValueError(f"value {value:#x} does not fit in {width} bits")
+        self._width = width
+        self._value = value
+
+    @property
+    def width(self) -> int:
+        """Number of bits of the rolling hash."""
+        return self._width
+
+    @property
+    def value(self) -> int:
+        """Current hash of the recent branch path."""
+        return self._value
+
+    def push(self, ip: int) -> None:
+        """Fold the address of the newest branch into the hash."""
+        self._value = path_hash_step(self._value, ip, self._width)
+
+    def reset(self) -> None:
+        """Clear the path hash."""
+        self._value = 0
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"PathHistory(width={self._width}, value={self._value:#x})"
+
+
+class LocalHistoryTable:
+    """A table of per-address outcome histories.
+
+    This is the first level of Yeh & Patt two-level predictors: entry
+    ``i`` holds the last ``history_length`` outcomes of the branches that
+    map to index ``i``.  Index selection (how many address bits, whether
+    sets share an entry) is left to the caller, which is what lets one
+    class serve PAg/PAs/SAg/SAs alike.
+
+    >>> t = LocalHistoryTable(num_entries=16, history_length=4)
+    >>> t.push(3, True); t.push(3, True)
+    >>> t.read(3)
+    3
+    """
+
+    __slots__ = ("_history_length", "_histories")
+
+    def __init__(self, num_entries: int, history_length: int):
+        if num_entries < 1:
+            raise ValueError(f"num_entries must be >= 1, got {num_entries}")
+        if history_length < 1:
+            raise ValueError(f"history_length must be >= 1, got {history_length}")
+        if history_length > 63:
+            raise ValueError(
+                f"history_length must be <= 63 to fit numpy storage, got {history_length}"
+            )
+        self._history_length = history_length
+        self._histories = np.zeros(num_entries, dtype=np.uint64)
+
+    @property
+    def history_length(self) -> int:
+        """Number of outcomes remembered per entry."""
+        return self._history_length
+
+    def __len__(self) -> int:
+        return len(self._histories)
+
+    def read(self, index: int) -> int:
+        """The packed outcome history stored at ``index``."""
+        return int(self._histories[index])
+
+    def push(self, index: int, taken: bool) -> None:
+        """Record a new outcome for the branches mapping to ``index``."""
+        value = int(self._histories[index])
+        value = ((value << 1) | int(bool(taken))) & mask(self._history_length)
+        self._histories[index] = value
+
+    def reset(self) -> None:
+        """Clear all histories."""
+        self._histories.fill(0)
+
+    def __repr__(self) -> str:
+        return (
+            f"LocalHistoryTable(num_entries={len(self)}, "
+            f"history_length={self._history_length})"
+        )

@@ -1,0 +1,101 @@
+"""Deterministic pseudo-random bit sources.
+
+BATAGE (and TAGE's allocation policy) need random numbers, but a
+trace-based simulator must stay deterministic to keep the Section VII-C
+"identical results" property.  Hardware predictors solve this with a
+linear-feedback shift register; we model the same thing.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Lfsr", "TAPS"]
+
+# Maximal-length taps (right-shifting Fibonacci form) for common widths.
+# For the primitive polynomial with 1-indexed taps {w, t2, t3, ...} the
+# mask has bits {w - w, w - t2, w - t3, ...}; bit 0 is always set, which
+# also guarantees the register can never decay to the all-zero state.
+TAPS = {
+    8: 0x1D,          # x^8 + x^6 + x^5 + x^4 + 1
+    16: 0x2D,         # x^16 + x^14 + x^13 + x^11 + 1
+    24: 0x87,         # x^24 + x^23 + x^22 + x^17 + 1
+    32: 0xC0000401,   # x^32 + x^22 + x^2 + x^1 + 1
+}
+
+
+class Lfsr:
+    """A Fibonacci linear-feedback shift register.
+
+    The register never reaches the all-zero state (seed 0 is coerced to 1),
+    so the sequence has period ``2**width - 1`` for maximal taps.
+
+    >>> r = Lfsr(width=8, seed=1)
+    >>> bits = [r.next_bit() for _ in range(8)]
+    >>> all(b in (0, 1) for b in bits)
+    True
+    """
+
+    __slots__ = ("_width", "_taps", "_state")
+
+    def __init__(self, width: int = 32, seed: int = 0xACE1, taps: int | None = None):
+        if taps is None:
+            if width not in TAPS:
+                raise ValueError(
+                    f"no default taps for width {width}; pass taps explicitly "
+                    f"(defaults exist for {sorted(TAPS)})"
+                )
+            taps = TAPS[width]
+        if width < 2:
+            raise ValueError(f"width must be >= 2, got {width}")
+        self._width = width
+        self._taps = taps
+        self._state = (seed & ((1 << width) - 1)) or 1
+
+    @property
+    def width(self) -> int:
+        """Register width in bits."""
+        return self._width
+
+    @property
+    def state(self) -> int:
+        """Current register contents (never zero)."""
+        return self._state
+
+    def next_bit(self) -> int:
+        """Advance one step and return the output bit."""
+        feedback = (self._state & self._taps).bit_count() & 1
+        out = self._state & 1
+        self._state = (self._state >> 1) | (feedback << (self._width - 1))
+        return out
+
+    def next_bits(self, count: int) -> int:
+        """Advance ``count`` steps, returning them packed LSB-first."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        value = 0
+        for i in range(count):
+            value |= self.next_bit() << i
+        return value
+
+    def below(self, bound: int, bits: int = 16) -> int:
+        """A pseudo-random integer in ``[0, bound)`` from ``bits`` raw bits.
+
+        Uses the multiply-shift reduction, which keeps the draw cheap and
+        bias below ``bound / 2**bits`` — good enough for allocation
+        throttling, where hardware uses even cruder sources.
+        """
+        if bound <= 0:
+            raise ValueError(f"bound must be positive, got {bound}")
+        return (self.next_bits(bits) * bound) >> bits
+
+    def chance(self, numerator: int, denominator: int, bits: int = 12) -> bool:
+        """Return ``True`` with probability ``numerator / denominator``."""
+        if denominator <= 0:
+            raise ValueError(f"denominator must be positive, got {denominator}")
+        if numerator <= 0:
+            return False
+        if numerator >= denominator:
+            return True
+        return self.next_bits(bits) * denominator < numerator << bits
+
+    def __repr__(self) -> str:
+        return f"Lfsr(width={self._width}, state={self._state:#x})"

@@ -1,0 +1,234 @@
+"""Predictor table structures.
+
+Table-based predictors share a handful of storage idioms: direct-mapped
+counter tables indexed by hashed bits, and *tagged* tables whose entries
+are claimed and recycled (TAGE/BATAGE).  This module provides both as
+numpy-backed structures so that large tables stay cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .bits import mask
+
+__all__ = ["DirectMappedTable", "TaggedEntryView", "TaggedTable"]
+
+
+class DirectMappedTable:
+    """A power-of-two table of small signed integers with hashed indexing.
+
+    Unlike :class:`repro.utils.counters.CounterArray`, this class stores
+    arbitrary clamped integer fields (weights, counters, trip counts) and
+    exposes the index mask, which predictors combine with their own hash
+    functions.
+    """
+
+    __slots__ = ("_log_size", "_lo", "_hi", "_values")
+
+    def __init__(self, log_size: int, lo: int, hi: int, fill: int = 0):
+        if log_size < 0:
+            raise ValueError(f"log_size must be >= 0, got {log_size}")
+        if lo > hi:
+            raise ValueError(f"empty value range [{lo}, {hi}]")
+        if not lo <= fill <= hi:
+            raise ValueError(f"fill {fill} out of range [{lo}, {hi}]")
+        self._log_size = log_size
+        self._lo = lo
+        self._hi = hi
+        self._values = np.full(1 << log_size, fill, dtype=np.int32)
+
+    @property
+    def log_size(self) -> int:
+        """log2 of the number of entries."""
+        return self._log_size
+
+    @property
+    def index_mask(self) -> int:
+        """Mask selecting a valid index from a hash."""
+        return mask(self._log_size)
+
+    @property
+    def lo(self) -> int:
+        """Smallest storable value."""
+        return self._lo
+
+    @property
+    def hi(self) -> int:
+        """Largest storable value."""
+        return self._hi
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __getitem__(self, index: int) -> int:
+        return int(self._values[index & self.index_mask])
+
+    def __setitem__(self, index: int, value: int) -> None:
+        self._values[index & self.index_mask] = min(self._hi, max(self._lo, value))
+
+    def add(self, index: int, delta: int) -> int:
+        """Clamped in-place addition; returns the new value."""
+        i = index & self.index_mask
+        v = min(self._hi, max(self._lo, int(self._values[i]) + delta))
+        self._values[i] = v
+        return v
+
+    def update(self, index: int, taken: bool) -> int:
+        """Saturating ±1 update (the counter idiom); returns the new value."""
+        return self.add(index, 1 if taken else -1)
+
+    def reset(self, fill: int = 0) -> None:
+        """Reset every entry to ``fill``."""
+        if not self._lo <= fill <= self._hi:
+            raise ValueError(f"fill {fill} out of range [{self._lo}, {self._hi}]")
+        self._values.fill(fill)
+
+    def __repr__(self) -> str:
+        return (
+            f"DirectMappedTable(log_size={self._log_size}, "
+            f"range=[{self._lo}, {self._hi}])"
+        )
+
+
+@dataclass
+class TaggedEntryView:
+    """A snapshot of one tagged-table entry (value semantics, for reading)."""
+
+    tag: int
+    counter: int
+    useful: int
+    aux: int
+
+
+class TaggedTable:
+    """A direct-mapped table of tagged entries, the TAGE building block.
+
+    Every entry carries a partial ``tag``, a signed prediction ``counter``,
+    a ``useful`` counter driving replacement, and one free auxiliary field
+    (``aux``) that BATAGE uses for its second dual counter.  All fields are
+    numpy columns, so a 2^12-entry table costs four small arrays rather
+    than thousands of Python objects.
+    """
+
+    __slots__ = ("_log_size", "_tag_width", "_ctr_min", "_ctr_max",
+                 "_useful_max", "tags", "counters", "useful", "aux")
+
+    def __init__(self, log_size: int, tag_width: int,
+                 counter_width: int = 3, useful_width: int = 2):
+        if log_size < 0:
+            raise ValueError(f"log_size must be >= 0, got {log_size}")
+        if tag_width < 1:
+            raise ValueError(f"tag_width must be >= 1, got {tag_width}")
+        if counter_width < 1:
+            raise ValueError(f"counter_width must be >= 1, got {counter_width}")
+        if useful_width < 1:
+            raise ValueError(f"useful_width must be >= 1, got {useful_width}")
+        size = 1 << log_size
+        self._log_size = log_size
+        self._tag_width = tag_width
+        self._ctr_min = -(1 << (counter_width - 1))
+        self._ctr_max = (1 << (counter_width - 1)) - 1
+        self._useful_max = (1 << useful_width) - 1
+        self.tags = np.zeros(size, dtype=np.int64)
+        self.counters = np.zeros(size, dtype=np.int32)
+        self.useful = np.zeros(size, dtype=np.int32)
+        self.aux = np.zeros(size, dtype=np.int32)
+
+    @property
+    def log_size(self) -> int:
+        """log2 of the number of entries."""
+        return self._log_size
+
+    @property
+    def index_mask(self) -> int:
+        """Mask selecting a valid index from a hash."""
+        return mask(self._log_size)
+
+    @property
+    def tag_width(self) -> int:
+        """Width of the partial tags in bits."""
+        return self._tag_width
+
+    @property
+    def tag_mask(self) -> int:
+        """Mask selecting a valid tag from a hash."""
+        return mask(self._tag_width)
+
+    @property
+    def counter_min(self) -> int:
+        """Smallest prediction-counter value."""
+        return self._ctr_min
+
+    @property
+    def counter_max(self) -> int:
+        """Largest prediction-counter value."""
+        return self._ctr_max
+
+    @property
+    def useful_max(self) -> int:
+        """Largest useful-counter value."""
+        return self._useful_max
+
+    def __len__(self) -> int:
+        return len(self.tags)
+
+    def matches(self, index: int, tag: int) -> bool:
+        """Whether the entry at ``index`` currently holds ``tag``."""
+        return int(self.tags[index & self.index_mask]) == (tag & self.tag_mask)
+
+    def read(self, index: int) -> TaggedEntryView:
+        """Copy out the entry at ``index``."""
+        i = index & self.index_mask
+        return TaggedEntryView(
+            tag=int(self.tags[i]),
+            counter=int(self.counters[i]),
+            useful=int(self.useful[i]),
+            aux=int(self.aux[i]),
+        )
+
+    def update_counter(self, index: int, taken: bool) -> int:
+        """Saturating ±1 update of the prediction counter."""
+        i = index & self.index_mask
+        v = int(self.counters[i]) + (1 if taken else -1)
+        v = min(self._ctr_max, max(self._ctr_min, v))
+        self.counters[i] = v
+        return v
+
+    def update_useful(self, index: int, delta: int) -> int:
+        """Clamped update of the useful counter."""
+        i = index & self.index_mask
+        v = min(self._useful_max, max(0, int(self.useful[i]) + delta))
+        self.useful[i] = v
+        return v
+
+    def allocate(self, index: int, tag: int, taken: bool, aux: int = 0) -> None:
+        """Claim the entry at ``index`` for ``tag`` with a weak counter."""
+        i = index & self.index_mask
+        self.tags[i] = tag & self.tag_mask
+        self.counters[i] = 0 if taken else -1
+        self.useful[i] = 0
+        self.aux[i] = aux
+
+    def decay_useful(self, bit_mask: int) -> None:
+        """Periodic useful-counter aging: clear the bits in ``bit_mask``.
+
+        TAGE gracefully resets the ``u`` counters by alternately clearing
+        their high and low bits; callers pass the mask for the current
+        phase.
+        """
+        np.bitwise_and(self.useful, ~bit_mask, out=self.useful)
+
+    def reset(self) -> None:
+        """Clear every entry."""
+        self.tags.fill(0)
+        self.counters.fill(0)
+        self.useful.fill(0)
+        self.aux.fill(0)
+
+    def __repr__(self) -> str:
+        return (
+            f"TaggedTable(log_size={self._log_size}, tag_width={self._tag_width})"
+        )

@@ -1,0 +1,76 @@
+"""Tests for the championship-style evaluation harness."""
+
+import pytest
+
+from repro.analysis.championship import Championship
+from repro.predictors import AlwaysTaken, Bimodal, GShare
+from tests.conftest import make_trace
+
+
+def _suite():
+    return {
+        "ALPHA-1": make_trace([0x4000] * 200,
+                              [(i % 4) != 3 for i in range(200)]),
+        "ALPHA-2": make_trace([0x5000] * 200,
+                              [(i % 5) != 4 for i in range(200)]),
+        "BETA-1": make_trace([0x6000] * 200,
+                             [i % 2 == 0 for i in range(200)]),
+    }
+
+
+class TestChampionship:
+    def test_ranking_orders_by_mean_mpki(self):
+        championship = Championship(_suite())
+        championship.submit("static", AlwaysTaken)
+        championship.submit("bimodal", lambda: Bimodal(log_table_size=8))
+        championship.submit("gshare",
+                            lambda: GShare(history_length=6,
+                                           log_table_size=8))
+        leaderboard = championship.run()
+        assert [entry.rank for entry in leaderboard] == [1, 2, 3]
+        means = [entry.mean_mpki for entry in leaderboard]
+        assert means == sorted(means)
+        # GShare learns all three periodic patterns; static learns none.
+        assert leaderboard[0].name == "gshare"
+        assert leaderboard[-1].name == "static"
+
+    def test_per_category_breakdown(self):
+        championship = Championship(_suite())
+        championship.submit("bimodal", lambda: Bimodal(log_table_size=8))
+        entry = championship.run()[0]
+        assert set(entry.per_category_mpki) == {"ALPHA", "BETA"}
+        assert set(entry.per_trace_mpki) == set(_suite())
+
+    def test_duplicate_name_rejected(self):
+        championship = Championship(_suite())
+        championship.submit("x", AlwaysTaken)
+        with pytest.raises(ValueError, match="duplicate"):
+            championship.submit("x", AlwaysTaken)
+
+    def test_empty_states_rejected(self):
+        with pytest.raises(ValueError):
+            Championship({})
+        with pytest.raises(ValueError, match="no submissions"):
+            Championship(_suite()).run()
+
+    def test_leaderboard_table_renders(self):
+        championship = Championship(_suite())
+        championship.submit("bimodal", lambda: Bimodal(log_table_size=8))
+        championship.submit("static", AlwaysTaken)
+        table = championship.leaderboard_table()
+        assert "Championship leaderboard" in table
+        assert "bimodal" in table
+        assert "ALPHA" in table and "BETA" in table
+
+    def test_chaining(self):
+        championship = (Championship(_suite())
+                        .submit("a", AlwaysTaken)
+                        .submit("b", lambda: Bimodal(log_table_size=6)))
+        assert len(championship.submissions) == 2
+
+    def test_uncategorized_trace_names(self):
+        traces = {"solo": make_trace([0x4000] * 50, [True] * 50)}
+        championship = Championship(traces)
+        championship.submit("x", AlwaysTaken)
+        entry = championship.run()[0]
+        assert entry.per_category_mpki == {"solo": 0.0}

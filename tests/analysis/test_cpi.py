@@ -1,0 +1,62 @@
+"""Tests for the Section II CPI model — including the paper's exact
+numbers."""
+
+import pytest
+
+from repro.analysis.cpi import PipelineModel, speedup_from_mpki_reduction
+
+
+class TestPaperNumbers:
+    """The arithmetic of paper Section II, reproduced exactly."""
+
+    def test_narrow_machine_cpi(self):
+        # 1-wide, resolve at stage 5, 5 MPKI -> CPI 1.02.
+        model = PipelineModel(fetch_width=1, resolve_stage=5)
+        assert model.cpi(5.0) == pytest.approx(1.02)
+        assert model.cpi(4.0) == pytest.approx(1.016)
+
+    def test_narrow_machine_speedup_is_0_4_percent(self):
+        model = PipelineModel(fetch_width=1, resolve_stage=5)
+        assert model.speedup(5.0, 4.0) == pytest.approx(0.004, abs=5e-4)
+
+    def test_wide_machine_cpi(self):
+        # 4-wide, resolve at stage 11: CPI 0.3 at 5 MPKI, 0.29 at 4.
+        model = PipelineModel(fetch_width=4, resolve_stage=11)
+        assert model.cpi(5.0) == pytest.approx(0.30)
+        assert model.cpi(4.0) == pytest.approx(0.29)
+
+    def test_wide_machine_speedup_is_3_4_percent(self):
+        model = PipelineModel(fetch_width=4, resolve_stage=11)
+        assert model.speedup(5.0, 4.0) == pytest.approx(0.0345, abs=1e-3)
+
+    def test_wider_deeper_machines_gain_more(self):
+        # The section's whole point: the same MPKI reduction is worth
+        # ~8.6x more on the wide, deep machine.
+        narrow = speedup_from_mpki_reduction(1, 5, 5.0, 4.0)
+        wide = speedup_from_mpki_reduction(4, 11, 5.0, 4.0)
+        assert wide / narrow > 8
+
+
+class TestModelProperties:
+    def test_penalty(self):
+        assert PipelineModel(1, 5).misprediction_penalty == 4
+
+    def test_perfect_prediction_is_ideal_cpi(self):
+        model = PipelineModel(fetch_width=4, resolve_stage=11)
+        assert model.cpi(0.0) == pytest.approx(0.25)
+
+    def test_ipc_is_reciprocal(self):
+        model = PipelineModel(2, 8)
+        assert model.ipc(3.0) == pytest.approx(1.0 / model.cpi(3.0))
+
+    def test_cpi_monotone_in_mpki(self):
+        model = PipelineModel(4, 11)
+        assert model.cpi(10.0) > model.cpi(5.0) > model.cpi(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PipelineModel(0, 5)
+        with pytest.raises(ValueError):
+            PipelineModel(1, 0)
+        with pytest.raises(ValueError):
+            PipelineModel(1, 5).cpi(-1.0)

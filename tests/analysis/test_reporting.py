@@ -1,0 +1,66 @@
+"""Tests for the report formatting helpers."""
+
+import pytest
+
+from repro.analysis.reporting import (
+    SpeedupRow,
+    format_duration,
+    format_table,
+    speedup_table,
+)
+
+
+class TestFormatDuration:
+    def test_units(self):
+        assert format_duration(0.00486) == "4.86 ms"
+        assert format_duration(4.57) == "4.57 s"
+        assert format_duration(84.0) == "84.00 s"
+        assert format_duration(5.6 * 60) == "5.60 min"
+        assert format_duration(2.01 * 3600) == "2.01 h"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_duration(-1.0)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["a", "bb"], [["xxx", "y"], ["z", "wwww"]])
+        lines = table.split("\n")
+        assert len(lines) == 4
+        assert lines[0].startswith("a  ")
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_title(self):
+        table = format_table(["a"], [["1"]], title="TABLE I")
+        assert table.startswith("TABLE I\n")
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows(self):
+        table = format_table(["col"], [])
+        assert "col" in table
+
+
+class TestSpeedupTable:
+    def test_row_speedup(self):
+        row = SpeedupRow("Bimodal", "Average", baseline_seconds=84.0,
+                         library_seconds=4.57)
+        assert row.speedup == pytest.approx(18.38, abs=0.01)
+
+    def test_zero_library_time(self):
+        row = SpeedupRow("X", "Fastest", 1.0, 0.0)
+        assert row.speedup == float("inf")
+
+    def test_render(self):
+        rows = [
+            SpeedupRow("Bimodal", "Slowest", 7236.0, 336.0),
+            SpeedupRow("Bimodal", "Average", 84.0, 4.57),
+        ]
+        text = speedup_table(rows, "CBP5", "MBPlib", "TABLE III")
+        assert "TABLE III" in text
+        assert "Bimodal" in text
+        assert "21.54 x" in text
+        assert "18.38 x" in text

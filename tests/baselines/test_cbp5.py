@@ -1,0 +1,152 @@
+"""Tests for the CBP5-framework-style baseline."""
+
+import pytest
+
+from repro.baselines.cbp5 import (
+    Cbp5Framework,
+    FromMbpPredictor,
+    OpType,
+    bt9_to_trace_data,
+    cbp5_main,
+    iter_bt9,
+    read_bt9_header,
+    write_bt9,
+)
+from repro.core.branch import Opcode
+from repro.core.errors import TraceFormatError
+from repro.core.simulator import simulate
+from repro.predictors import Bimodal, GShare
+from tests.conftest import (
+    OPCODE_CALL,
+    OPCODE_COND_JUMP,
+    OPCODE_JUMP,
+    OPCODE_RET,
+    make_trace,
+)
+
+
+class TestBt9Format:
+    def _mixed_trace(self):
+        return make_trace(
+            [0x4000, 0x4010, 0x4020, 0x4000, 0x4030],
+            [True, False, True, False, True],
+            opcodes=[int(OPCODE_COND_JUMP), int(OPCODE_COND_JUMP),
+                     int(OPCODE_CALL), int(OPCODE_COND_JUMP),
+                     int(OPCODE_RET)],
+            gaps=[0, 3, 1, 0, 7],
+        )
+
+    def test_round_trip(self, tmp_path):
+        trace = self._mixed_trace()
+        path = tmp_path / "t.bt9"
+        write_bt9(path, trace)
+        assert bt9_to_trace_data(path) == trace
+
+    def test_round_trip_compressed(self, tmp_path):
+        trace = self._mixed_trace()
+        path = tmp_path / "t.bt9.gz"
+        write_bt9(path, trace)
+        assert bt9_to_trace_data(path) == trace
+
+    def test_header_counts(self, tmp_path):
+        trace = self._mixed_trace()
+        path = tmp_path / "t.bt9"
+        write_bt9(path, trace)
+        header = read_bt9_header(path)
+        assert header.num_branches == 5
+        assert header.num_instructions == trace.num_instructions
+
+    def test_graph_deduplicates_nodes(self, tmp_path):
+        trace = self._mixed_trace()  # 0x4000 appears twice
+        path = tmp_path / "t.bt9"
+        write_bt9(path, trace)
+        text = path.read_text()
+        assert text.count("\nNODE") == 4  # 4 distinct addresses
+
+    def test_iter_preserves_order_and_gaps(self, tmp_path):
+        trace = self._mixed_trace()
+        path = tmp_path / "t.bt9"
+        write_bt9(path, trace)
+        streamed = list(iter_bt9(path))
+        assert [g for _, g in streamed] == [0, 3, 1, 0, 7]
+        assert [b.ip for b, _ in streamed] == [0x4000, 0x4010, 0x4020,
+                                               0x4000, 0x4030]
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.bt9"
+        path.write_text("NOT_BT9\n")
+        with pytest.raises(TraceFormatError, match="magic"):
+            list(iter_bt9(path))
+
+    def test_missing_counts_rejected(self, tmp_path):
+        path = tmp_path / "bad.bt9"
+        path.write_text("BT9_SPA_TRACE_FORMAT\nBT9_NODES\n")
+        with pytest.raises(TraceFormatError, match="counts"):
+            read_bt9_header(path)
+
+    def test_sequence_length_checked(self, tmp_path):
+        trace = self._mixed_trace()
+        path = tmp_path / "t.bt9"
+        write_bt9(path, trace)
+        # Drop the last sequence line.
+        lines = path.read_text().rstrip("\n").split("\n")
+        path.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(TraceFormatError, match="header promises"):
+            bt9_to_trace_data(path)
+
+
+class TestOpTypeMapping:
+    def test_round_trip_through_optype(self):
+        for value in range(16):
+            if (value >> 2) == 0b11:
+                continue
+            opcode = Opcode(value)
+            op_type = OpType.from_opcode(opcode)
+            back = FromMbpPredictor._OP_OPCODES[op_type]
+            assert back.is_conditional == opcode.is_conditional or \
+                opcode.is_return or opcode.is_call
+            assert back.branch_type == opcode.branch_type
+
+    def test_specific_mappings(self):
+        assert OpType.from_opcode(OPCODE_COND_JUMP) == \
+            OpType.OP_JMP_DIRECT_COND
+        assert OpType.from_opcode(OPCODE_CALL) == OpType.OP_CALL_DIRECT
+        assert OpType.from_opcode(OPCODE_RET) == OpType.OP_RET
+        assert OpType.from_opcode(OPCODE_JUMP) == \
+            OpType.OP_JMP_DIRECT_UNCOND
+
+
+class TestFrameworkEquivalence:
+    """Paper Section VII-C: both simulators give identical results."""
+
+    @pytest.mark.parametrize("factory", [Bimodal, GShare],
+                             ids=["bimodal", "gshare"])
+    def test_identical_mispredictions(self, tmp_path, server_trace, factory):
+        path = tmp_path / "t.bt9.gz"
+        write_bt9(path, server_trace)
+        framework_result = Cbp5Framework(path).run(
+            FromMbpPredictor(factory()))
+        library_result = simulate(factory(), server_trace)
+        assert (framework_result.mispredictions
+                == library_result.mispredictions)
+        assert (framework_result.num_conditional_branches
+                == library_result.num_conditional_branches)
+        assert framework_result.mpki == pytest.approx(library_result.mpki)
+
+    def test_report_format(self, tmp_path, small_trace):
+        path = tmp_path / "t.bt9"
+        write_bt9(path, small_trace)
+        result = Cbp5Framework(path).run(FromMbpPredictor(Bimodal()))
+        report = result.report()
+        assert "NUM_INSTRUCTIONS" in report
+        assert "MISPRED_PER_1K_INST" in report
+
+    def test_cbp5_main_owns_the_loop(self, tmp_path, small_trace):
+        path = tmp_path / "t.bt9"
+        write_bt9(path, small_trace)
+        printed = []
+        results = cbp5_main(lambda: FromMbpPredictor(Bimodal()),
+                            [path, path], emit=printed.append)
+        assert len(results) == 2
+        assert len(printed) == 2
+        assert results[0].mispredictions == results[1].mispredictions

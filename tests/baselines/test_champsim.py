@@ -1,0 +1,276 @@
+"""Tests for the ChampSim-style baseline (trace format, front-end
+structures, cache hierarchy and the cycle core)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.champsim import (
+    Btb,
+    Cache,
+    CoreConfig,
+    GshareIndirect,
+    InstructionTrace,
+    IttageLite,
+    MemoryHierarchy,
+    O3Core,
+    ReturnAddressStack,
+    instruction_trace_from_branches,
+    read_instruction_trace,
+    run_champsim,
+    write_instruction_trace,
+)
+from repro.baselines.champsim.trace import INSTRUCTION_RECORD_SIZE
+from repro.core.errors import TraceFormatError
+from repro.core.simulator import simulate
+from repro.predictors import AlwaysTaken, Bimodal, GShare
+from repro.traces.translate import champsim_trace_to_branches
+from tests.conftest import make_trace
+
+
+class TestInstructionTrace:
+    def test_expansion_counts(self, small_trace):
+        trace = instruction_trace_from_branches(small_trace)
+        expected = len(small_trace) + int(small_trace.gaps.sum())
+        assert len(trace) == expected
+        assert trace.num_branches == len(small_trace)
+
+    def test_record_size_is_64_bytes(self):
+        assert INSTRUCTION_RECORD_SIZE == 64
+
+    def test_round_trip_through_file(self, tmp_path, small_trace):
+        trace = instruction_trace_from_branches(small_trace)
+        path = tmp_path / "t.champsim.gz"
+        write_instruction_trace(path, trace)
+        loaded = read_instruction_trace(path)
+        assert np.array_equal(loaded.records, trace.records)
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "t.champsim"
+        path.write_bytes(b"WRONGMAG" + b"\x00" * 8)
+        with pytest.raises(TraceFormatError, match="magic"):
+            read_instruction_trace(path)
+
+    def test_truncated_body(self, tmp_path, small_trace):
+        trace = instruction_trace_from_branches(small_trace)
+        path = tmp_path / "t.champsim"
+        write_instruction_trace(path, trace)
+        payload = path.read_bytes()
+        path.write_bytes(payload[:-8])
+        with pytest.raises(TraceFormatError, match="body"):
+            read_instruction_trace(path)
+
+    def test_projection_inverts_expansion(self, server_trace):
+        expanded = instruction_trace_from_branches(server_trace)
+        projected = champsim_trace_to_branches(expanded)
+        assert np.array_equal(projected.ips, server_trace.ips)
+        assert np.array_equal(projected.taken, server_trace.taken)
+        assert np.array_equal(projected.gaps, server_trace.gaps)
+        assert np.array_equal(projected.opcodes, server_trace.opcodes)
+        # Taken targets survive; not-taken targets are nulled (the
+        # champsim format only records taken targets).
+        taken = server_trace.taken
+        assert np.array_equal(projected.targets[taken],
+                              server_trace.targets[taken])
+        assert (projected.targets[~taken] == 0).all()
+
+
+class TestBtb:
+    def test_miss_then_hit(self):
+        btb = Btb(num_sets=16, ways=2)
+        assert btb.lookup(0x4000) is None
+        btb.update(0x4000, 0x5000)
+        assert btb.lookup(0x4000) == 0x5000
+        assert btb.hits == 1 and btb.misses == 1
+
+    def test_lru_eviction(self):
+        btb = Btb(num_sets=1, ways=2)
+        btb.update(0x10, 0xA)
+        btb.update(0x20, 0xB)
+        btb.lookup(0x10)          # refresh 0x10
+        btb.update(0x30, 0xC)     # evicts 0x20
+        assert btb.lookup(0x20) is None
+        assert btb.lookup(0x10) == 0xA
+
+    def test_update_refreshes_existing(self):
+        btb = Btb(num_sets=1, ways=2)
+        btb.update(0x10, 0xA)
+        btb.update(0x10, 0xB)
+        assert btb.lookup(0x10) == 0xB
+
+    def test_capacity(self):
+        btb = Btb(num_sets=1024, ways=8)
+        assert btb.num_entries == 8192
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Btb(num_sets=3)
+        with pytest.raises(ValueError):
+            Btb(num_sets=4, ways=0)
+
+
+class TestReturnAddressStack:
+    def test_push_pop_lifo(self):
+        ras = ReturnAddressStack(depth=4)
+        ras.push(0x100)
+        ras.push(0x200)
+        assert ras.pop() == 0x200
+        assert ras.pop() == 0x100
+        assert ras.pop() is None
+
+    def test_overflow_wraps(self):
+        ras = ReturnAddressStack(depth=2)
+        for address in (0x1, 0x2, 0x3):
+            ras.push(address)
+        assert ras.pop() == 0x3
+        assert ras.pop() == 0x2
+        assert ras.pop() is None  # 0x1 was clobbered
+
+    def test_len(self):
+        ras = ReturnAddressStack(depth=4)
+        ras.push(1)
+        assert len(ras) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReturnAddressStack(depth=0)
+
+
+class TestCache:
+    def test_hit_after_miss(self):
+        cache = Cache("L1", size_bytes=1024, ways=2, latency=3,
+                      miss_latency=50)
+        first = cache.access(0x1000)
+        second = cache.access(0x1000)
+        assert first == 53
+        assert second == 3
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_same_line_hits(self):
+        cache = Cache("L1", size_bytes=1024, ways=2, latency=1,
+                      miss_latency=10)
+        cache.access(0x1000)
+        assert cache.access(0x103F) == 1  # same 64-byte line
+
+    def test_lru_within_set(self):
+        # 2 sets, 1 way, 64 B lines: addresses 0 and 128 share set 0.
+        cache = Cache("tiny", size_bytes=128, ways=1, latency=1,
+                      miss_latency=10)
+        cache.access(0)
+        cache.access(128)   # evicts 0
+        assert cache.access(0) == 11  # miss again
+
+    def test_chained_miss_latency(self):
+        parent = Cache("L2", size_bytes=4096, ways=4, latency=10,
+                       miss_latency=100)
+        child = Cache("L1", size_bytes=1024, ways=2, latency=2,
+                      parent=parent)
+        assert child.access(0x40) == 2 + 10 + 100
+        assert child.access(0x40) == 2
+
+    def test_miss_rate(self):
+        cache = Cache("L1", size_bytes=1024, ways=2, latency=1)
+        assert cache.miss_rate() == 0.0
+        cache.access(0)
+        cache.access(0)
+        assert cache.miss_rate() == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Cache("bad", size_bytes=100, ways=3)
+
+    def test_hierarchy_factory(self):
+        hierarchy = MemoryHierarchy.ice_lake_like()
+        assert hierarchy.l1i.parent is hierarchy.l2
+        assert hierarchy.l2.parent is hierarchy.llc
+        assert set(hierarchy.stats()) == {"L1I", "L1D", "L2", "LLC"}
+
+
+class TestIndirectPredictors:
+    def test_gshare_indirect_learns_stable_target(self):
+        predictor = GshareIndirect(log_table_size=8)
+        for _ in range(4):
+            predictor.update(0x4000, 0x9000)
+        assert predictor.predict(0x4000) == 0x9000
+
+    def test_gshare_indirect_cold_miss(self):
+        assert GshareIndirect().predict(0x1234) is None
+
+    def test_ittage_learns_stable_target(self):
+        predictor = IttageLite(num_tables=3, log_table_size=6)
+        for _ in range(6):
+            predictor.update(0x4000, 0x9000)
+        assert predictor.predict(0x4000) == 0x9000
+
+    def test_ittage_history_separates_contexts(self):
+        # Alternating target pattern: after training, predictions track
+        # the history rather than sticking to one target.
+        predictor = IttageLite(num_tables=4, log_table_size=7)
+        targets = [0x9000, 0xA000]
+        for i in range(400):
+            predictor.update(0x4000, targets[i % 2])
+        hits = 0
+        for i in range(400, 440):
+            if predictor.predict(0x4000) == targets[i % 2]:
+                hits += 1
+            predictor.update(0x4000, targets[i % 2])
+        assert hits >= 30
+
+
+class TestCycleCore:
+    def test_mpki_matches_branch_only_simulator(self, server_trace):
+        # The same predictor sees the same conditional branch sequence in
+        # both simulators, so mispredictions must agree exactly.
+        instruction_trace = instruction_trace_from_branches(server_trace)
+        cycle = run_champsim(GShare(history_length=8, log_table_size=10),
+                             instruction_trace)
+        branch_only = simulate(GShare(history_length=8, log_table_size=10),
+                               server_trace)
+        assert (cycle.stats.direction_mispredictions
+                == branch_only.mispredictions)
+
+    def test_ipc_bounded_by_widths(self, small_trace):
+        instruction_trace = instruction_trace_from_branches(small_trace)
+        result = run_champsim(Bimodal(), instruction_trace)
+        assert 0.0 < result.ipc <= CoreConfig().commit_width
+
+    def test_worse_predictor_means_lower_ipc(self, small_trace):
+        instruction_trace = instruction_trace_from_branches(small_trace)
+        good = run_champsim(GShare(history_length=10, log_table_size=12),
+                            instruction_trace)
+        bad = run_champsim(AlwaysTaken(), instruction_trace)
+        assert bad.mpki > good.mpki
+        assert bad.ipc < good.ipc
+
+    def test_max_instructions_cuts_run(self, small_trace):
+        instruction_trace = instruction_trace_from_branches(small_trace)
+        result = run_champsim(Bimodal(), instruction_trace,
+                              max_instructions=500)
+        assert result.stats.instructions == 500
+
+    def test_returns_predicted_by_ras(self, server_trace):
+        instruction_trace = instruction_trace_from_branches(server_trace)
+        core = O3Core(Bimodal())
+        stats = core.run(instruction_trace)
+        # With a RAS present, very few returns should miss their target
+        # relative to the number of branches.
+        assert stats.target_mispredictions < stats.branches * 0.2
+
+    def test_report_structure(self, small_trace):
+        instruction_trace = instruction_trace_from_branches(small_trace)
+        result = run_champsim(Bimodal(), instruction_trace)
+        output = result.to_json()
+        assert "ipc" in output["metrics"]
+        assert "cache_miss_rates" in output["metrics"]
+        assert "IPC" in result.summary()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CoreConfig(fetch_width=0)
+        with pytest.raises(ValueError):
+            CoreConfig(rob_size=0)
+        with pytest.raises(ValueError):
+            CoreConfig(indirect_predictor="oracle")
+
+    def test_ittage_config_selected(self):
+        core = O3Core(Bimodal(), CoreConfig(indirect_predictor="ittage"))
+        assert isinstance(core.indirect, IttageLite)

@@ -1,0 +1,77 @@
+"""Edge-case tests for the cycle-driven core's pipeline mechanics."""
+
+import pytest
+
+from repro.baselines.champsim import (
+    CoreConfig,
+    O3Core,
+    instruction_trace_from_branches,
+)
+from repro.predictors import AlwaysTaken, Bimodal
+from tests.conftest import make_trace
+
+
+def _instruction_trace(num_branches=300, gap=6, taken_period=3):
+    branch_trace = make_trace(
+        [0x40_0000 + 64 * (i % 7) for i in range(num_branches)],
+        [(i % taken_period) != 0 for i in range(num_branches)],
+        gaps=[gap] * num_branches,
+    )
+    return instruction_trace_from_branches(branch_trace)
+
+
+class TestPipelineMechanics:
+    def test_tiny_rob_reduces_ipc(self):
+        trace = _instruction_trace()
+        wide = O3Core(Bimodal(), CoreConfig(rob_size=352)).run(trace)
+        narrow = O3Core(Bimodal(), CoreConfig(rob_size=4)).run(trace)
+        assert narrow.ipc < wide.ipc
+
+    def test_narrow_fetch_reduces_ipc(self):
+        trace = _instruction_trace()
+        wide = O3Core(Bimodal(), CoreConfig(fetch_width=5)).run(trace)
+        narrow = O3Core(Bimodal(), CoreConfig(fetch_width=1,
+                                              decode_width=1,
+                                              commit_width=1)).run(trace)
+        assert narrow.ipc < wide.ipc
+
+    def test_higher_penalty_hurts_more_with_bad_predictor(self):
+        trace = _instruction_trace(taken_period=2)
+        cheap = O3Core(AlwaysTaken(),
+                       CoreConfig(mispredict_extra_penalty=0,
+                                  pipeline_depth=5)).run(trace)
+        expensive = O3Core(AlwaysTaken(),
+                           CoreConfig(mispredict_extra_penalty=20,
+                                      pipeline_depth=20)).run(trace)
+        assert expensive.cycles > cheap.cycles
+
+    def test_all_instructions_commit(self):
+        trace = _instruction_trace(num_branches=100)
+        stats = O3Core(Bimodal()).run(trace)
+        assert stats.instructions == len(trace.records)
+
+    def test_empty_trace(self):
+        trace = _instruction_trace(num_branches=1)
+        trace.records = trace.records[:0]
+        stats = O3Core(Bimodal()).run(trace)
+        assert stats.instructions == 0
+        assert stats.ipc == 0.0
+
+    def test_cycles_monotone_in_instructions(self):
+        trace = _instruction_trace(num_branches=200)
+        short = O3Core(Bimodal()).run(trace, max_instructions=300)
+        long = O3Core(Bimodal()).run(trace, max_instructions=900)
+        assert long.cycles > short.cycles
+
+    def test_cache_stats_populated(self):
+        trace = _instruction_trace()
+        stats = O3Core(Bimodal()).run(trace)
+        assert set(stats.cache_miss_rates) == {"L1I", "L1D", "L2", "LLC"}
+        assert all(0.0 <= rate <= 1.0
+                   for rate in stats.cache_miss_rates.values())
+
+    def test_branch_counts_match_trace(self):
+        trace = _instruction_trace(num_branches=150)
+        stats = O3Core(Bimodal()).run(trace)
+        assert stats.branches == 150
+        assert stats.conditional_branches == 150

@@ -1,0 +1,47 @@
+"""Parallel batch execution (multiprocessing workers)."""
+
+import pytest
+
+from repro.core.batch import run_suite
+from repro.predictors import Bimodal
+from repro.traces.synth import generate_trace
+from repro.traces.workloads import PROFILES
+
+
+def bimodal_factory():
+    """Module-level factory: picklable for worker processes."""
+    return Bimodal(log_table_size=10)
+
+
+@pytest.fixture(scope="module")
+def trace_files(tmp_path_factory):
+    from repro.sbbt.writer import write_trace
+
+    directory = tmp_path_factory.mktemp("parallel")
+    paths = []
+    for i in range(4):
+        trace = generate_trace(PROFILES["short_mobile"], seed=70 + i,
+                               num_branches=3000)
+        path = directory / f"t{i}.sbbt"
+        write_trace(path, trace)
+        paths.append(path)
+    return paths
+
+
+class TestParallelSuite:
+    def test_parallel_matches_serial(self, trace_files):
+        serial = run_suite(bimodal_factory, trace_files, workers=1)
+        parallel = run_suite(bimodal_factory, trace_files, workers=2)
+        serial_counts = [r.mispredictions for r in serial.results]
+        parallel_counts = [r.mispredictions for r in parallel.results]
+        assert serial_counts == parallel_counts
+
+    def test_parallel_preserves_order_and_names(self, trace_files):
+        names = [f"trace-{i}" for i in range(len(trace_files))]
+        batch = run_suite(bimodal_factory, trace_files, workers=2,
+                          names=names)
+        assert [r.trace_name for r in batch.results] == names
+
+    def test_single_trace_runs_inline(self, trace_files):
+        batch = run_suite(bimodal_factory, trace_files[:1], workers=4)
+        assert len(batch.results) == 1

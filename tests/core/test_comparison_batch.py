@@ -1,0 +1,130 @@
+"""Tests for the comparison simulator and the batch runner."""
+
+import pytest
+
+from repro.core.batch import BatchResult, TimingSummary, run_suite
+from repro.core.comparison import compare
+from repro.core.simulator import SimulationConfig, simulate
+from repro.predictors import AlwaysNotTaken, AlwaysTaken, Bimodal, GShare
+from tests.conftest import make_trace
+
+
+class TestComparison:
+    def test_opposite_statics_partition_mispredictions(self):
+        trace = make_trace([0x4000] * 10, [True] * 7 + [False] * 3)
+        result = compare(AlwaysTaken(), AlwaysNotTaken(), trace)
+        assert result.mispredictions_a == 3
+        assert result.mispredictions_b == 7
+        assert result.both_wrong == 0
+        assert result.only_a_wrong == 3
+        assert result.only_b_wrong == 7
+        assert result.mpki_delta == pytest.approx(result.mpki_b
+                                                  - result.mpki_a)
+
+    def test_identical_predictors_show_no_difference(self, small_trace):
+        result = compare(Bimodal(), Bimodal(), small_trace)
+        assert result.mispredictions_a == result.mispredictions_b
+        assert result.only_a_wrong == 0
+        assert result.only_b_wrong == 0
+        assert result.most_failed == []
+
+    def test_matches_standard_simulator(self, small_trace):
+        comparison = compare(Bimodal(), GShare(), small_trace)
+        alone_a = simulate(Bimodal(), small_trace)
+        alone_b = simulate(GShare(), small_trace)
+        assert comparison.mispredictions_a == alone_a.mispredictions
+        assert comparison.mispredictions_b == alone_b.mispredictions
+
+    def test_most_failed_sorted_by_divergence(self):
+        # Branch A diverges by 5, branch B by 2.
+        ips = [0xA] * 5 + [0xB] * 2
+        taken = [True] * 7
+        trace = make_trace(ips, taken)
+        result = compare(AlwaysNotTaken(), AlwaysTaken(), trace)
+        assert [e.ip for e in result.most_failed] == [0xA, 0xB]
+        assert result.most_failed[0].mispredictions_a == 5
+        assert result.most_failed[0].mispredictions_b == 0
+
+    def test_max_entries(self):
+        ips = list(range(0x100, 0x100 + 50))
+        trace = make_trace(ips, [True] * 50)
+        result = compare(AlwaysNotTaken(), AlwaysTaken(), trace,
+                         max_entries=8)
+        assert len(result.most_failed) == 8
+
+    def test_json_output_structure(self, small_trace):
+        output = compare(Bimodal(), GShare(), small_trace).to_json()
+        assert "predictor_a" in output["metadata"]
+        assert "mpki_delta" in output["metrics"]
+        assert isinstance(output["most_failed"], list)
+
+    def test_warmup_respected(self):
+        trace = make_trace([0x4000] * 4, [False] * 4)
+        result = compare(AlwaysTaken(), AlwaysNotTaken(), trace,
+                         SimulationConfig(warmup_instructions=2))
+        assert result.mispredictions_a == 2
+        assert result.mispredictions_b == 0
+
+
+class TestTimingSummary:
+    def test_aggregation(self):
+        summary = TimingSummary.from_times([3.0, 1.0, 2.0])
+        assert summary.slowest == 3.0
+        assert summary.fastest == 1.0
+        assert summary.average == 2.0
+        assert summary.total == 6.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TimingSummary.from_times([])
+
+
+class TestRunSuite:
+    def _traces(self):
+        return [
+            make_trace([0x4000] * 4, [True, True, False, True]),
+            make_trace([0x5000] * 4, [False] * 4),
+        ]
+
+    def test_per_trace_results(self):
+        batch = run_suite(AlwaysTaken, self._traces(),
+                          names=["alpha", "beta"])
+        assert len(batch.results) == 2
+        by_name = batch.by_trace()
+        assert by_name["alpha"].mispredictions == 1
+        assert by_name["beta"].mispredictions == 4
+
+    def test_fresh_predictor_per_trace(self):
+        # A stateful predictor must not leak learning across traces:
+        # run the same trace twice and expect identical results.
+        trace = make_trace([0x4000] * 6, [True] * 6)
+        batch = run_suite(Bimodal, [trace, trace])
+        assert (batch.results[0].mispredictions
+                == batch.results[1].mispredictions)
+
+    def test_aggregate_metrics(self):
+        batch = run_suite(AlwaysTaken, self._traces())
+        assert batch.total_mispredictions == 5
+        assert batch.total_instructions == 8
+        assert batch.aggregate_mpki() == pytest.approx(5 / 8 * 1000)
+        assert batch.mean_mpki() == pytest.approx(
+            (1 / 4 * 1000 + 4 / 4 * 1000) / 2)
+
+    def test_timing_summary_present(self):
+        batch = run_suite(AlwaysTaken, self._traces())
+        timing = batch.timing
+        assert timing.fastest <= timing.average <= timing.slowest
+
+    def test_names_length_mismatch(self):
+        with pytest.raises(ValueError):
+            run_suite(AlwaysTaken, self._traces(), names=["only-one"])
+
+    def test_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            run_suite(AlwaysTaken, self._traces(), workers=0)
+
+    def test_empty_batch_mean_rejected(self):
+        batch = BatchResult(results=[])
+        with pytest.raises(ValueError):
+            batch.mean_mpki()
+        assert batch.aggregate_mpki() == 0.0

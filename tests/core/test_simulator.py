@@ -1,0 +1,190 @@
+"""Tests for the standard simulator's driving rules and metrics."""
+
+import pytest
+
+from repro.core.branch import Branch
+from repro.core.errors import SimulationError
+from repro.core.predictor import Predictor
+from repro.core.simulator import SimulationConfig, simulate, simulate_file
+from repro.sbbt.writer import write_trace
+from tests.conftest import OPCODE_COND_JUMP, OPCODE_JUMP, make_trace
+
+
+class RecordingPredictor(Predictor):
+    """Static prediction plus a full call log for protocol assertions."""
+
+    def __init__(self, prediction: bool = True):
+        self.prediction = prediction
+        self.calls: list[tuple[str, int]] = []
+        self.warmup_end_count = 0
+
+    def predict(self, ip):
+        self.calls.append(("predict", ip))
+        return self.prediction
+
+    def train(self, branch):
+        self.calls.append(("train", branch.ip))
+
+    def track(self, branch):
+        self.calls.append(("track", branch.ip))
+
+    def on_warmup_end(self):
+        self.warmup_end_count += 1
+
+    def metadata_stats(self):
+        return {"name": "recording", "prediction": self.prediction}
+
+    def execution_stats(self):
+        return {"calls": len(self.calls)}
+
+
+class TestDrivingRules:
+    def test_conditional_gets_predict_train_track_in_order(self):
+        trace = make_trace([0x4000], [True])
+        predictor = RecordingPredictor()
+        simulate(predictor, trace)
+        assert predictor.calls == [("predict", 0x4000), ("train", 0x4000),
+                                   ("track", 0x4000)]
+
+    def test_unconditional_gets_track_only(self):
+        trace = make_trace([0x4000], [True], opcodes=[int(OPCODE_JUMP)])
+        predictor = RecordingPredictor()
+        simulate(predictor, trace)
+        assert predictor.calls == [("track", 0x4000)]
+
+    def test_track_only_conditional_skips_unconditional(self):
+        trace = make_trace([0x4000, 0x4010], [True, True],
+                           opcodes=[int(OPCODE_JUMP), int(OPCODE_COND_JUMP)])
+        predictor = RecordingPredictor()
+        simulate(predictor, trace,
+                 SimulationConfig(track_only_conditional=True))
+        assert ("track", 0x4000) not in predictor.calls
+        assert ("track", 0x4010) in predictor.calls
+
+
+class TestCounting:
+    def test_misprediction_count(self):
+        # Predict always-taken; outcomes T, N, N -> 2 mispredictions.
+        trace = make_trace([0x4000, 0x4010, 0x4020], [True, False, False])
+        result = simulate(RecordingPredictor(True), trace)
+        assert result.mispredictions == 2
+        assert result.num_conditional_branches == 3
+        assert result.accuracy == pytest.approx(1 / 3)
+
+    def test_mpki_uses_all_instructions(self):
+        trace = make_trace([0x4000], [False], gaps=[999])
+        result = simulate(RecordingPredictor(True), trace)
+        assert result.simulation_instructions == 1000
+        assert result.mpki == pytest.approx(1.0)
+
+    def test_unconditional_branches_counted_as_instructions(self):
+        trace = make_trace([0x4000, 0x4010], [True, True],
+                           opcodes=[int(OPCODE_JUMP), int(OPCODE_COND_JUMP)])
+        result = simulate(RecordingPredictor(True), trace)
+        assert result.num_branch_instructions == 2
+        assert result.num_conditional_branches == 1
+
+    def test_trailing_instructions_counted(self):
+        trace = make_trace([0x4000], [True], gaps=[2], num_instructions=50)
+        result = simulate(RecordingPredictor(True), trace)
+        assert result.simulation_instructions == 50
+        assert result.exhausted_trace is True
+
+
+class TestWarmup:
+    def test_warmup_mispredictions_not_counted(self):
+        # 4 branches at instructions 1-4; warmup covers the first two.
+        trace = make_trace([0x4000] * 4, [False] * 4)
+        result = simulate(RecordingPredictor(True), trace,
+                          SimulationConfig(warmup_instructions=2))
+        assert result.mispredictions == 2
+        assert result.num_conditional_branches == 2
+        assert result.simulation_instructions == 2
+
+    def test_predictor_still_driven_during_warmup(self):
+        trace = make_trace([0x4000] * 3, [True] * 3)
+        predictor = RecordingPredictor()
+        simulate(predictor, trace, SimulationConfig(warmup_instructions=100))
+        assert len([c for c in predictor.calls if c[0] == "train"]) == 3
+
+    def test_on_warmup_end_called_once(self):
+        trace = make_trace([0x4000] * 5, [True] * 5)
+        predictor = RecordingPredictor()
+        simulate(predictor, trace, SimulationConfig(warmup_instructions=2))
+        assert predictor.warmup_end_count == 1
+
+    def test_no_warmup_no_callback(self):
+        trace = make_trace([0x4000], [True])
+        predictor = RecordingPredictor()
+        simulate(predictor, trace)
+        assert predictor.warmup_end_count == 0
+
+
+class TestMaxInstructions:
+    def test_stops_early_and_reports_not_exhausted(self):
+        trace = make_trace([0x4000] * 10, [True] * 10)
+        result = simulate(RecordingPredictor(True), trace,
+                          SimulationConfig(max_instructions=4))
+        assert result.exhausted_trace is False
+        assert result.num_branch_instructions == 4
+        assert result.simulation_instructions == 4
+
+    def test_limit_beyond_trace_is_exhausted(self):
+        trace = make_trace([0x4000], [True])
+        result = simulate(RecordingPredictor(True), trace,
+                          SimulationConfig(max_instructions=100))
+        assert result.exhausted_trace is True
+
+    def test_limit_cuts_trailing_instructions(self):
+        trace = make_trace([0x4000], [True], num_instructions=100)
+        result = simulate(RecordingPredictor(True), trace,
+                          SimulationConfig(max_instructions=10))
+        assert result.simulation_instructions == 10
+        assert result.exhausted_trace is False
+
+
+class TestMostFailed:
+    def test_most_failed_covers_half(self):
+        # Branch A mispredicts 6 times, B 3, C 1; A alone covers half.
+        ips = [0xA] * 6 + [0xB] * 3 + [0xC] * 1 + [0xD] * 5
+        taken = [False] * 10 + [True] * 5
+        trace = make_trace(ips, taken)
+        result = simulate(RecordingPredictor(True), trace)
+        assert result.mispredictions == 10
+        assert result.num_most_failed_branches == 1
+        assert result.most_failed[0].ip == 0xA
+        assert result.most_failed[0].occurrences == 6
+        assert result.most_failed[0].accuracy == 0.0
+
+    def test_collect_most_failed_disabled(self):
+        trace = make_trace([0x4000], [False])
+        result = simulate(RecordingPredictor(True), trace,
+                          SimulationConfig(collect_most_failed=False))
+        assert result.most_failed == []
+        assert result.mispredictions == 1
+
+
+class TestConfigValidation:
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationConfig(warmup_instructions=-1)
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationConfig(max_instructions=-1)
+
+
+class TestFileEntryPoint:
+    def test_simulate_file(self, tmp_path):
+        trace = make_trace([0x4000, 0x4010], [True, False])
+        path = tmp_path / "t.sbbt.gz"
+        write_trace(path, trace)
+        result = simulate_file(RecordingPredictor(True), path)
+        assert result.mispredictions == 1
+        assert result.trace_name == str(path)
+
+    def test_trace_name_override(self):
+        trace = make_trace([0x4000], [True])
+        result = simulate(RecordingPredictor(True), trace,
+                          trace_name="MY-TRACE")
+        assert result.trace_name == "MY-TRACE"

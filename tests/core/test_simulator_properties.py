@@ -1,0 +1,127 @@
+"""Property-based tests of the standard simulator's accounting.
+
+An independent reference implementation recounts everything the
+simulator reports; hypothesis drives random traces, warm-ups and limits
+through both.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.simulator import SimulationConfig, simulate
+from repro.predictors import Bimodal, GShare
+from tests.conftest import OPCODE_COND_JUMP, OPCODE_JUMP, make_trace
+
+
+@st.composite
+def random_traces(draw):
+    n = draw(st.integers(min_value=0, max_value=120))
+    ips = draw(st.lists(
+        st.sampled_from([0x4000, 0x4010, 0x4020, 0x4030]),
+        min_size=n, max_size=n))
+    conditional = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    taken_bits = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    gaps = draw(st.lists(st.integers(min_value=0, max_value=9),
+                         min_size=n, max_size=n))
+    opcodes = [int(OPCODE_COND_JUMP) if c else int(OPCODE_JUMP)
+               for c in conditional]
+    taken = [t if c else True for c, t in zip(conditional, taken_bits)]
+    return make_trace(ips, taken, opcodes=opcodes, gaps=gaps)
+
+
+def _reference_counts(trace, predictor, warmup=0, limit=None):
+    """An independent scalar recount of the simulator's core metrics."""
+    instructions = 0
+    conditional = 0
+    mispredictions = 0
+    for branch, gap in trace.iter_branches():
+        if limit is not None and instructions + gap + 1 > limit:
+            instructions = min(limit, instructions)
+            return instructions, conditional, mispredictions, False
+        instructions += gap + 1
+        if branch.opcode.is_conditional:
+            prediction = predictor.predict(branch.ip)
+            wrong = prediction != branch.taken
+            if instructions > warmup:
+                conditional += 1
+                mispredictions += wrong
+            predictor.train(branch)
+            predictor.track(branch)
+        else:
+            predictor.track(branch)
+    trailing = trace.num_instructions - instructions
+    if trailing > 0:
+        if limit is not None and instructions + trailing > limit:
+            return limit, conditional, mispredictions, False
+        instructions += trailing
+    return instructions, conditional, mispredictions, True
+
+
+class TestSimulatorAccounting:
+    @settings(max_examples=60, deadline=None)
+    @given(random_traces())
+    def test_counts_match_reference(self, trace):
+        result = simulate(Bimodal(log_table_size=6), trace)
+        instructions, conditional, mispredictions, exhausted = \
+            _reference_counts(trace, Bimodal(log_table_size=6))
+        assert result.simulation_instructions == instructions
+        assert result.num_conditional_branches == conditional
+        assert result.mispredictions == mispredictions
+        assert result.exhausted_trace == exhausted
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_traces(), st.integers(min_value=0, max_value=200))
+    def test_warmup_counts_match_reference(self, trace, warmup):
+        result = simulate(GShare(history_length=4, log_table_size=6),
+                          trace, SimulationConfig(warmup_instructions=warmup))
+        _, conditional, mispredictions, _ = _reference_counts(
+            trace, GShare(history_length=4, log_table_size=6),
+            warmup=warmup)
+        assert result.num_conditional_branches == conditional
+        assert result.mispredictions == mispredictions
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_traces(), st.integers(min_value=0, max_value=300))
+    def test_limit_counts_match_reference(self, trace, limit):
+        result = simulate(Bimodal(log_table_size=6), trace,
+                          SimulationConfig(max_instructions=limit))
+        instructions, conditional, mispredictions, exhausted = \
+            _reference_counts(trace, Bimodal(log_table_size=6),
+                              limit=limit)
+        assert result.simulation_instructions == instructions
+        assert result.num_conditional_branches == conditional
+        assert result.mispredictions == mispredictions
+        assert result.exhausted_trace == exhausted
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_traces())
+    def test_most_failed_invariants(self, trace):
+        result = simulate(Bimodal(log_table_size=6), trace)
+        if result.mispredictions == 0:
+            assert result.most_failed == []
+            return
+        covered = sum(e.mispredictions for e in result.most_failed)
+        # The listed branches cover at least half of all mispredictions.
+        assert 2 * covered >= result.mispredictions
+        # Minimality: dropping the least-contributing listed branch
+        # breaks the coverage.
+        tail = covered - result.most_failed[-1].mispredictions
+        assert 2 * tail < result.mispredictions
+        # Sorted by contribution, unique ips.
+        counts = [e.mispredictions for e in result.most_failed]
+        assert counts == sorted(counts, reverse=True)
+        ips = [e.ip for e in result.most_failed]
+        assert len(set(ips)) == len(ips)
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_traces())
+    def test_accuracy_mpki_consistency(self, trace):
+        result = simulate(Bimodal(log_table_size=6), trace)
+        if result.num_conditional_branches:
+            expected = 1 - result.mispredictions / result.num_conditional_branches
+            assert abs(result.accuracy - expected) < 1e-12
+        if result.simulation_instructions:
+            expected = (1000 * result.mispredictions
+                        / result.simulation_instructions)
+            assert abs(result.mpki - expected) < 1e-9

@@ -1,0 +1,281 @@
+"""Behavioural tests for tournament, gskew, filters and loop predictors —
+the composability half of the examples library."""
+
+import pytest
+
+from repro.core.branch import Branch
+from repro.core.predictor import Predictor
+from repro.core.simulator import simulate
+from repro.predictors import (
+    AlwaysNotTaken,
+    AlwaysTaken,
+    Bimodal,
+    ConditionalOnlyFilter,
+    GShare,
+    LoopPredictor,
+    NeverTakenFilter,
+    Tournament,
+    TwoBcGskew,
+    WithLoopPredictor,
+    mcfarling_tournament,
+)
+from tests.conftest import OPCODE_COND_JUMP, OPCODE_JUMP, make_branch, make_trace
+
+
+class SpyPredictor(Predictor):
+    """Fixed prediction; records the branches given to train/track."""
+
+    def __init__(self, prediction: bool):
+        self.prediction = prediction
+        self.trained: list[Branch] = []
+        self.tracked: list[Branch] = []
+
+    def predict(self, ip):
+        return self.prediction
+
+    def train(self, branch):
+        self.trained.append(branch)
+
+    def track(self, branch):
+        self.tracked.append(branch)
+
+
+class TestTournament:
+    def test_meta_selects_component(self):
+        # meta predicts False -> bp0 provides; True -> bp1 provides.
+        bp0 = SpyPredictor(True)
+        bp1 = SpyPredictor(False)
+        chooser_0 = Tournament(SpyPredictor(False), bp0, bp1)
+        chooser_1 = Tournament(SpyPredictor(True), bp0, bp1)
+        assert chooser_0.predict(0x4000) is True
+        assert chooser_1.predict(0x4000) is False
+
+    def test_meta_trained_only_on_disagreement(self):
+        meta = SpyPredictor(False)
+        agree = Tournament(meta, SpyPredictor(True), SpyPredictor(True))
+        agree.train(make_branch(taken=True))
+        assert meta.trained == []
+
+        meta2 = SpyPredictor(False)
+        disagree = Tournament(meta2, SpyPredictor(True), SpyPredictor(False))
+        disagree.train(make_branch(taken=True))
+        assert len(meta2.trained) == 1
+
+    def test_meta_branch_outcome_encodes_winner(self):
+        # Listing 4 line 36: outcome = (prediction[1] == taken).
+        meta = SpyPredictor(False)
+        tournament = Tournament(meta, SpyPredictor(True), SpyPredictor(False))
+        tournament.train(make_branch(taken=True))   # bp1 wrong
+        assert meta.trained[0].taken is False
+        tournament.track(make_branch(taken=True))
+        tournament.train(make_branch(taken=False))  # bp1 right
+        assert meta.trained[1].taken is True
+
+    def test_all_components_tracked(self):
+        meta, bp0, bp1 = (SpyPredictor(False) for _ in range(3))
+        tournament = Tournament(meta, bp0, bp1)
+        branch = make_branch(taken=True)
+        tournament.track(branch)
+        assert meta.tracked == [branch]
+        assert bp0.tracked == [branch]
+        assert bp1.tracked == [branch]
+
+    def test_base_predictors_always_trained(self):
+        meta, bp0, bp1 = (SpyPredictor(True) for _ in range(3))
+        tournament = Tournament(meta, bp0, bp1)
+        tournament.train(make_branch(taken=False))
+        assert len(bp0.trained) == 1
+        assert len(bp1.trained) == 1
+
+    def test_prediction_cache_within_branch(self):
+        # Listing 4 caches sub-predictions between predict and train.
+        calls = []
+
+        class CountingPredictor(SpyPredictor):
+            def predict(self, ip):
+                calls.append(ip)
+                return super().predict(ip)
+
+        tournament = Tournament(CountingPredictor(False),
+                                SpyPredictor(True), SpyPredictor(True))
+        tournament.predict(0x4000)
+        tournament.predict(0x4000)        # cached: no new meta predict
+        assert calls == [0x4000]
+        tournament.track(make_branch())   # cache invalidated
+        tournament.predict(0x4000)
+        assert calls == [0x4000, 0x4000]
+
+    def test_nested_metadata(self):
+        metadata = mcfarling_tournament().metadata_stats()
+        assert metadata["predictor_0"]["name"] == "repro Bimodal"
+        assert metadata["predictor_1"]["name"] == "repro GShare"
+        assert "metapredictor" in metadata
+
+    def test_beats_both_components_on_mixed_workload(self, medium_trace):
+        tournament = simulate(mcfarling_tournament(log_table_size=12),
+                              medium_trace)
+        bimodal = simulate(Bimodal(log_table_size=12), medium_trace)
+        assert tournament.mispredictions < bimodal.mispredictions
+
+
+class TestTwoBcGskew:
+    def test_majority_vote(self):
+        predictor = TwoBcGskew(log_bank_size=8)
+        branch = make_branch(ip=0x40_0010, taken=True)
+        for _ in range(10):
+            predictor.predict(branch.ip)
+            predictor.train(branch)
+            predictor.track(branch)
+        assert predictor.predict(branch.ip) is True
+
+    def test_partial_update_preserves_agreeing_banks(self):
+        # After heavy taken training, one not-taken outcome (correct
+        # prediction was impossible) must not wipe all banks: the
+        # prediction recovers immediately.
+        predictor = TwoBcGskew(log_bank_size=8)
+        branch = make_branch(ip=0x40_0010, taken=True)
+        for _ in range(12):
+            predictor.predict(branch.ip)
+            predictor.train(branch)
+            predictor.track(branch)
+        flip = branch.with_outcome(False)
+        predictor.predict(flip.ip)
+        predictor.train(flip)
+        predictor.track(flip)
+        assert predictor.predict(branch.ip) is True
+
+    def test_beats_bimodal_on_history_patterns(self, medium_trace):
+        gskew = simulate(TwoBcGskew(log_bank_size=12), medium_trace)
+        bimodal = simulate(Bimodal(log_table_size=12), medium_trace)
+        assert gskew.mispredictions < bimodal.mispredictions
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            TwoBcGskew(log_bank_size=1)
+        with pytest.raises(ValueError):
+            TwoBcGskew(history_length_g0=0)
+
+    def test_storage_bits(self):
+        assert TwoBcGskew(log_bank_size=10).storage_bits() == 4 * 1024 * 2
+
+
+class TestConditionalOnlyFilter:
+    def test_drops_unconditional_tracks(self):
+        inner = SpyPredictor(True)
+        filtered = ConditionalOnlyFilter(inner)
+        filtered.track(make_branch(opcode=OPCODE_JUMP, taken=True))
+        assert inner.tracked == []
+        conditional = make_branch(opcode=OPCODE_COND_JUMP, taken=True)
+        filtered.track(conditional)
+        assert inner.tracked == [conditional]
+
+    def test_train_and_predict_pass_through(self):
+        inner = SpyPredictor(False)
+        filtered = ConditionalOnlyFilter(inner)
+        assert filtered.predict(0x4000) is False
+        filtered.train(make_branch())
+        assert len(inner.trained) == 1
+
+    def test_matches_simulator_option(self, server_trace):
+        from repro.core.simulator import SimulationConfig
+
+        direct = simulate(GShare(history_length=8, log_table_size=10),
+                          server_trace,
+                          SimulationConfig(track_only_conditional=True))
+        wrapped = simulate(
+            ConditionalOnlyFilter(GShare(history_length=8, log_table_size=10)),
+            server_trace)
+        assert direct.mispredictions == wrapped.mispredictions
+
+
+class TestNeverTakenFilter:
+    def test_never_taken_branch_never_reaches_inner(self):
+        inner = SpyPredictor(True)
+        filtered = NeverTakenFilter(inner)
+        branch = make_branch(ip=0x9000, taken=False)
+        for _ in range(5):
+            assert filtered.predict(0x9000) is False
+            filtered.train(branch)
+            filtered.track(branch)
+        assert inner.trained == []
+        assert inner.tracked == []
+
+    def test_branch_graduates_on_first_taken(self):
+        inner = SpyPredictor(True)
+        filtered = NeverTakenFilter(inner)
+        filtered.train(make_branch(ip=0x9000, taken=False))
+        filtered.train(make_branch(ip=0x9000, taken=True))  # graduates
+        assert len(inner.trained) == 1
+        filtered.train(make_branch(ip=0x9000, taken=False))
+        assert len(inner.trained) == 2  # now always forwarded
+
+    def test_does_not_hurt_accuracy_much(self, medium_trace):
+        plain = simulate(Bimodal(log_table_size=12), medium_trace)
+        filtered = simulate(NeverTakenFilter(Bimodal(log_table_size=12)),
+                            medium_trace)
+        # The filter only mispredicts each never-taken branch's first
+        # taken occurrence; totals stay in the same ballpark.
+        assert filtered.mispredictions <= plain.mispredictions * 1.2
+
+    def test_execution_stats(self):
+        filtered = NeverTakenFilter(Bimodal(log_table_size=4))
+        filtered.train(make_branch(ip=0x9000, taken=False))
+        stats = filtered.execution_stats()
+        assert stats["filtered_trainings"] == 1
+        assert stats["graduated_branches"] == 0
+
+
+class TestLoopPredictor:
+    def _run_loop(self, predictor, trips, iterations, ip=0x40_0010):
+        for _ in range(iterations):
+            for i in range(trips):
+                taken = i + 1 < trips
+                branch = make_branch(ip=ip, taken=taken)
+                predictor.predict(ip)
+                predictor.train(branch)
+                predictor.track(branch)
+
+    def test_learns_fixed_trip_count(self):
+        predictor = LoopPredictor()
+        self._run_loop(predictor, trips=7, iterations=4)
+        # Next execution: predicts taken 6 times then not-taken.
+        outcomes = []
+        for i in range(7):
+            outcomes.append(predictor.predict(0x40_0010))
+            branch = make_branch(ip=0x40_0010, taken=i + 1 < 7)
+            predictor.train(branch)
+            predictor.track(branch)
+        assert outcomes == [True] * 6 + [False]
+        assert predictor.is_valid()
+
+    def test_unstable_trip_count_stays_invalid(self):
+        predictor = LoopPredictor()
+        for trips in (3, 5, 4, 6, 3, 7):
+            self._run_loop(predictor, trips=trips, iterations=1)
+        predictor.predict(0x40_0010)
+        assert not predictor.is_valid()
+
+    def test_with_loop_wrapper_beats_plain_on_loopy_trace(self):
+        # One loop with a 9-iteration fixed trip count, many repeats.
+        ips, taken = [], []
+        for _ in range(120):
+            for i in range(9):
+                ips.append(0x40_0010)
+                taken.append(i + 1 < 9)
+        trace = make_trace(ips, taken)
+        plain = simulate(Bimodal(log_table_size=10), trace)
+        wrapped = simulate(WithLoopPredictor(Bimodal(log_table_size=10)),
+                           trace)
+        assert wrapped.mispredictions < plain.mispredictions / 3
+
+    def test_override_statistics(self):
+        main = Bimodal(log_table_size=10)
+        wrapped = WithLoopPredictor(main)
+        self._run_loop(wrapped, trips=5, iterations=30)
+        assert wrapped.execution_stats()["loop_overrides"] > 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LoopPredictor(log_table_size=-1)
+        with pytest.raises(ValueError):
+            LoopPredictor(confidence_threshold=0)

@@ -1,0 +1,170 @@
+"""The predictor interface contract, enforced over every example.
+
+Every predictor in the examples library must: implement the three-method
+interface, keep ``predict`` observably pure, be deterministic across
+fresh instances, produce self-describing metadata, and survive the
+unconditional-branch protocol (track without train).
+"""
+
+import json
+
+import pytest
+
+from repro.core.predictor import Predictor
+from repro.core.simulator import simulate
+from repro.predictors import (
+    AlwaysNotTaken,
+    AlwaysTaken,
+    Batage,
+    Bimodal,
+    Btfnt,
+    ConditionalOnlyFilter,
+    GAg,
+    GShare,
+    HashedPerceptron,
+    LocalPredictor,
+    LoopPredictor,
+    NeverTakenFilter,
+    OGehl,
+    PAs,
+    StatisticalCorrector,
+    Tage,
+    TwoBcGskew,
+    WithLoopPredictor,
+    Yags,
+    mcfarling_tournament,
+)
+from tests.conftest import OPCODE_JUMP, make_branch, make_trace
+
+SMALL_PARAMS = dict()
+
+FACTORIES = {
+    "always_taken": AlwaysTaken,
+    "always_not_taken": AlwaysNotTaken,
+    "btfnt": Btfnt,
+    "bimodal": lambda: Bimodal(log_table_size=10),
+    "gshare": lambda: GShare(history_length=8, log_table_size=10),
+    "gag": lambda: GAg(history_length=8),
+    "pas": lambda: PAs(history_length=6, log_histories=6),
+    "tournament": lambda: mcfarling_tournament(log_table_size=10),
+    "gskew": lambda: TwoBcGskew(log_bank_size=10),
+    "perceptron": lambda: HashedPerceptron(log_table_size=10),
+    "tage": lambda: Tage(num_tables=4, log_tagged_size=7,
+                         log_base_size=10, max_history=40),
+    "batage": lambda: Batage(num_tables=4, log_tagged_size=7,
+                             log_base_size=10, max_history=40),
+    "loop": LoopPredictor,
+    "with_loop": lambda: WithLoopPredictor(Bimodal(log_table_size=10)),
+    "cond_filter": lambda: ConditionalOnlyFilter(GShare(8, 10)),
+    "never_taken_filter": lambda: NeverTakenFilter(Bimodal(log_table_size=10)),
+    "yags": lambda: Yags(log_choice_size=10, log_cache_size=8),
+    "local": lambda: LocalPredictor(log_histories=8, history_length=8),
+    "ogehl": lambda: OGehl(num_tables=4, log_table_size=8),
+    "tage_sc": lambda: StatisticalCorrector(
+        Tage(num_tables=4, log_tagged_size=7, log_base_size=10,
+             max_history=40),
+        log_table_size=8),
+}
+
+
+@pytest.fixture(params=sorted(FACTORIES), ids=sorted(FACTORIES))
+def factory(request):
+    return FACTORIES[request.param]
+
+
+class TestContract:
+    def test_is_predictor(self, factory):
+        assert isinstance(factory(), Predictor)
+
+    def test_predict_returns_bool(self, factory):
+        prediction = factory().predict(0x40_0000)
+        assert isinstance(prediction, bool)
+
+    def test_predict_is_repeatable(self, factory):
+        # Calling predict twice without train/track must not change the
+        # answer (the interface's purity requirement).
+        predictor = factory()
+        first = predictor.predict(0x40_0000)
+        assert predictor.predict(0x40_0000) == first
+
+    def test_predict_pure_across_addresses(self, factory):
+        # Predicting other addresses in between must not change the
+        # prediction for a given address.
+        predictor = factory()
+        first = predictor.predict(0x40_0000)
+        predictor.predict(0x41_0000)
+        predictor.predict(0x42_0040)
+        assert predictor.predict(0x40_0000) == first
+
+    def test_deterministic_across_instances(self, factory, small_trace):
+        result_a = simulate(factory(), small_trace)
+        result_b = simulate(factory(), small_trace)
+        assert result_a.mispredictions == result_b.mispredictions
+
+    def test_survives_unconditional_track(self, factory):
+        predictor = factory()
+        branch = make_branch(opcode=OPCODE_JUMP, taken=True)
+        predictor.track(branch)  # no train for unconditional branches
+        assert isinstance(predictor.predict(0x40_0000), bool)
+
+    def test_full_protocol_cycle(self, factory):
+        predictor = factory()
+        for taken in (True, False, True, True):
+            branch = make_branch(taken=taken)
+            predictor.predict(branch.ip)
+            predictor.train(branch)
+            predictor.track(branch)
+
+    def test_metadata_has_name(self, factory):
+        metadata = factory().metadata_stats()
+        assert isinstance(metadata.get("name"), str)
+        assert metadata["name"]
+
+    def test_metadata_json_serializable(self, factory):
+        json.dumps(factory().metadata_stats())
+
+    def test_execution_stats_json_serializable(self, factory, small_trace):
+        predictor = factory()
+        simulate(predictor, small_trace)
+        json.dumps(predictor.execution_stats())
+
+    def test_name_helper(self, factory):
+        assert factory().name()
+
+    def test_update_convenience(self, factory):
+        predictor = factory()
+        predictor.update(make_branch(taken=True))
+        predictor.update(make_branch(opcode=OPCODE_JUMP, taken=True))
+
+    def test_on_warmup_end_callable(self, factory):
+        predictor = factory()
+        predictor.predict(0x40_0000)
+        predictor.on_warmup_end()
+
+
+class TestLearning:
+    """Any learning predictor must master a constant branch."""
+
+    LEARNERS = [name for name in FACTORIES
+                if name not in ("always_taken", "always_not_taken", "btfnt",
+                                "loop", "never_taken_filter")]
+
+    @pytest.mark.parametrize("name", LEARNERS)
+    def test_learns_always_taken_branch(self, name):
+        predictor = FACTORIES[name]()
+        branch = make_branch(ip=0x40_0100, taken=True)
+        for _ in range(64):
+            predictor.predict(branch.ip)
+            predictor.train(branch)
+            predictor.track(branch)
+        assert predictor.predict(branch.ip) is True
+
+    @pytest.mark.parametrize("name", LEARNERS)
+    def test_learns_never_taken_branch(self, name):
+        predictor = FACTORIES[name]()
+        branch = make_branch(ip=0x40_0200, taken=False)
+        for _ in range(64):
+            predictor.predict(branch.ip)
+            predictor.train(branch)
+            predictor.track(branch)
+        assert predictor.predict(branch.ip) is False

@@ -1,0 +1,183 @@
+"""Behavioural tests for the extension predictors: YAGS, O-GEHL and the
+statistical corrector / TAGE-SC(-L) assembly."""
+
+import pytest
+
+from repro.core.simulator import SimulationConfig, simulate
+from repro.predictors import (
+    Bimodal,
+    GShare,
+    OGehl,
+    StatisticalCorrector,
+    Tage,
+    Yags,
+    tage_sc,
+    tage_sc_l,
+)
+from tests.conftest import make_branch, make_trace
+
+
+class TestYags:
+    def test_bias_provides_for_untagged_branches(self):
+        predictor = Yags(log_choice_size=8, log_cache_size=6)
+        branch = make_branch(ip=0x40_0040, taken=True)
+        for _ in range(8):
+            predictor.predict(branch.ip)
+            predictor.train(branch)
+            predictor.track(branch)
+        assert predictor.predict(branch.ip) is True
+
+    def test_exception_cache_learns_history_exceptions(self):
+        # An alternating branch: its bias is useless, so the exception
+        # caches must carry the prediction.
+        predictor = Yags(log_choice_size=8, log_cache_size=8,
+                         history_length=6)
+        misses = 0
+        for i in range(400):
+            taken = i % 2 == 0
+            branch = make_branch(ip=0x40_0080, taken=taken)
+            if i > 100 and predictor.predict(branch.ip) != taken:
+                misses += 1
+            else:
+                predictor.predict(branch.ip)
+            predictor.train(branch)
+            predictor.track(branch)
+        assert misses < 15
+
+    def test_competitive_with_gshare_at_equal_budget(self, medium_trace):
+        config = SimulationConfig(collect_most_failed=False)
+        yags = Yags(log_choice_size=12, log_cache_size=9, tag_width=6,
+                    history_length=10)
+        gshare = GShare(history_length=12, log_table_size=13)
+        # Roughly 16 kbit each (YAGS pays tags; gshare pays table size).
+        assert abs(yags.storage_bits() - gshare.storage_bits()) \
+            < gshare.storage_bits() * 0.2
+        yags_result = simulate(yags, medium_trace, config)
+        gshare_result = simulate(gshare, medium_trace, config)
+        assert yags_result.mpki < gshare_result.mpki * 1.3
+
+    def test_beats_bimodal(self, medium_trace):
+        config = SimulationConfig(collect_most_failed=False)
+        yags = simulate(Yags(), medium_trace, config)
+        bimodal = simulate(Bimodal(), medium_trace, config)
+        assert yags.mispredictions < bimodal.mispredictions
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            Yags(log_choice_size=0)
+        with pytest.raises(ValueError):
+            Yags(tag_width=0)
+        with pytest.raises(ValueError):
+            Yags(history_length=0)
+
+    def test_metadata_and_storage(self):
+        predictor = Yags(log_choice_size=10, log_cache_size=8, tag_width=6)
+        metadata = predictor.metadata_stats()
+        assert metadata["name"] == "repro YAGS"
+        assert predictor.storage_bits() == (1 << 10) * 2 \
+            + 2 * (1 << 8) * 8 + predictor.history_length
+
+
+class TestOGehl:
+    def test_learns_periodic_pattern(self):
+        trace = make_trace([0x4000] * 600,
+                           [(i % 7) < 4 for i in range(600)])
+        result = simulate(OGehl(log_table_size=9), trace)
+        assert result.accuracy > 0.9
+
+    def test_adaptive_threshold_moves(self, medium_trace):
+        predictor = OGehl(log_table_size=9)
+        initial_theta = predictor.theta
+        simulate(predictor, medium_trace,
+                 SimulationConfig(collect_most_failed=False))
+        assert predictor.theta != initial_theta or predictor._tc != 0
+
+    def test_dynamic_lengths_toggle_recorded(self, medium_trace):
+        predictor = OGehl(log_table_size=8, num_tables=4)
+        simulate(predictor, medium_trace,
+                 SimulationConfig(collect_most_failed=False))
+        stats = predictor.execution_stats()
+        assert stats["active_length_config"] in (0, 1)
+        assert stats["config_switches"] >= 0
+
+    def test_beats_bimodal(self, medium_trace):
+        config = SimulationConfig(collect_most_failed=False)
+        gehl = simulate(OGehl(), medium_trace, config)
+        bimodal = simulate(Bimodal(), medium_trace, config)
+        assert gehl.mispredictions < bimodal.mispredictions
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            OGehl(num_tables=1)
+        with pytest.raises(ValueError):
+            OGehl(counter_width=1)
+        with pytest.raises(ValueError):
+            OGehl(max_history=50, alt_max_history=40)
+
+    def test_metadata(self):
+        metadata = OGehl(num_tables=6).metadata_stats()
+        assert metadata["name"] == "repro O-GEHL"
+        assert len(metadata["history_lengths"]) == 6
+
+
+class TestStatisticalCorrector:
+    def _small_tage(self):
+        return Tage(num_tables=4, log_base_size=10, log_tagged_size=7,
+                    max_history=40)
+
+    def test_never_much_worse_than_main(self, medium_trace):
+        config = SimulationConfig(collect_most_failed=False)
+        plain = simulate(self._small_tage(), medium_trace, config)
+        corrected = simulate(StatisticalCorrector(self._small_tage()),
+                             medium_trace, config)
+        # The corrector only overrides with confidence; it must not
+        # meaningfully damage the main predictor.
+        assert corrected.mispredictions <= plain.mispredictions * 1.05
+
+    def test_overrides_are_counted(self, medium_trace):
+        predictor = StatisticalCorrector(self._small_tage())
+        simulate(predictor, medium_trace,
+                 SimulationConfig(collect_most_failed=False))
+        stats = predictor.execution_stats()
+        assert "sc_overrides" in stats
+        assert stats["sc_overrides"] >= stats["sc_good_overrides"] >= 0
+
+    def test_corrects_systematically_wrong_main(self):
+        # A pathological main: always predicts taken.  On a never-taken
+        # branch the corrector must learn to invert it.
+        from repro.predictors import AlwaysTaken
+
+        predictor = StatisticalCorrector(AlwaysTaken(), threshold=4)
+        branch = make_branch(ip=0x40_0100, taken=False)
+        misses = 0
+        for i in range(200):
+            prediction = predictor.predict(branch.ip)
+            if i > 100:
+                misses += prediction is not False
+            predictor.train(branch)
+            predictor.track(branch)
+        assert misses < 5
+
+    def test_nested_metadata(self):
+        predictor = tage_sc_l(num_tables=4, log_tagged_size=7)
+        metadata = predictor.metadata_stats()
+        assert metadata["name"] == "repro StatisticalCorrector"
+        assert metadata["main"]["name"] == "repro WithLoopPredictor"
+        assert metadata["main"]["main"]["name"] == "repro TAGE"
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            StatisticalCorrector(Bimodal(), num_tables=0)
+        with pytest.raises(ValueError):
+            StatisticalCorrector(Bimodal(), counter_width=1)
+        with pytest.raises(ValueError):
+            StatisticalCorrector(Bimodal(), threshold=-1)
+
+    def test_tage_sc_factory(self):
+        predictor = tage_sc(num_tables=4, log_tagged_size=7)
+        assert predictor.main.metadata_stats()["name"] == "repro TAGE"
+
+    def test_tage_sc_l_runs_clean(self, small_trace):
+        result = simulate(tage_sc_l(num_tables=4, log_tagged_size=8),
+                          small_trace)
+        assert result.accuracy > 0.6

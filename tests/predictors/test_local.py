@@ -1,0 +1,97 @@
+"""Behavioural tests for the local predictor and the Alpha 21264 hybrid."""
+
+import pytest
+
+from repro.core.simulator import SimulationConfig, simulate
+from repro.predictors import Bimodal, GShare, LocalPredictor, alpha21264
+from tests.conftest import make_branch, make_trace
+
+
+class TestLocalPredictor:
+    def test_learns_per_branch_pattern_with_interleaving(self):
+        # Two interleaved branches with different periods: local history
+        # separates them perfectly; interleaving does not disturb it.
+        predictor = LocalPredictor(log_histories=6, history_length=8)
+        misses = 0
+        for i in range(600):
+            for ip, taken in ((0x4000, i % 2 == 0), (0x5004, i % 3 == 0)):
+                prediction = predictor.predict(ip)
+                if i > 150:
+                    misses += prediction != taken
+                branch = make_branch(ip=ip, taken=taken)
+                predictor.train(branch)
+                predictor.track(branch)
+        assert misses < 20
+
+    def test_immune_to_global_noise(self):
+        # A noisy branch between visits must not change a patterned
+        # branch's prediction (the local predictor's defining property).
+        import random
+
+        random.seed(0)
+        predictor = LocalPredictor(log_histories=6, history_length=6)
+        misses = 0
+        for i in range(800):
+            noise = make_branch(ip=0x9000, taken=random.random() < 0.5)
+            predictor.predict(noise.ip)
+            predictor.train(noise)
+            predictor.track(noise)
+            taken = (i % 4) != 3
+            branch = make_branch(ip=0x4000, taken=taken)
+            if i > 200:
+                misses += predictor.predict(branch.ip) != taken
+            else:
+                predictor.predict(branch.ip)
+            predictor.train(branch)
+            predictor.track(branch)
+        assert misses < 25
+
+    def test_address_aliasing_shares_history(self):
+        predictor = LocalPredictor(log_histories=4, history_length=4)
+        a, b = 0x10, 0x10 + (1 << 4)
+        assert predictor._history_index(a) == predictor._history_index(b)
+
+    def test_storage_bits_21264(self):
+        predictor = LocalPredictor()
+        assert predictor.storage_bits() == 1024 * 10 + 1024 * 3
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LocalPredictor(log_histories=-1)
+        with pytest.raises(ValueError):
+            LocalPredictor(history_length=0)
+        with pytest.raises(ValueError):
+            LocalPredictor(history_length=25)
+        with pytest.raises(ValueError):
+            LocalPredictor(counter_width=0)
+
+    def test_metadata(self):
+        metadata = LocalPredictor().metadata_stats()
+        assert metadata["name"] == "repro LocalPredictor"
+        assert metadata["history_length"] == 10
+
+
+class TestAlpha21264:
+    def test_structure(self):
+        hybrid = alpha21264()
+        metadata = hybrid.metadata_stats()
+        assert metadata["predictor_0"]["name"] == "repro LocalPredictor"
+        assert metadata["predictor_1"]["scheme"] == "GAg"
+        assert metadata["metapredictor"]["scheme"] == "GAg"
+
+    def test_beats_both_halves_on_mixed_workload(self, medium_trace):
+        config = SimulationConfig(collect_most_failed=False)
+        hybrid = simulate(alpha21264(), medium_trace, config)
+        local = simulate(LocalPredictor(), medium_trace, config)
+        assert hybrid.mispredictions < local.mispredictions * 1.05
+
+    def test_beats_bimodal(self, medium_trace):
+        config = SimulationConfig(collect_most_failed=False)
+        hybrid = simulate(alpha21264(), medium_trace, config)
+        bimodal = simulate(Bimodal(), medium_trace, config)
+        assert hybrid.mispredictions < bimodal.mispredictions
+
+    def test_deterministic(self, small_trace):
+        a = simulate(alpha21264(), small_trace)
+        b = simulate(alpha21264(), small_trace)
+        assert a.mispredictions == b.mispredictions

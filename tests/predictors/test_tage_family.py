@@ -1,0 +1,253 @@
+"""Behavioural tests for perceptron, TAGE and BATAGE."""
+
+import pytest
+
+from repro.core.simulator import simulate
+from repro.predictors import (
+    Batage,
+    Bimodal,
+    GShare,
+    HashedPerceptron,
+    Tage,
+    dual_counter_confidence,
+    geometric_history_lengths,
+)
+from repro.predictors.batage import HIGH, LOW, MEDIUM
+from tests.conftest import make_branch, make_trace
+
+
+class TestGeometricSeries:
+    def test_endpoints(self):
+        lengths = geometric_history_lengths(7, 5, 130)
+        assert lengths[0] == 5
+        assert lengths[-1] == 130
+
+    def test_strictly_increasing(self):
+        lengths = geometric_history_lengths(10, 3, 200)
+        assert all(b > a for a, b in zip(lengths, lengths[1:]))
+
+    def test_single_table(self):
+        assert geometric_history_lengths(1, 5, 130) == (5,)
+
+    def test_dense_series_resolves_collisions(self):
+        # min=2, max=5 over 8 tables forces rounding collisions; the
+        # series must stay strictly increasing anyway.
+        lengths = geometric_history_lengths(8, 2, 5)
+        assert all(b > a for a, b in zip(lengths, lengths[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            geometric_history_lengths(0, 5, 130)
+        with pytest.raises(ValueError):
+            geometric_history_lengths(3, 10, 5)
+        with pytest.raises(ValueError):
+            geometric_history_lengths(3, 0, 5)
+
+
+class TestHashedPerceptron:
+    def test_learns_long_period_pattern(self):
+        # Period-5 pattern: 3 taken, 2 not-taken.
+        ips = [0x4000] * 500
+        taken = [(i % 5) < 3 for i in range(500)]
+        trace = make_trace(ips, taken)
+        result = simulate(HashedPerceptron(log_table_size=10), trace)
+        assert result.accuracy > 0.9
+
+    def test_threshold_training_counted(self, small_trace):
+        predictor = HashedPerceptron(log_table_size=10)
+        simulate(predictor, small_trace)
+        stats = predictor.execution_stats()
+        assert stats["threshold_trainings"] > 0
+        assert stats["mispredict_trainings"] > 0
+
+    def test_adaptive_theta_moves(self, medium_trace):
+        predictor = HashedPerceptron(log_table_size=10, theta=60)
+        simulate(predictor, medium_trace)
+        # Far-too-high theta must be pulled down by the controller.
+        assert predictor.theta < 60
+
+    def test_fixed_theta_stays(self, small_trace):
+        predictor = HashedPerceptron(log_table_size=10, theta=13,
+                                     adaptive_theta=False)
+        simulate(predictor, small_trace)
+        assert predictor.theta == 13
+
+    def test_weights_saturate(self):
+        predictor = HashedPerceptron(log_table_size=6, weight_width=4,
+                                     adaptive_theta=False, theta=100)
+        branch = make_branch(ip=0x4444, taken=True)
+        for _ in range(100):
+            predictor.predict(branch.ip)
+            predictor.train(branch)
+            predictor.track(branch)
+        assert all(
+            max(table) <= 7 and min(table) >= -8
+            for table in predictor._tables
+        )
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            HashedPerceptron(log_table_size=0)
+        with pytest.raises(ValueError):
+            HashedPerceptron(weight_width=1)
+        with pytest.raises(ValueError):
+            HashedPerceptron(history_lengths=())
+        with pytest.raises(ValueError):
+            HashedPerceptron(history_lengths=(0, -1))
+
+    def test_metadata(self):
+        metadata = HashedPerceptron().metadata_stats()
+        assert "history_lengths" in metadata
+        assert "theta" in metadata
+
+
+class TestTage:
+    def _small(self, **kwargs):
+        defaults = dict(num_tables=4, log_base_size=10, log_tagged_size=7,
+                        min_history=4, max_history=40)
+        defaults.update(kwargs)
+        return Tage(**defaults)
+
+    def test_beats_gshare_on_program_workload(self, medium_trace):
+        tage = simulate(Tage(), medium_trace)
+        gshare = simulate(GShare(), medium_trace)
+        assert tage.mispredictions < gshare.mispredictions
+
+    def test_provider_distribution_recorded(self, small_trace):
+        predictor = self._small()
+        simulate(predictor, small_trace)
+        hits = predictor.execution_stats()["provider_hits"]
+        assert hits["base"] > 0
+        assert sum(hits.values()) == small_trace.num_conditional_branches
+
+    def test_allocations_happen(self, small_trace):
+        predictor = self._small()
+        simulate(predictor, small_trace)
+        assert predictor.execution_stats()["allocations"] > 0
+
+    def test_long_pattern_uses_tagged_tables(self):
+        # Period-9 pattern needs ~9 history bits: the tagged tables must
+        # end up providing most predictions for this branch.
+        predictor = self._small()
+        ips = [0x4000] * 800
+        taken = [(i % 9) < 5 for i in range(800)]
+        trace = make_trace(ips, taken)
+        result = simulate(predictor, trace)
+        hits = predictor.execution_stats()["provider_hits"]
+        tagged = sum(v for k, v in hits.items() if k != "base")
+        assert tagged > hits["base"]
+        assert result.accuracy > 0.85
+
+    def test_u_reset_period_honored(self):
+        predictor = self._small(u_reset_period=100)
+        branch = make_branch(ip=0x4000, taken=True)
+        table = predictor._tables[0]
+        table.update_useful(5, 3)
+        for i in range(100):
+            b = branch.with_outcome(i % 2 == 0)
+            predictor.predict(b.ip)
+            predictor.train(b)
+            predictor.track(b)
+        # One graceful reset happened: the high bit must be cleared.
+        assert int(table.useful[5]) <= 1
+
+    def test_tag_widths_validation(self):
+        with pytest.raises(ValueError, match="one tag width"):
+            Tage(num_tables=3, tag_widths=(8, 9))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            Tage(num_tables=0)
+        with pytest.raises(ValueError):
+            Tage(u_reset_period=0)
+
+    def test_metadata_lists_structural_params(self):
+        metadata = self._small().metadata_stats()
+        assert len(metadata["history_lengths"]) == 4
+        assert len(metadata["tag_widths"]) == 4
+
+    def test_storage_bits_positive(self):
+        assert self._small().storage_bits() > 0
+
+
+class TestDualCounterConfidence:
+    def test_high_confidence(self):
+        assert dual_counter_confidence(7, 0) == HIGH
+        assert dual_counter_confidence(0, 7) == HIGH
+        assert dual_counter_confidence(5, 1) == HIGH
+
+    def test_medium_confidence(self):
+        assert dual_counter_confidence(1, 0) == MEDIUM
+        assert dual_counter_confidence(3, 2) == MEDIUM
+
+    def test_low_confidence_ties(self):
+        assert dual_counter_confidence(0, 0) == LOW
+        assert dual_counter_confidence(3, 3) == LOW
+
+    def test_boundary_formula(self):
+        # HIGH iff 2*min + 1 < max, i.e. (1+min)/(2+n0+n1) < 1/3.
+        for n1 in range(8):
+            for n0 in range(8):
+                low, high = min(n1, n0), max(n1, n0)
+                expected = (HIGH if 2 * low + 1 < high
+                            else LOW if low == high else MEDIUM)
+                assert dual_counter_confidence(n1, n0) == expected
+
+
+class TestBatage:
+    def _small(self, **kwargs):
+        defaults = dict(num_tables=4, log_base_size=10, log_tagged_size=7,
+                        min_history=4, max_history=40)
+        defaults.update(kwargs)
+        return Batage(**defaults)
+
+    def test_beats_bimodal_on_program_workload(self, medium_trace):
+        batage = simulate(self._small(log_tagged_size=9), medium_trace)
+        bimodal = simulate(Bimodal(), medium_trace)
+        assert batage.mispredictions < bimodal.mispredictions
+
+    def test_deterministic_lfsr_randomness(self, small_trace):
+        a = simulate(self._small(), small_trace)
+        b = simulate(self._small(), small_trace)
+        assert a.mispredictions == b.mispredictions
+
+    def test_different_seed_may_differ_but_stays_deterministic(self,
+                                                               small_trace):
+        a = simulate(self._small(lfsr_seed=1), small_trace)
+        b = simulate(self._small(lfsr_seed=1), small_trace)
+        assert a.mispredictions == b.mispredictions
+
+    def test_allocation_and_decay_statistics(self, medium_trace):
+        predictor = self._small()
+        simulate(predictor, medium_trace)
+        stats = predictor.execution_stats()
+        assert stats["allocations"] > 0
+        assert stats["controlled_decays"] >= 0
+        assert 0 <= stats["cat"] < predictor.cat_max
+
+    def test_dual_counter_update_decays_opposite_at_saturation(self):
+        from repro.predictors.batage import _DualCounterTable
+
+        table = _DualCounterTable(log_size=2, tag_width=4, counter_max=3)
+        for _ in range(5):
+            table.update(0, True)
+        assert table.n_taken[0] == 3
+        table.n_not_taken[0] = 2
+        table.update(0, True)  # saturated: decays the other side
+        assert table.n_taken[0] == 3
+        assert table.n_not_taken[0] == 1
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            Batage(num_tables=0)
+        with pytest.raises(ValueError):
+            Batage(counter_max=0)
+        with pytest.raises(ValueError):
+            Batage(cat_max=0)
+        with pytest.raises(ValueError):
+            Batage(num_tables=2, tag_widths=(8,))
+
+    def test_metadata(self):
+        metadata = self._small().metadata_stats()
+        assert metadata["name"] == "repro BATAGE"
+        assert "cat_max" in metadata

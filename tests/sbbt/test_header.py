@@ -1,0 +1,100 @@
+"""Tests for the SBBT header (paper Fig. 1)."""
+
+import io
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import TraceFormatError
+from repro.sbbt.header import (
+    FORMAT_VERSION,
+    HEADER_SIZE,
+    SIGNATURE,
+    SbbtHeader,
+)
+
+
+class TestLayout:
+    def test_header_is_24_bytes(self):
+        # The body text of Section IV-C fixes 192 bits (the figure
+        # caption's 196 is a typo; see DESIGN.md).
+        assert HEADER_SIZE == 24
+        assert len(SbbtHeader(10, 2).encode()) == 24
+
+    def test_signature_is_sbbt_newline(self):
+        assert SIGNATURE == b"SBBT\n"
+        assert SbbtHeader(0, 0).encode()[:5] == b"SBBT\n"
+
+    def test_version_bytes_follow_signature(self):
+        payload = SbbtHeader(0, 0, version=(1, 2, 3)).encode()
+        assert payload[5:8] == bytes([1, 2, 3])
+
+    def test_counts_little_endian(self):
+        payload = SbbtHeader(0x1122334455667788, 0x0102030405060708,
+                             version=(1, 0, 0)).encode()
+        assert payload[8:16] == bytes.fromhex("8877665544332211")
+        assert payload[16:24] == bytes.fromhex("0807060504030201")
+
+    def test_default_version_is_paper_version(self):
+        assert FORMAT_VERSION == (1, 0, 0)
+
+
+class TestRoundTrip:
+    @given(st.integers(min_value=0, max_value=2**63 - 1),
+           st.integers(min_value=0, max_value=2**63 - 1))
+    def test_encode_decode(self, instructions, branches):
+        if branches > instructions:
+            instructions, branches = branches, instructions
+        header = SbbtHeader(instructions, branches)
+        assert SbbtHeader.decode(header.encode()) == header
+
+    def test_read_from_stream(self):
+        header = SbbtHeader(100, 20)
+        stream = io.BytesIO(header.encode() + b"extra")
+        assert SbbtHeader.read_from(stream) == header
+        assert stream.read() == b"extra"
+
+    def test_version_string(self):
+        assert SbbtHeader(1, 1, version=(1, 0, 0)).version_string() == "1.0.0"
+
+
+class TestValidation:
+    def test_truncated_header(self):
+        with pytest.raises(TraceFormatError, match="truncated"):
+            SbbtHeader.decode(b"SBBT\n")
+
+    def test_bad_signature(self):
+        payload = bytearray(SbbtHeader(1, 1).encode())
+        payload[0] = ord("X")
+        with pytest.raises(TraceFormatError, match="signature"):
+            SbbtHeader.decode(bytes(payload))
+
+    def test_unsupported_major_version(self):
+        payload = bytearray(SbbtHeader(1, 1).encode())
+        payload[5] = 2
+        with pytest.raises(TraceFormatError, match="major version"):
+            SbbtHeader.decode(bytes(payload))
+
+    def test_more_branches_than_instructions(self):
+        with pytest.raises(ValueError, match="more branches"):
+            SbbtHeader(num_instructions=5, num_branches=6)
+
+    def test_negative_counts(self):
+        with pytest.raises(ValueError):
+            SbbtHeader(-1, 0)
+        with pytest.raises(ValueError):
+            SbbtHeader(0, -1)
+
+    def test_bad_version_tuple(self):
+        with pytest.raises(ValueError):
+            SbbtHeader(1, 1, version=(1, 0))
+        with pytest.raises(ValueError):
+            SbbtHeader(1, 1, version=(256, 0, 0))
+
+    def test_decode_count_inconsistency_raises_format_error(self):
+        import struct
+
+        payload = struct.pack("<5s3BQQ", b"SBBT\n", 1, 0, 0, 5, 6)
+        with pytest.raises(TraceFormatError):
+            SbbtHeader.decode(payload)

@@ -1,0 +1,161 @@
+"""Tests for the SBBT branch packet (paper Fig. 2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.branch import Branch, BranchType, Opcode
+from repro.core.errors import TraceFormatError, TraceValidationError
+from repro.sbbt.packet import (
+    MAX_GAP,
+    PACKET_SIZE,
+    SbbtPacket,
+    decode_address,
+    encode_address,
+    is_encodable_address,
+)
+from tests.conftest import (
+    OPCODE_COND_JUMP,
+    OPCODE_IND_JUMP,
+    OPCODE_JUMP,
+    make_branch,
+)
+
+# Canonical 52-bit addresses: low or high half of the address space.
+canonical_addresses = st.one_of(
+    st.integers(min_value=0, max_value=(1 << 51) - 1),
+    st.integers(min_value=((1 << 64) - (1 << 51)), max_value=(1 << 64) - 1),
+)
+
+
+class TestAddressCodec:
+    def test_user_address_round_trip(self):
+        address = 0x0000_5555_5540_1234
+        assert decode_address(encode_address(address)) == address
+
+    def test_kernel_address_round_trip(self):
+        # Upper-half canonical address (all high bits set), the case the
+        # arithmetic shift exists for.
+        address = 0xFFFF_FFFF_FF60_0000
+        assert decode_address(encode_address(address)) == address
+
+    def test_null_round_trip(self):
+        assert decode_address(encode_address(0)) == 0
+
+    def test_non_canonical_rejected(self):
+        with pytest.raises(TraceValidationError):
+            encode_address(1 << 52)
+
+    def test_is_encodable(self):
+        assert is_encodable_address(0)
+        assert is_encodable_address((1 << 51) - 1)
+        assert is_encodable_address(0xFFFF_8000_0000_0000)
+        assert not is_encodable_address(1 << 51)       # sign bit without extension
+        assert not is_encodable_address(1 << 63)
+        assert not is_encodable_address(-1)
+        assert not is_encodable_address(1 << 64)
+
+    @given(canonical_addresses)
+    def test_round_trip_property(self, address):
+        assert decode_address(encode_address(address)) == address
+
+    def test_address_occupies_top_52_bits(self):
+        block = encode_address(0x1234_5678_9ABC)
+        assert block & 0xFFF == 0  # low 12 bits free for metadata
+
+
+class TestPacketLayout:
+    def test_packet_is_16_bytes(self):
+        packet = SbbtPacket(branch=make_branch(), gap=3)
+        assert PACKET_SIZE == 16
+        assert len(packet.encode()) == 16
+
+    def test_opcode_in_low_nibble_of_block1(self):
+        packet = SbbtPacket(branch=make_branch(opcode=OPCODE_COND_JUMP,
+                                               taken=True), gap=0)
+        payload = packet.encode()
+        assert payload[0] & 0xF == int(OPCODE_COND_JUMP)
+
+    def test_outcome_bit_11_of_block1(self):
+        taken = SbbtPacket(make_branch(taken=True), gap=0).encode()
+        not_taken = SbbtPacket(make_branch(taken=False), gap=0).encode()
+        assert taken[1] >> 3 & 1 == 1
+        assert not_taken[1] >> 3 & 1 == 0
+
+    def test_gap_in_low_12_bits_of_block2(self):
+        packet = SbbtPacket(branch=make_branch(), gap=0xABC)
+        payload = packet.encode()
+        block2 = int.from_bytes(payload[8:16], "little")
+        assert block2 & 0xFFF == 0xABC
+
+    def test_max_gap_is_4095(self):
+        assert MAX_GAP == 4095
+        SbbtPacket(branch=make_branch(), gap=4095)  # fits
+        with pytest.raises(TraceValidationError):
+            SbbtPacket(branch=make_branch(), gap=4096)
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(TraceValidationError):
+            SbbtPacket(branch=make_branch(), gap=-1)
+
+
+class TestPacketRoundTrip:
+    @given(canonical_addresses, canonical_addresses, st.booleans(),
+           st.integers(min_value=0, max_value=MAX_GAP))
+    def test_conditional_jump_round_trip(self, ip, target, taken, gap):
+        branch = Branch(ip, target, OPCODE_COND_JUMP, taken)
+        packet = SbbtPacket(branch=branch, gap=gap)
+        decoded = SbbtPacket.decode(packet.encode())
+        assert decoded == packet
+
+    def test_every_valid_opcode_round_trips(self):
+        for value in range(16):
+            if (value >> 2) == 0b11:
+                continue
+            opcode = Opcode(value)
+            taken = True  # satisfies rule 1 for unconditional opcodes
+            branch = Branch(0x40_0000, 0x40_4000, opcode, taken)
+            packet = SbbtPacket(branch=branch, gap=7)
+            assert SbbtPacket.decode(packet.encode()).branch.opcode == opcode
+
+
+class TestPacketValidation:
+    def test_rule1_unconditional_must_be_taken(self):
+        branch = make_branch(opcode=OPCODE_JUMP, taken=False)
+        with pytest.raises(TraceValidationError, match="rule 1"):
+            SbbtPacket(branch=branch, gap=0).encode()
+
+    def test_rule2_not_taken_cond_indirect_needs_null_target(self):
+        opcode = Opcode.encode(conditional=True, indirect=True,
+                               branch_type=BranchType.JUMP)
+        bad = make_branch(opcode=opcode, taken=False, target=0x40_0100)
+        with pytest.raises(TraceValidationError, match="rule 2"):
+            SbbtPacket(branch=bad, gap=0).encode()
+        good = make_branch(opcode=opcode, taken=False, target=0)
+        SbbtPacket(branch=good, gap=0).encode()  # passes
+
+    def test_decode_rejects_reserved_bits(self):
+        payload = bytearray(SbbtPacket(make_branch(), gap=0).encode())
+        payload[0] |= 0x10  # set a reserved bit (bit 4)
+        with pytest.raises(TraceFormatError, match="reserved"):
+            SbbtPacket.decode(bytes(payload))
+
+    def test_decode_rejects_reserved_opcode_type(self):
+        payload = bytearray(SbbtPacket(make_branch(), gap=0).encode())
+        payload[0] = (payload[0] & 0xF0) | 0b1100  # base type 0b11
+        with pytest.raises(TraceFormatError):
+            SbbtPacket.decode(bytes(payload))
+
+    def test_decode_truncated(self):
+        with pytest.raises(TraceFormatError, match="truncated"):
+            SbbtPacket.decode(b"\x00" * 8)
+
+    def test_decode_validate_false_skips_semantic_rules(self):
+        # Rule 1 violation: unconditional not-taken.
+        branch = Branch(0x40_0000, 0x40_0100, OPCODE_JUMP, True)
+        payload = bytearray(SbbtPacket(branch, gap=0).encode())
+        payload[1] &= ~0x08  # clear the outcome bit
+        with pytest.raises(TraceValidationError):
+            SbbtPacket.decode(bytes(payload))
+        decoded = SbbtPacket.decode(bytes(payload), validate=False)
+        assert decoded.branch.taken is False

@@ -1,0 +1,132 @@
+"""End-to-end tests for the ``mbp`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import PREDICTOR_CHOICES, build_parser, main, make_predictor
+from repro.sbbt.writer import write_trace
+
+
+@pytest.fixture()
+def trace_file(tmp_path, small_trace):
+    path = tmp_path / "t.sbbt.gz"
+    write_trace(path, small_trace)
+    return path
+
+
+class TestPredictorRegistry:
+    def test_all_choices_instantiate(self):
+        for name in PREDICTOR_CHOICES:
+            predictor = make_predictor(name)
+            assert predictor.predict(0x40_0000) in (True, False)
+
+    def test_unknown_predictor(self):
+        with pytest.raises(SystemExit):
+            make_predictor("oracle")
+
+    def test_registry_covers_table2(self):
+        assert set(PREDICTOR_CHOICES) == {
+            "bimodal", "two-level", "gshare", "tournament", "gskew",
+            "perceptron", "tage", "batage",
+        }
+
+
+class TestSimulateCommand:
+    def test_json_output(self, trace_file, capsys):
+        assert main(["simulate", str(trace_file),
+                     "--predictor", "bimodal"]) == 0
+        output = json.loads(capsys.readouterr().out)
+        assert output["metrics"]["mispredictions"] > 0
+        assert output["metadata"]["predictor"]["name"] == "repro Bimodal"
+
+    def test_compact_output(self, trace_file, capsys):
+        main(["simulate", str(trace_file), "--compact"])
+        line = capsys.readouterr().out
+        assert "mpki=" in line
+
+    def test_warmup_flag(self, trace_file, capsys):
+        main(["simulate", str(trace_file), "--warmup", "1000"])
+        output = json.loads(capsys.readouterr().out)
+        assert output["metadata"]["warmup_instr"] == 1000
+
+    def test_max_instructions_flag(self, trace_file, capsys):
+        main(["simulate", str(trace_file), "--max-instructions", "500"])
+        output = json.loads(capsys.readouterr().out)
+        assert output["metadata"]["exhausted_trace"] is False
+
+
+class TestCompareCommand:
+    def test_compare(self, trace_file, capsys):
+        assert main(["compare", str(trace_file), "bimodal", "gshare"]) == 0
+        output = json.loads(capsys.readouterr().out)
+        assert "mpki_delta" in output["metrics"]
+
+
+class TestInfoCommand:
+    def test_human_output(self, trace_file, capsys):
+        assert main(["info", str(trace_file)]) == 0
+        assert "branches" in capsys.readouterr().out
+
+    def test_json_output(self, trace_file, capsys):
+        main(["info", str(trace_file), "--json"])
+        output = json.loads(capsys.readouterr().out)
+        assert output["gap_fits_12_bits"] is True
+
+
+class TestGenerateCommand:
+    def test_generate(self, tmp_path, capsys):
+        out = tmp_path / "gen.sbbt.gz"
+        assert main(["generate", str(out), "--category", "short_mobile",
+                     "--branches", "2000", "--seed", "3"]) == 0
+        assert out.exists()
+        assert "2000 branches" in capsys.readouterr().out
+
+    def test_generated_trace_simulates(self, tmp_path, capsys):
+        out = tmp_path / "gen.sbbt"
+        main(["generate", str(out), "--branches", "1500"])
+        capsys.readouterr()
+        main(["simulate", str(out), "--compact"])
+        assert "mpki=" in capsys.readouterr().out
+
+
+class TestTranslateCommand:
+    def test_sbbt_to_bt9_and_back(self, tmp_path, trace_file, capsys):
+        bt9 = tmp_path / "t.bt9.gz"
+        assert main(["translate", str(trace_file), str(bt9),
+                     "--direction", "sbbt-to-bt9"]) == 0
+        assert bt9.exists()
+        back = tmp_path / "back.sbbt"
+        assert main(["translate", str(bt9), str(back),
+                     "--direction", "bt9-to-sbbt"]) == 0
+        assert "branches" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestChampionshipCommand:
+    def test_leaderboard_printed(self, trace_file, capsys):
+        assert main(["championship", str(trace_file),
+                     "--predictors", "bimodal", "gshare"]) == 0
+        output = capsys.readouterr().out
+        assert "Championship leaderboard" in output
+        assert "bimodal" in output and "gshare" in output
+
+    def test_multiple_traces(self, tmp_path, small_trace, server_trace,
+                             capsys):
+        a = tmp_path / "a.sbbt"
+        b = tmp_path / "b.sbbt"
+        write_trace(a, small_trace)
+        write_trace(b, server_trace)
+        main(["championship", str(a), str(b),
+              "--predictors", "bimodal"])
+        output = capsys.readouterr().out
+        assert "a.sbbt" in output and "b.sbbt" in output

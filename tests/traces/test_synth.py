@@ -1,0 +1,154 @@
+"""Tests for the synthetic workload generator and suite definitions."""
+
+import numpy as np
+import pytest
+
+from repro.sbbt.packet import MAX_GAP
+from repro.traces.synth import SyntheticProgram, WorkloadProfile, generate_trace
+from repro.traces.workloads import (
+    CBP5_EVALUATION_SUITE,
+    CBP5_TRAINING_SUITE,
+    DPC3_SUITE,
+    PROFILES,
+    SuiteSpec,
+    generate_suite,
+    generate_workload,
+    write_suite,
+)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate_workload("short_mobile", seed=5, num_branches=3000)
+        b = generate_workload("short_mobile", seed=5, num_branches=3000)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_workload("short_mobile", seed=1, num_branches=3000)
+        b = generate_workload("short_mobile", seed=2, num_branches=3000)
+        assert a != b
+
+    def test_exact_branch_count(self):
+        trace = generate_workload("short_server", seed=3, num_branches=4321)
+        assert len(trace) == 4321
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            generate_workload("no_such_category")
+
+    @pytest.mark.parametrize("category", sorted(PROFILES))
+    def test_branch_density_in_papers_range(self, category):
+        # Hennessy & Patterson's 15-25 %, cited by the paper; allow a
+        # little slack for the server profiles' longer blocks.
+        trace = generate_workload(category, seed=7, num_branches=20000)
+        density = len(trace) / trace.num_instructions
+        assert 0.08 <= density <= 0.30
+
+    @pytest.mark.parametrize("category", sorted(PROFILES))
+    def test_gaps_fit_sbbt_field(self, category):
+        trace = generate_workload(category, seed=7, num_branches=20000)
+        assert int(trace.gaps.max()) <= MAX_GAP
+
+    def test_traces_are_sbbt_valid(self):
+        from repro.sbbt.writer import encode_payload
+        from repro.sbbt.reader import decode_payload
+
+        trace = generate_workload("long_server", seed=4, num_branches=5000)
+        assert decode_payload(encode_payload(trace)) == trace
+
+    def test_branch_mix_includes_calls_and_returns(self):
+        trace = generate_workload("short_server", seed=1, num_branches=30000)
+        opcodes = trace.opcodes
+        calls = int(((opcodes >> 2) == 0b10).sum())
+        returns = int(((opcodes >> 2) == 0b01).sum())
+        assert calls > 0
+        assert returns > 0
+        assert abs(calls - returns) <= max(8, calls // 2)
+
+    def test_conditional_majority(self):
+        trace = generate_workload("spec17_like", seed=1, num_branches=20000)
+        assert trace.num_conditional_branches / len(trace) > 0.9
+
+    def test_taken_rate_program_like(self):
+        trace = generate_workload("short_mobile", seed=2, num_branches=20000)
+        assert 0.4 <= float(trace.taken.mean()) <= 0.9
+
+    def test_static_site_count_scales_with_footprint(self):
+        mobile = generate_workload("short_mobile", seed=3, num_branches=30000)
+        server = generate_workload("short_server", seed=3, num_branches=30000)
+        assert (len(np.unique(server.ips)) > len(np.unique(mobile.ips)))
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(num_functions=0)
+        with pytest.raises(ValueError):
+            WorkloadProfile(biased_fraction=0.8, pattern_fraction=0.5)
+        with pytest.raises(ValueError):
+            WorkloadProfile(mean_block_length=5000)
+
+    def test_negative_branch_count_rejected(self):
+        program = SyntheticProgram(PROFILES["short_mobile"], 1)
+        with pytest.raises(ValueError):
+            list(program.events(-1))
+
+    def test_zero_branches(self):
+        trace = generate_trace(PROFILES["short_mobile"], 1, 0)
+        assert len(trace) == 0
+
+    def test_phase_change_redraws_behaviour(self):
+        profile = WorkloadProfile(num_functions=8, phase_period=2000)
+        trace = generate_trace(profile, 5, 12000)
+        # Phases make the taken-rate drift between halves more often
+        # than not; just assert the machinery produced a valid trace.
+        assert len(trace) == 12000
+
+
+class TestSuites:
+    def test_trace_plans_deterministic(self):
+        plans_a = CBP5_TRAINING_SUITE.trace_plans()
+        plans_b = CBP5_TRAINING_SUITE.trace_plans()
+        assert plans_a == plans_b
+
+    def test_training_suite_shape(self):
+        plans = CBP5_TRAINING_SUITE.trace_plans()
+        assert len(plans) == 20  # 4 categories x 5 traces
+        names = [name for name, *_ in plans]
+        assert "SHORT_MOBILE-1" in names
+        assert "LONG_SERVER-5" in names
+
+    def test_length_spread(self):
+        plans = CBP5_TRAINING_SUITE.trace_plans()
+        sizes = [branches for *_, branches in plans]
+        assert max(sizes) / min(sizes) >= 4
+
+    def test_evaluation_suite_larger(self):
+        assert (len(CBP5_EVALUATION_SUITE.trace_plans())
+                > len(CBP5_TRAINING_SUITE.trace_plans()))
+
+    def test_dpc3_suite_is_spec_like(self):
+        assert all(category == "spec17_like"
+                   for _, category, *_ in DPC3_SUITE.trace_plans())
+
+    def test_generate_suite(self):
+        spec = SuiteSpec(name="mini", categories=("short_mobile",),
+                         traces_per_category=2, branches_per_trace=1500,
+                         seed=9)
+        suite = generate_suite(spec)
+        assert set(suite) == {"SHORT_MOBILE-1", "SHORT_MOBILE-2"}
+        assert all(len(trace) >= 1000 for trace in suite.values())
+
+    def test_write_suite(self, tmp_path):
+        spec = SuiteSpec(name="mini", categories=("short_mobile",),
+                         traces_per_category=2, branches_per_trace=1200,
+                         seed=9)
+        messages = []
+        paths = write_suite(spec, tmp_path, suffix=".sbbt.gz",
+                            progress=messages.append)
+        assert len(paths) == 2
+        assert all(path.exists() for path in paths)
+        assert len(messages) == 2
+
+        from repro.sbbt.reader import read_trace
+
+        loaded = read_trace(paths[0])
+        assert len(loaded) >= 1000

@@ -1,0 +1,86 @@
+"""Tests for the trace translators and the inspection tool."""
+
+import pytest
+
+from repro.baselines.champsim import (
+    instruction_trace_from_branches,
+    write_instruction_trace,
+)
+from repro.baselines.cbp5 import write_bt9
+from repro.sbbt.reader import read_trace
+from repro.sbbt.trace import TraceData
+from repro.sbbt.writer import write_trace
+from repro.traces.inspect import analyze_trace
+from repro.traces.translate import (
+    bt9_to_sbbt,
+    champsim_to_sbbt,
+    sbbt_to_bt9,
+)
+from tests.conftest import OPCODE_CALL, OPCODE_COND_JUMP, make_trace
+
+
+class TestTranslators:
+    def test_bt9_to_sbbt_round_trip(self, tmp_path, server_trace):
+        bt9 = tmp_path / "t.bt9.gz"
+        sbbt = tmp_path / "t.sbbt.xz"
+        write_bt9(bt9, server_trace)
+        report = bt9_to_sbbt(bt9, sbbt)
+        assert read_trace(sbbt) == server_trace
+        assert report.num_branches == len(server_trace)
+        assert report.source_bytes == bt9.stat().st_size
+        assert report.destination_bytes == sbbt.stat().st_size
+
+    def test_sbbt_to_bt9_round_trip(self, tmp_path, small_trace):
+        sbbt = tmp_path / "t.sbbt"
+        bt9 = tmp_path / "t.bt9"
+        write_trace(sbbt, small_trace)
+        sbbt_to_bt9(sbbt, bt9)
+        report = bt9_to_sbbt(bt9, tmp_path / "back.sbbt")
+        assert read_trace(tmp_path / "back.sbbt") == small_trace
+        assert report.size_ratio > 0
+
+    def test_champsim_to_sbbt(self, tmp_path, server_trace):
+        champsim = tmp_path / "t.champsim.xz"
+        sbbt = tmp_path / "t.sbbt.xz"
+        write_instruction_trace(
+            champsim, instruction_trace_from_branches(server_trace))
+        report = champsim_to_sbbt(champsim, sbbt)
+        translated = read_trace(sbbt)
+        assert len(translated) == len(server_trace)
+        assert translated.num_instructions == server_trace.num_instructions
+        # The per-instruction source should be larger than the branch-only
+        # destination (Table I's DPC3 direction).
+        assert report.size_ratio > 1.0
+
+
+class TestInspect:
+    def test_mixed_trace_statistics(self):
+        trace = make_trace(
+            [0x4000, 0x4010, 0x4000, 0x4020],
+            [True, True, False, True],
+            opcodes=[int(OPCODE_COND_JUMP), int(OPCODE_CALL),
+                     int(OPCODE_COND_JUMP), int(OPCODE_COND_JUMP)],
+            gaps=[2, 0, 5, 1],
+        )
+        stats = analyze_trace(trace)
+        assert stats.num_branches == 4
+        assert stats.num_conditional == 3
+        assert stats.num_calls == 1
+        assert stats.num_static_branches == 3
+        assert stats.taken_fraction == pytest.approx(0.75)
+        assert stats.max_gap == 5
+        assert stats.gap_fits_12_bits is True
+        assert stats.branch_density == pytest.approx(4 / 12)
+
+    def test_empty_trace(self):
+        stats = analyze_trace(TraceData.empty())
+        assert stats.num_branches == 0
+        assert stats.gap_fits_12_bits is True
+
+    def test_json_and_summary(self, small_trace):
+        stats = analyze_trace(small_trace)
+        payload = stats.to_json()
+        assert payload["num_branches"] == len(small_trace)
+        text = stats.summary()
+        assert "instructions" in text
+        assert "12-bit safe: True" in text

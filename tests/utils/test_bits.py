@@ -1,0 +1,142 @@
+"""Unit and property tests for repro.utils.bits."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils import bits
+
+
+class TestMask:
+    def test_zero_width(self):
+        assert bits.mask(0) == 0
+
+    def test_small_widths(self):
+        assert bits.mask(1) == 1
+        assert bits.mask(4) == 0xF
+        assert bits.mask(12) == 0xFFF
+
+    def test_64_bits(self):
+        assert bits.mask(64) == (1 << 64) - 1
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            bits.mask(-1)
+
+    @given(st.integers(min_value=0, max_value=128))
+    def test_popcount_of_mask_is_width(self, width):
+        assert bits.mask(width).bit_count() == width
+
+
+class TestGetSetBits:
+    def test_get_bits(self):
+        assert bits.get_bits(0b110100, 2, 3) == 0b101
+
+    def test_get_bits_zero_width(self):
+        assert bits.get_bits(0xFFFF, 3, 0) == 0
+
+    def test_set_bits_replaces_field(self):
+        assert bits.set_bits(0b1111_1111, 2, 3, 0b000) == 0b1110_0011
+
+    def test_set_bits_rejects_oversized_field(self):
+        with pytest.raises(ValueError):
+            bits.set_bits(0, 0, 2, 0b100)
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1),
+           st.integers(min_value=0, max_value=56),
+           st.integers(min_value=1, max_value=8),
+           st.integers(min_value=0, max_value=255))
+    def test_set_then_get_round_trip(self, value, low, width, field):
+        field &= bits.mask(width)
+        updated = bits.set_bits(value, low, width, field)
+        assert bits.get_bits(updated, low, width) == field
+
+    def test_bit_extracts_single_position(self):
+        assert bits.bit(0b100, 2) == 1
+        assert bits.bit(0b100, 1) == 0
+
+    def test_bit_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            bits.bit(1, -1)
+
+
+class TestSignExtend:
+    def test_negative_value(self):
+        assert bits.sign_extend(0b1111, 4) == -1
+
+    def test_positive_value(self):
+        assert bits.sign_extend(0b0111, 4) == 7
+
+    def test_width_boundary(self):
+        assert bits.sign_extend(1 << 51, 52) == -(1 << 51)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            bits.sign_extend(0, 0)
+
+    @given(st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1))
+    def test_round_trips_32_bit_values(self, value):
+        assert bits.sign_extend(value & bits.mask(32), 32) == value
+
+
+class TestLogHelpers:
+    def test_is_power_of_two(self):
+        assert bits.is_power_of_two(1)
+        assert bits.is_power_of_two(1024)
+        assert not bits.is_power_of_two(0)
+        assert not bits.is_power_of_two(3)
+        assert not bits.is_power_of_two(-4)
+
+    def test_ceil_log2(self):
+        assert bits.ceil_log2(1) == 0
+        assert bits.ceil_log2(2) == 1
+        assert bits.ceil_log2(3) == 2
+        assert bits.ceil_log2(1024) == 10
+
+    def test_floor_log2(self):
+        assert bits.floor_log2(1) == 0
+        assert bits.floor_log2(1023) == 9
+        assert bits.floor_log2(1024) == 10
+
+    def test_logs_reject_non_positive(self):
+        with pytest.raises(ValueError):
+            bits.ceil_log2(0)
+        with pytest.raises(ValueError):
+            bits.floor_log2(0)
+
+    @given(st.integers(min_value=1, max_value=1 << 40))
+    def test_log_bounds(self, value):
+        assert 2 ** bits.floor_log2(value) <= value
+        assert 2 ** bits.ceil_log2(value) >= value
+
+
+class TestReverseAndRotate:
+    def test_reverse_bits(self):
+        assert bits.reverse_bits(0b0011, 4) == 0b1100
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    def test_reverse_is_involution(self, value):
+        assert bits.reverse_bits(bits.reverse_bits(value, 16), 16) == value
+
+    def test_rotate_left(self):
+        assert bits.rotate_left(0b1001, 1, 4) == 0b0011
+
+    def test_rotate_right(self):
+        assert bits.rotate_right(0b1001, 1, 4) == 0b1100
+
+    @given(st.integers(min_value=0, max_value=2**12 - 1),
+           st.integers(min_value=0, max_value=40))
+    def test_rotations_invert_each_other(self, value, amount):
+        rotated = bits.rotate_left(value, amount, 12)
+        assert bits.rotate_right(rotated, amount, 12) == value
+
+    def test_rotate_full_width_is_identity(self):
+        assert bits.rotate_left(0b1011, 4, 4) == 0b1011
+
+    def test_popcount(self):
+        assert bits.popcount(0) == 0
+        assert bits.popcount(0b1011) == 3
+
+    def test_popcount_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bits.popcount(-1)

@@ -1,0 +1,190 @@
+"""Unit and property tests for the saturating counters."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.counters import (
+    CounterArray,
+    SignedSaturatingCounter,
+    UnsignedSaturatingCounter,
+    i2,
+    u2,
+)
+
+
+class TestSignedSaturatingCounter:
+    def test_i2_range(self):
+        counter = i2()
+        assert counter.min == -2
+        assert counter.max == 1
+
+    def test_increment_saturates(self):
+        counter = i2(1)
+        counter.increment()
+        assert counter.value == 1
+
+    def test_decrement_saturates(self):
+        counter = i2(-2)
+        counter.decrement()
+        assert counter.value == -2
+
+    def test_sum_or_sub_follows_condition(self):
+        counter = i2()
+        counter.sum_or_sub(True)
+        assert counter.value == 1
+        counter.sum_or_sub(False).sum_or_sub(False)
+        assert counter.value == -1
+
+    def test_taken_convention(self):
+        assert i2(0).is_taken()
+        assert i2(1).is_taken()
+        assert not i2(-1).is_taken()
+        assert not i2(-2).is_taken()
+
+    def test_out_of_range_value_rejected(self):
+        with pytest.raises(ValueError):
+            SignedSaturatingCounter(2, value=2)
+        with pytest.raises(ValueError):
+            SignedSaturatingCounter(2, value=-3)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            SignedSaturatingCounter(0)
+
+    def test_is_saturated(self):
+        assert i2(1).is_saturated()
+        assert i2(-2).is_saturated()
+        assert not i2(0).is_saturated()
+
+    def test_reset(self):
+        counter = i2(1)
+        counter.reset()
+        assert counter.value == 0
+
+    def test_comparisons_and_int_conversion(self):
+        counter = i2(1)
+        assert counter >= 0
+        assert counter > 0
+        assert int(counter) == 1
+        assert counter == 1
+        assert counter == i2(1)
+        assert counter != i2(0)
+
+    def test_hashable(self):
+        assert len({i2(0), i2(0), i2(1)}) == 2
+
+    @given(st.integers(min_value=1, max_value=10),
+           st.lists(st.booleans(), max_size=200))
+    def test_value_always_in_range(self, width, updates):
+        counter = SignedSaturatingCounter(width)
+        for taken in updates:
+            counter.sum_or_sub(taken)
+            assert counter.min <= counter.value <= counter.max
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=100))
+    def test_matches_clamped_walk(self, updates):
+        counter = SignedSaturatingCounter(3)
+        state = 0
+        for taken in updates:
+            state = max(-4, min(3, state + (1 if taken else -1)))
+            counter.sum_or_sub(taken)
+        assert counter.value == state
+
+
+class TestUnsignedSaturatingCounter:
+    def test_u2_range_and_threshold(self):
+        counter = u2()
+        assert counter.max == 3
+        assert counter.taken_threshold == 2
+
+    def test_taken_convention(self):
+        assert not UnsignedSaturatingCounter(2, 1).is_taken()
+        assert UnsignedSaturatingCounter(2, 2).is_taken()
+
+    def test_saturation(self):
+        counter = u2(3)
+        counter.increment()
+        assert counter.value == 3
+        counter = u2(0)
+        counter.decrement()
+        assert counter.value == 0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            UnsignedSaturatingCounter(2, value=4)
+        with pytest.raises(ValueError):
+            UnsignedSaturatingCounter(2, value=-1)
+
+    def test_equality_and_int(self):
+        assert u2(2) == 2
+        assert int(u2(3)) == 3
+        assert u2(1) == u2(1)
+
+    @given(st.integers(min_value=1, max_value=8),
+           st.lists(st.booleans(), max_size=200))
+    def test_value_always_in_range(self, width, updates):
+        counter = UnsignedSaturatingCounter(width)
+        for taken in updates:
+            counter.sum_or_sub(taken)
+            assert 0 <= counter.value <= counter.max
+
+
+class TestCounterArray:
+    def test_basic_update_cycle(self):
+        table = CounterArray(8, width=2)
+        table.update(3, True)
+        assert table[3] == 1
+        assert table.is_taken(3)
+        table.update(3, True)   # saturate at +1
+        assert table[3] == 1
+        table.update(3, False)
+        table.update(3, False)
+        table.update(3, False)  # saturate at -2
+        assert table[3] == -2
+        assert not table.is_taken(3)
+
+    def test_setitem_validates_range(self):
+        table = CounterArray(4, width=2)
+        with pytest.raises(ValueError):
+            table[0] = 2
+
+    def test_fill_validates_range(self):
+        with pytest.raises(ValueError):
+            CounterArray(4, width=2, fill=5)
+
+    def test_strength(self):
+        table = CounterArray(4, width=3)
+        table[0] = 3
+        table[1] = -1
+        table[2] = -4
+        assert table.strength(0) == 3
+        assert table.strength(1) == 0
+        assert table.strength(2) == 3
+
+    def test_reset(self):
+        table = CounterArray(4, width=2, fill=1)
+        table.reset(-1)
+        assert all(v == -1 for v in table)
+
+    def test_len_and_iter(self):
+        table = CounterArray(16)
+        assert len(table) == 16
+        assert list(table) == [0] * 16
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            CounterArray(0)
+        with pytest.raises(ValueError):
+            CounterArray(4, width=0)
+
+    @given(st.lists(st.tuples(st.integers(0, 15), st.booleans()),
+                    max_size=300))
+    def test_array_matches_scalar_counters(self, updates):
+        table = CounterArray(16, width=2)
+        scalars = [SignedSaturatingCounter(2) for _ in range(16)]
+        for index, taken in updates:
+            table.update(index, taken)
+            scalars[index].sum_or_sub(taken)
+        for index in range(16):
+            assert table[index] == scalars[index].value

@@ -1,0 +1,110 @@
+"""Property tests for the folded-history invariant.
+
+The whole point of :class:`FoldedHistory` is the O(1)-maintained
+invariant ``folded.value == xor_fold(window.value(L), W)``; these tests
+hammer it across lengths, widths and outcome sequences.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.folded import FoldedHistory, HistoryWindow
+from repro.utils.hashing import xor_fold
+
+
+class TestHistoryWindow:
+    def test_push_and_index(self):
+        window = HistoryWindow(4)
+        window.push(True)
+        window.push(False)
+        assert window[0] == 0  # newest
+        assert window[1] == 1
+
+    def test_wraps_and_discards(self):
+        window = HistoryWindow(3)
+        for taken in (True, True, True, False):
+            window.push(taken)
+        assert window[0] == 0
+        assert window[1] == 1
+        assert window[2] == 1
+
+    def test_value_packs_lsb_newest(self):
+        window = HistoryWindow(8)
+        for taken in (True, False, True):  # newest last
+            window.push(taken)
+        assert window.value(3) == 0b101
+
+    def test_value_length_bounds(self):
+        window = HistoryWindow(4)
+        with pytest.raises(ValueError):
+            window.value(5)
+
+    def test_index_bounds(self):
+        window = HistoryWindow(4)
+        with pytest.raises(IndexError):
+            window[4]
+
+    def test_reset(self):
+        window = HistoryWindow(4)
+        window.push(True)
+        window.reset()
+        assert window.value(4) == 0
+
+    def test_constructor_validates(self):
+        with pytest.raises(ValueError):
+            HistoryWindow(0)
+
+
+class TestFoldedHistoryInvariant:
+    def _run(self, history_length, folded_width, outcomes):
+        window = HistoryWindow(history_length)
+        folded = FoldedHistory(history_length, folded_width)
+        for taken in outcomes:
+            evicted = window[history_length - 1]
+            folded.update(taken, evicted)
+            window.push(taken)
+            expected = xor_fold(window.value(history_length), folded_width)
+            assert folded.value == expected
+        return folded
+
+    @given(st.lists(st.booleans(), max_size=150))
+    def test_invariant_width_smaller_than_length(self, outcomes):
+        self._run(history_length=23, folded_width=7, outcomes=outcomes)
+
+    @given(st.lists(st.booleans(), max_size=150))
+    def test_invariant_width_larger_than_length(self, outcomes):
+        self._run(history_length=5, folded_width=11, outcomes=outcomes)
+
+    @given(st.lists(st.booleans(), max_size=150))
+    def test_invariant_width_divides_length(self, outcomes):
+        self._run(history_length=24, folded_width=8, outcomes=outcomes)
+
+    @given(st.lists(st.booleans(), max_size=80))
+    def test_invariant_width_one(self, outcomes):
+        self._run(history_length=9, folded_width=1, outcomes=outcomes)
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=1, max_value=64),
+           st.integers(min_value=1, max_value=16),
+           st.lists(st.booleans(), min_size=70, max_size=140))
+    def test_invariant_random_shapes(self, length, width, outcomes):
+        self._run(history_length=length, folded_width=width,
+                  outcomes=outcomes)
+
+    def test_reset(self):
+        folded = FoldedHistory(10, 4)
+        folded.update(True, 0)
+        folded.reset()
+        assert folded.value == 0
+
+    def test_constructor_validates(self):
+        with pytest.raises(ValueError):
+            FoldedHistory(0, 4)
+        with pytest.raises(ValueError):
+            FoldedHistory(4, 0)
+
+    def test_int_conversion(self):
+        folded = FoldedHistory(8, 4)
+        folded.update(True, 0)
+        assert int(folded) == folded.value

@@ -1,0 +1,149 @@
+"""Unit and property tests for the history registers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.history import GlobalHistory, LocalHistoryTable, PathHistory
+
+
+class TestGlobalHistory:
+    def test_push_order(self):
+        history = GlobalHistory(4)
+        history.push(True)
+        history.push(False)
+        history.push(True)
+        # bit 0 = newest: T, N, T -> 0b101.
+        assert history.value == 0b101
+
+    def test_truncates_to_length(self):
+        history = GlobalHistory(3)
+        for _ in range(10):
+            history.push(True)
+        assert history.value == 0b111
+
+    def test_newest_and_getitem(self):
+        history = GlobalHistory(4)
+        history.push(True)
+        history.push(False)
+        assert history.newest() is False
+        assert history[0] is False
+        assert history[1] is True
+
+    def test_getitem_bounds(self):
+        history = GlobalHistory(4)
+        with pytest.raises(IndexError):
+            history[4]
+        with pytest.raises(IndexError):
+            history[-1]
+
+    def test_taken_count(self):
+        history = GlobalHistory(8)
+        for taken in (True, False, True, True):
+            history.push(taken)
+        assert history.taken_count() == 3
+
+    def test_reset(self):
+        history = GlobalHistory(8, value=0b1010)
+        history.reset()
+        assert history.value == 0
+
+    def test_constructor_validates(self):
+        with pytest.raises(ValueError):
+            GlobalHistory(0)
+        with pytest.raises(ValueError):
+            GlobalHistory(2, value=0b100)
+
+    def test_len_and_int(self):
+        history = GlobalHistory(6, value=0b11)
+        assert len(history) == 6
+        assert int(history) == 3
+
+    @given(st.lists(st.booleans(), max_size=100))
+    def test_matches_bit_reconstruction(self, outcomes):
+        length = 16
+        history = GlobalHistory(length)
+        for taken in outcomes:
+            history.push(taken)
+        expected = 0
+        for age, taken in enumerate(reversed(outcomes[-length:])):
+            expected |= int(taken) << age
+        assert history.value == expected
+
+
+class TestPathHistory:
+    def test_push_changes_value(self):
+        path = PathHistory(12)
+        before = path.value
+        path.push(0x40_0000)
+        # ip low bits are zero, but the shift-xor still moves state once
+        # a nonzero bit enters; push a distinguishable address.
+        path.push(0x40_0005)
+        assert path.value != before
+
+    def test_reset(self):
+        path = PathHistory(12)
+        path.push(123)
+        path.reset()
+        assert path.value == 0
+
+    def test_constructor_validates(self):
+        with pytest.raises(ValueError):
+            PathHistory(0)
+        with pytest.raises(ValueError):
+            PathHistory(4, value=0x10)
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**48 - 1),
+                    max_size=64))
+    def test_stays_in_width(self, addresses):
+        path = PathHistory(10)
+        for address in addresses:
+            path.push(address)
+            assert 0 <= path.value < (1 << 10)
+
+
+class TestLocalHistoryTable:
+    def test_independent_entries(self):
+        table = LocalHistoryTable(num_entries=4, history_length=4)
+        table.push(0, True)
+        table.push(1, False)
+        table.push(0, True)
+        assert table.read(0) == 0b11
+        assert table.read(1) == 0b0
+        assert table.read(2) == 0
+
+    def test_truncation(self):
+        table = LocalHistoryTable(num_entries=2, history_length=3)
+        for _ in range(5):
+            table.push(1, True)
+        assert table.read(1) == 0b111
+
+    def test_reset(self):
+        table = LocalHistoryTable(num_entries=2, history_length=4)
+        table.push(0, True)
+        table.reset()
+        assert table.read(0) == 0
+
+    def test_len(self):
+        assert len(LocalHistoryTable(8, 4)) == 8
+
+    def test_constructor_validates(self):
+        with pytest.raises(ValueError):
+            LocalHistoryTable(0, 4)
+        with pytest.raises(ValueError):
+            LocalHistoryTable(4, 0)
+        with pytest.raises(ValueError):
+            LocalHistoryTable(4, 64)
+
+    @given(st.lists(st.tuples(st.integers(0, 7), st.booleans()),
+                    max_size=200))
+    def test_each_entry_matches_its_own_global_register(self, pushes):
+        from repro.utils.history import GlobalHistory
+
+        table = LocalHistoryTable(num_entries=8, history_length=6)
+        references = [GlobalHistory(6) for _ in range(8)]
+        for index, taken in pushes:
+            table.push(index, taken)
+            references[index].push(taken)
+        for index in range(8):
+            assert table.read(index) == references[index].value

@@ -1,0 +1,79 @@
+"""Unit tests for the LFSR pseudo-random source."""
+
+import pytest
+
+from repro.utils.lfsr import Lfsr
+
+
+class TestLfsr:
+    def test_deterministic(self):
+        a = Lfsr(width=16, seed=7)
+        b = Lfsr(width=16, seed=7)
+        assert [a.next_bit() for _ in range(64)] == \
+               [b.next_bit() for _ in range(64)]
+
+    def test_seed_zero_coerced(self):
+        register = Lfsr(width=8, seed=0)
+        assert register.state != 0
+
+    def test_never_reaches_zero_state(self):
+        register = Lfsr(width=8, seed=1)
+        for _ in range(512):
+            register.next_bit()
+            assert register.state != 0
+
+    def test_maximal_period_width_8(self):
+        register = Lfsr(width=8, seed=1)
+        seen = set()
+        for _ in range(255):
+            seen.add(register.state)
+            register.next_bit()
+        assert len(seen) == 255  # every nonzero state visited
+
+    def test_next_bits_packs_lsb_first(self):
+        a = Lfsr(width=16, seed=99)
+        b = Lfsr(width=16, seed=99)
+        packed = a.next_bits(8)
+        manual = 0
+        for i in range(8):
+            manual |= b.next_bit() << i
+        assert packed == manual
+
+    def test_next_bits_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Lfsr(width=8).next_bits(-1)
+
+    def test_below_in_range(self):
+        register = Lfsr(width=32, seed=5)
+        for _ in range(200):
+            assert 0 <= register.below(7) < 7
+
+    def test_below_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            Lfsr(width=8).below(0)
+
+    def test_chance_extremes(self):
+        register = Lfsr(width=16)
+        assert not register.chance(0, 4)
+        assert register.chance(4, 4)
+        assert register.chance(5, 4)
+
+    def test_chance_rough_frequency(self):
+        register = Lfsr(width=32, seed=123)
+        hits = sum(register.chance(1, 4) for _ in range(4000))
+        assert 800 <= hits <= 1200  # ~25 %
+
+    def test_chance_rejects_bad_denominator(self):
+        with pytest.raises(ValueError):
+            Lfsr(width=8).chance(1, 0)
+
+    def test_unknown_width_needs_taps(self):
+        with pytest.raises(ValueError):
+            Lfsr(width=13)
+        register = Lfsr(width=13, taps=0b1011000000000)
+        assert register.width == 13
+
+    def test_bit_balance(self):
+        register = Lfsr(width=16, seed=0xACE1)
+        ones = sum(register.next_bit() for _ in range(4096))
+        assert 1800 <= ones <= 2300

@@ -1,0 +1,125 @@
+"""Unit tests for the table structures."""
+
+import pytest
+
+from repro.utils.tables import DirectMappedTable, TaggedTable
+
+
+class TestDirectMappedTable:
+    def test_indexing_wraps_with_mask(self):
+        table = DirectMappedTable(log_size=4, lo=-8, hi=7)
+        table[3] = 5
+        assert table[3] == 5
+        assert table[3 + 16] == 5  # hash bits above the mask ignored
+
+    def test_setitem_clamps(self):
+        table = DirectMappedTable(log_size=2, lo=-2, hi=1)
+        table[0] = 100
+        assert table[0] == 1
+        table[0] = -100
+        assert table[0] == -2
+
+    def test_add_clamps_and_returns(self):
+        table = DirectMappedTable(log_size=2, lo=-4, hi=3)
+        assert table.add(1, 10) == 3
+        assert table.add(1, -20) == -4
+
+    def test_update_is_counter_idiom(self):
+        table = DirectMappedTable(log_size=2, lo=-2, hi=1)
+        assert table.update(0, True) == 1
+        assert table.update(0, True) == 1
+        assert table.update(0, False) == 0
+
+    def test_reset_validates(self):
+        table = DirectMappedTable(log_size=2, lo=0, hi=3, fill=2)
+        table.reset(1)
+        assert table[0] == 1
+        with pytest.raises(ValueError):
+            table.reset(9)
+
+    def test_constructor_validates(self):
+        with pytest.raises(ValueError):
+            DirectMappedTable(log_size=-1, lo=0, hi=1)
+        with pytest.raises(ValueError):
+            DirectMappedTable(log_size=2, lo=2, hi=1)
+        with pytest.raises(ValueError):
+            DirectMappedTable(log_size=2, lo=0, hi=1, fill=5)
+
+    def test_len_and_mask(self):
+        table = DirectMappedTable(log_size=5, lo=0, hi=1)
+        assert len(table) == 32
+        assert table.index_mask == 31
+
+
+class TestTaggedTable:
+    def test_allocate_and_match(self):
+        table = TaggedTable(log_size=4, tag_width=8)
+        assert not table.matches(3, 0x5A)
+        table.allocate(3, 0x5A, taken=True)
+        assert table.matches(3, 0x5A)
+        entry = table.read(3)
+        assert entry.tag == 0x5A
+        assert entry.counter == 0      # weak taken
+        assert entry.useful == 0
+
+    def test_allocate_not_taken_seeds_weak_not_taken(self):
+        table = TaggedTable(log_size=4, tag_width=8)
+        table.allocate(0, 1, taken=False)
+        assert table.read(0).counter == -1
+
+    def test_counter_saturation(self):
+        table = TaggedTable(log_size=2, tag_width=4, counter_width=3)
+        for _ in range(10):
+            table.update_counter(0, True)
+        assert table.read(0).counter == 3
+        for _ in range(20):
+            table.update_counter(0, False)
+        assert table.read(0).counter == -4
+
+    def test_useful_clamping(self):
+        table = TaggedTable(log_size=2, tag_width=4, useful_width=2)
+        for _ in range(5):
+            table.update_useful(1, +1)
+        assert table.read(1).useful == 3
+        for _ in range(10):
+            table.update_useful(1, -1)
+        assert table.read(1).useful == 0
+
+    def test_decay_useful_clears_selected_bit(self):
+        table = TaggedTable(log_size=2, tag_width=4, useful_width=2)
+        table.update_useful(0, 3)
+        table.decay_useful(0b10)
+        assert table.read(0).useful == 1
+        table.decay_useful(0b01)
+        assert table.read(0).useful == 0
+
+    def test_tag_masked_to_width(self):
+        table = TaggedTable(log_size=2, tag_width=4)
+        table.allocate(0, 0x1F, taken=True)
+        assert table.read(0).tag == 0xF
+        assert table.matches(0, 0x2F)  # same low 4 bits
+
+    def test_reset(self):
+        table = TaggedTable(log_size=2, tag_width=4)
+        table.allocate(1, 3, taken=True)
+        table.reset()
+        assert table.read(1).tag == 0
+        assert table.read(1).counter == 0
+
+    def test_constructor_validates(self):
+        with pytest.raises(ValueError):
+            TaggedTable(log_size=-1, tag_width=4)
+        with pytest.raises(ValueError):
+            TaggedTable(log_size=2, tag_width=0)
+        with pytest.raises(ValueError):
+            TaggedTable(log_size=2, tag_width=4, counter_width=0)
+        with pytest.raises(ValueError):
+            TaggedTable(log_size=2, tag_width=4, useful_width=0)
+
+    def test_len_and_bounds(self):
+        table = TaggedTable(log_size=6, tag_width=9, counter_width=3)
+        assert len(table) == 64
+        assert table.counter_min == -4
+        assert table.counter_max == 3
+        assert table.useful_max == 3
+        assert table.tag_mask == 0x1FF
