@@ -41,7 +41,15 @@ from .core import (
     simulate,
     simulate_file,
 )
-from .sbbt import SbbtReader, SbbtWriter, TraceData, read_trace, write_trace
+from .sbbt import (
+    SbbtReader,
+    SbbtWriter,
+    TraceData,
+    read_trace,
+    trace_digest,
+    write_trace,
+)
+from .cache import SimulationCache
 
 __version__ = "1.0.0"
 
@@ -50,6 +58,7 @@ __all__ = [
     "SimulationConfig", "SimulationResult", "compare", "run_suite",
     "simulate", "simulate_file",
     "SbbtReader", "SbbtWriter", "TraceData", "read_trace", "write_trace",
+    "SimulationCache", "trace_digest",
     "__version__",
 ]
 

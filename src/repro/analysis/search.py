@@ -10,6 +10,7 @@ free optimizers: seeded random search and greedy coordinate descent
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence, Union
 
@@ -17,7 +18,7 @@ from pathlib import Path
 
 import numpy as np
 
-from ..core.batch import run_suite
+from ..core.batch import CacheLike, run_suite
 from ..core.predictor import Predictor
 from ..core.simulator import SimulationConfig
 from ..sbbt.trace import TraceData
@@ -71,16 +72,26 @@ class SearchResult:
 
 def _objective(factory: Callable[..., Predictor],
                traces: Sequence[TraceLike],
-               config: SimulationConfig | None
+               config: SimulationConfig | None,
+               cache: CacheLike = None,
                ) -> Callable[[dict[str, Any]], float]:
-    cache: dict[tuple, float] = {}
+    """The MPKI objective, memoized twice over.
+
+    The in-memory dict short-circuits repeats within one search run; the
+    optional on-disk ``cache`` (a :class:`repro.cache.SimulationCache` or
+    directory path) persists every (configuration, trace) result, so a
+    re-run or refined search — or a sweep over an overlapping grid —
+    only simulates configurations never seen before.
+    """
+    seen: dict[tuple, float] = {}
 
     def evaluate(parameters: dict[str, Any]) -> float:
         key = tuple(sorted(parameters.items()))
-        if key not in cache:
-            batch = run_suite(lambda: factory(**parameters), traces, config)
-            cache[key] = batch.mean_mpki()
-        return cache[key]
+        if key not in seen:
+            batch = run_suite(functools.partial(factory, **parameters),
+                              traces, config, cache=cache)
+            seen[key] = batch.mean_mpki()
+        return seen[key]
 
     return evaluate
 
@@ -88,12 +99,13 @@ def _objective(factory: Callable[..., Predictor],
 def random_search(factory: Callable[..., Predictor], space: SearchSpace,
                   traces: Sequence[TraceLike], budget: int = 20,
                   seed: int = 0,
-                  config: SimulationConfig | None = None) -> SearchResult:
+                  config: SimulationConfig | None = None, *,
+                  cache: CacheLike = None) -> SearchResult:
     """Evaluate ``budget`` random configurations; keep the best."""
     if budget < 1:
         raise ValueError("budget must be >= 1")
     rng = np.random.default_rng(seed)
-    evaluate = _objective(factory, traces, config)
+    evaluate = _objective(factory, traces, config, cache)
     history = []
     best_parameters: dict[str, Any] | None = None
     best_mpki = float("inf")
@@ -112,14 +124,18 @@ def hill_climb(factory: Callable[..., Predictor], space: SearchSpace,
                traces: Sequence[TraceLike],
                start: dict[str, Any] | None = None,
                max_rounds: int = 5,
-               config: SimulationConfig | None = None) -> SearchResult:
+               config: SimulationConfig | None = None, *,
+               cache: CacheLike = None) -> SearchResult:
     """Greedy coordinate descent over the discrete space.
 
     Each round tries every candidate value of every axis (one axis at a
     time) and keeps any strict improvement; stops when a full round
-    changes nothing or ``max_rounds`` is exhausted.
+    changes nothing or ``max_rounds`` is exhausted.  ``cache`` persists
+    evaluations across runs (see :func:`_objective`), which makes
+    restarting a climb from a different seed point nearly free on the
+    already-visited part of the space.
     """
-    evaluate = _objective(factory, traces, config)
+    evaluate = _objective(factory, traces, config, cache)
     current = dict(start) if start is not None else {
         name: values[len(values) // 2] for name, values in space.axes.items()
     }

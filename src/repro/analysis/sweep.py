@@ -9,12 +9,13 @@ is what makes both one-liners.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence, Union
 
 from pathlib import Path
 
-from ..core.batch import run_suite
+from ..core.batch import CacheLike, run_suite
 from ..core.predictor import Predictor
 from ..core.simulator import SimulationConfig
 from ..sbbt.trace import TraceData
@@ -63,50 +64,69 @@ class SweepResult:
         return "\n".join(lines)
 
 
+def _evaluate_point(factory: Callable[..., Predictor],
+                    parameters: dict[str, Any],
+                    traces: Sequence[TraceLike],
+                    config: SimulationConfig | None,
+                    cache: CacheLike, workers: int) -> SweepPoint:
+    """One grid point.  ``functools.partial`` (not a lambda) keeps the
+    configured factory picklable, so sweeps can fan out across processes."""
+    batch = run_suite(functools.partial(factory, **parameters), traces,
+                      config, cache=cache, workers=workers)
+    return SweepPoint(
+        parameters=parameters,
+        mean_mpki=batch.mean_mpki(),
+        aggregate_mpki=batch.aggregate_mpki(),
+        total_mispredictions=batch.total_mispredictions,
+    )
+
+
 def sweep_parameter(factory: Callable[..., Predictor], parameter: str,
                     values: Iterable[Any], traces: Sequence[TraceLike],
                     config: SimulationConfig | None = None,
-                    fixed: dict[str, Any] | None = None) -> SweepResult:
+                    fixed: dict[str, Any] | None = None, *,
+                    cache: CacheLike = None,
+                    workers: int = 1) -> SweepResult:
     """Sweep one constructor parameter of a predictor over a trace set.
+
+    With ``cache=`` (a :class:`repro.cache.SimulationCache` or directory
+    path), every (configuration, trace) result is remembered, so a
+    refined or re-run sweep only simulates grid points it has never seen
+    — overlapping values cost nothing.  ``workers`` forwards to
+    :func:`repro.core.batch.run_suite` for process-parallel traces.
 
     >>> # sweep = sweep_parameter(GShare, "history_length", range(6, 31),
     >>> #                         traces)   # the paper's Listing 3 sweep
     """
     fixed = dict(fixed or {})
-    points = []
-    for value in values:
-        parameters = {**fixed, parameter: value}
-        batch = run_suite(lambda: factory(**parameters), traces, config)
-        points.append(SweepPoint(
-            parameters=parameters,
-            mean_mpki=batch.mean_mpki(),
-            aggregate_mpki=batch.aggregate_mpki(),
-            total_mispredictions=batch.total_mispredictions,
-        ))
+    points = [
+        _evaluate_point(factory, {**fixed, parameter: value}, traces,
+                        config, cache, workers)
+        for value in values
+    ]
     return SweepResult(points=points)
 
 
 def sweep_grid(factory: Callable[..., Predictor],
                grid: dict[str, Sequence[Any]],
                traces: Sequence[TraceLike],
-               config: SimulationConfig | None = None) -> SweepResult:
+               config: SimulationConfig | None = None, *,
+               cache: CacheLike = None,
+               workers: int = 1) -> SweepResult:
     """Full-factorial sweep over a small parameter grid.
 
     The number of configurations is the product of the grid's axis sizes
     — exactly the exponential blow-up Section VI-B warns about, which is
-    why :mod:`repro.analysis.search` exists for large spaces.
+    why :mod:`repro.analysis.search` exists for large spaces.  ``cache``
+    and ``workers`` behave as in :func:`sweep_parameter`; a grid refined
+    with extra axis values re-simulates only the new combinations.
     """
     import itertools
 
     names = list(grid)
-    points = []
-    for combo in itertools.product(*(grid[name] for name in names)):
-        parameters = dict(zip(names, combo))
-        batch = run_suite(lambda: factory(**parameters), traces, config)
-        points.append(SweepPoint(
-            parameters=parameters,
-            mean_mpki=batch.mean_mpki(),
-            aggregate_mpki=batch.aggregate_mpki(),
-            total_mispredictions=batch.total_mispredictions,
-        ))
+    points = [
+        _evaluate_point(factory, dict(zip(names, combo)), traces,
+                        config, cache, workers)
+        for combo in itertools.product(*(grid[name] for name in names))
+    ]
     return SweepResult(points=points)

@@ -4,11 +4,13 @@ Small front doors over the library — the library itself stays the
 primary interface (user code calls it), but the everyday chores are one
 command away:
 
-* ``mbp simulate``  — run a named predictor over an SBBT trace.
+* ``mbp simulate``  — run a named predictor over an SBBT trace
+  (``--cache-dir`` serves repeats from the simulation cache).
 * ``mbp compare``   — run two predictors in parallel (Section VI-C).
 * ``mbp info``      — trace statistics (gap bounds, branch mix).
 * ``mbp generate``  — synthesize a workload trace to a file.
 * ``mbp translate`` — convert between BT9 / champsimtrace / SBBT.
+* ``mbp cache``     — stats / clear / verify of a result cache directory.
 """
 
 from __future__ import annotations
@@ -73,6 +75,10 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_parser.add_argument("--max-instructions", type=int, default=None)
     simulate_parser.add_argument("--compact", action="store_true",
                                  help="one-line summary instead of JSON")
+    simulate_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed result cache: identical (trace, predictor, "
+             "config) runs are served from DIR instead of re-simulating")
 
     compare_parser = sub.add_parser(
         "compare", help="simulate two predictors in parallel")
@@ -113,13 +119,31 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(PREDICTOR_CHOICES), metavar="NAME",
         help="contestants (default: the whole Table II set)")
     championship_parser.add_argument("--warmup", type=int, default=0)
+
+    cache_parser = sub.add_parser(
+        "cache", help="inspect or maintain a simulation result cache")
+    cache_parser.add_argument(
+        "action", choices=["stats", "clear", "verify"],
+        help="stats: entry count and size as JSON; clear: delete every "
+             "entry; verify: decode every entry and report corrupt ones")
+    cache_parser.add_argument("--cache-dir", required=True, metavar="DIR")
+    cache_parser.add_argument(
+        "--delete-invalid", action="store_true",
+        help="with 'verify': also delete the entries that fail to decode")
     return parser
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     config = SimulationConfig(warmup_instructions=args.warmup,
                               max_instructions=args.max_instructions)
-    result = simulate(make_predictor(args.predictor), args.trace, config)
+    if args.cache_dir is not None:
+        from .cache import SimulationCache
+
+        cache = SimulationCache(args.cache_dir)
+        result = cache.get_or_simulate(
+            lambda: make_predictor(args.predictor), args.trace, config)
+    else:
+        result = simulate(make_predictor(args.predictor), args.trace, config)
     if args.compact:
         print(result.summary())
     else:
@@ -183,6 +207,25 @@ def _cmd_championship(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .cache import SimulationCache
+
+    cache = SimulationCache(args.cache_dir)
+    if args.action == "stats":
+        print(json.dumps(cache.stats().to_json(), indent=2))
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cache entries from {cache.directory}")
+        return 0
+    report = cache.verify(delete=args.delete_invalid)
+    print(f"{report.valid} valid, {len(report.invalid)} invalid")
+    for name, problem in report.invalid:
+        verb = "deleted" if args.delete_invalid else "found"
+        print(f"  {verb} {name}: {problem}")
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "compare": _cmd_compare,
@@ -190,6 +233,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "translate": _cmd_translate,
     "championship": _cmd_championship,
+    "cache": _cmd_cache,
 }
 
 

@@ -17,7 +17,8 @@ from .branch import (
     BranchType,
     Opcode,
 )
-from .batch import BatchResult, TimingSummary, run_suite
+from .batch import BatchResult, SuiteError, TraceFailure, TraceSimulationError, run_suite
+from .batch import TimingSummary
 from .comparison import (
     ComparisonEntry,
     ComparisonResult,
@@ -26,6 +27,7 @@ from .comparison import (
     compare_many,
 )
 from .errors import (
+    CacheError,
     ConfigurationError,
     ReproError,
     SimulationError,
@@ -35,21 +37,22 @@ from .errors import (
 )
 from .metrics import BranchStats, MostFailedEntry, accuracy, most_failed_branches, mpki
 from .output import SIMULATOR_NAME, SIMULATOR_VERSION, SimulationResult
-from .predictor import MetadataMixin, Predictor
+from .predictor import MetadataMixin, Predictor, canonical_spec
 from .simulator import SimulationConfig, simulate, simulate_file
 
 __all__ = [
     "Branch", "BranchType", "Opcode",
     "OPCODE_CALL", "OPCODE_COND_JUMP", "OPCODE_IND_CALL", "OPCODE_IND_JUMP",
     "OPCODE_JUMP", "OPCODE_RET",
-    "BatchResult", "TimingSummary", "run_suite",
+    "BatchResult", "TimingSummary", "TraceFailure", "run_suite",
     "ComparisonEntry", "ComparisonResult", "MultiComparisonResult",
     "compare", "compare_many",
-    "ConfigurationError", "ReproError", "SimulationError", "TraceError",
+    "CacheError", "ConfigurationError", "ReproError",
+    "SimulationError", "SuiteError", "TraceSimulationError", "TraceError",
     "TraceFormatError", "TraceValidationError",
     "BranchStats", "MostFailedEntry", "accuracy", "most_failed_branches",
     "mpki",
     "SIMULATOR_NAME", "SIMULATOR_VERSION", "SimulationResult",
-    "MetadataMixin", "Predictor",
+    "MetadataMixin", "Predictor", "canonical_spec",
     "SimulationConfig", "simulate", "simulate_file",
 ]

@@ -10,25 +10,50 @@ A *factory* (zero-argument callable returning a fresh
 :class:`~repro.core.predictor.Predictor`) is used instead of a predictor
 instance so every trace starts from cold state, exactly like launching a
 fresh simulator binary per trace.
+
+Two robustness/scale features beyond the paper:
+
+* ``cache=`` plugs in a :class:`repro.cache.SimulationCache` (or just a
+  directory path): traces whose results are already cached are served
+  without simulating — cache hits bypass the process pool entirely and
+  are excluded from :attr:`BatchResult.timing`.
+* per-trace failures are wrapped into :class:`TraceFailure` records that
+  name the offending trace; the rest of the suite always completes.  The
+  default (``on_error="raise"``) then raises a :class:`SuiteError`
+  carrying the partial results; ``on_error="collect"`` returns them in
+  :attr:`BatchResult.failures` instead.
 """
 
 from __future__ import annotations
 
 import statistics
+import traceback
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Sequence, Union
+from typing import TYPE_CHECKING, Callable, Sequence, Union
 
 from ..sbbt.trace import TraceData
+from .errors import SimulationError
 from .output import SimulationResult
 from .predictor import Predictor
 from .simulator import SimulationConfig, simulate
 
-__all__ = ["TimingSummary", "BatchResult", "run_suite"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..cache import SimulationCache
+
+__all__ = [
+    "TimingSummary",
+    "BatchResult",
+    "TraceFailure",
+    "TraceSimulationError",
+    "SuiteError",
+    "run_suite",
+]
 
 PredictorFactory = Callable[[], Predictor]
 TraceLike = Union[TraceData, str, Path]
+CacheLike = Union["SimulationCache", str, Path, None]
 
 
 @dataclass(frozen=True, slots=True)
@@ -56,19 +81,79 @@ class TimingSummary:
             total=sum(times),
         )
 
+    @classmethod
+    def zero(cls) -> "TimingSummary":
+        """The all-zero summary (a suite served entirely from cache)."""
+        return cls(slowest=0.0, average=0.0, fastest=0.0, total=0.0)
+
+
+@dataclass(frozen=True, slots=True)
+class TraceFailure:
+    """One trace that could not be simulated.
+
+    ``details`` carries the worker-side traceback text, so a failure in a
+    child process is as debuggable as an inline one.
+    """
+
+    trace_name: str
+    error: str
+    details: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.trace_name}: {self.error}"
+
+
+class TraceSimulationError(SimulationError):
+    """A single trace of a suite failed; names the trace, keeps the rest."""
+
+    def __init__(self, failure: TraceFailure):
+        super().__init__(str(failure))
+        self.failure = failure
+
+
+class SuiteError(SimulationError):
+    """One or more traces of a suite failed (the rest completed).
+
+    ``partial`` holds the :class:`BatchResult` of every trace that did
+    succeed (already cached, if a cache was in use), so a long suite
+    interrupted by one bad file loses nothing.
+    """
+
+    def __init__(self, failures: Sequence[TraceFailure],
+                 partial: "BatchResult"):
+        names = ", ".join(f.trace_name for f in failures)
+        super().__init__(
+            f"{len(failures)} of {len(failures) + len(partial.results)} "
+            f"traces failed: {names}"
+        )
+        self.failures = list(failures)
+        self.partial = partial
+
 
 @dataclass(slots=True)
 class BatchResult:
     """Results of one predictor over a suite of traces."""
 
     results: list[SimulationResult]
+    failures: list[TraceFailure] = field(default_factory=list)
 
     @property
     def timing(self) -> TimingSummary:
-        """Slowest/average/fastest simulation time across the suite."""
-        return TimingSummary.from_times(
-            [r.simulation_time for r in self.results]
-        )
+        """Slowest/average/fastest simulation time across the suite.
+
+        Cache hits are excluded — their stored times describe the run
+        that populated the cache, not this one.  A suite answered
+        entirely from cache reports :meth:`TimingSummary.zero`.
+        """
+        times = [r.simulation_time for r in self.results if not r.from_cache]
+        if not times and self.results:
+            return TimingSummary.zero()
+        return TimingSummary.from_times(times)
+
+    @property
+    def cache_hits(self) -> int:
+        """How many results were served from the cache."""
+        return sum(1 for r in self.results if r.from_cache)
 
     @property
     def total_mispredictions(self) -> int:
@@ -99,15 +184,44 @@ class BatchResult:
 
 
 def _run_one(factory: PredictorFactory, trace: TraceLike,
-             config: SimulationConfig, name: str | None) -> SimulationResult:
-    """Simulate one trace with a freshly constructed predictor."""
-    return simulate(factory(), trace, config, trace_name=name)
+             config: SimulationConfig, name: str | None
+             ) -> SimulationResult | TraceFailure:
+    """Simulate one trace with a freshly constructed predictor.
+
+    Never raises: any exception (bad trace file, failing factory,
+    predictor bug) is wrapped into a :class:`TraceFailure` naming the
+    trace, so a process-pool worker reports the real problem instead of
+    surfacing an opaque late exception — and the rest of the suite keeps
+    going.
+    """
+    try:
+        return simulate(factory(), trace, config, trace_name=name)
+    except Exception as exc:  # noqa: BLE001 - deliberate fault barrier
+        return TraceFailure(
+            trace_name=name if name is not None else str(trace),
+            error=f"{type(exc).__name__}: {exc}",
+            details=traceback.format_exc(),
+        )
+
+
+def _resolve_cache(cache: CacheLike) -> "SimulationCache | None":
+    """Accept a cache object or a directory path."""
+    if cache is None:
+        return None
+    if isinstance(cache, (str, Path)):
+        # Imported here: repro.cache depends on repro.core, so a
+        # module-level import would be circular.
+        from ..cache import SimulationCache
+        return SimulationCache(cache)
+    return cache
 
 
 def run_suite(factory: PredictorFactory, traces: Sequence[TraceLike],
               config: SimulationConfig | None = None, *,
               names: Sequence[str] | None = None,
-              workers: int = 1) -> BatchResult:
+              workers: int = 1,
+              cache: CacheLike = None,
+              on_error: str = "raise") -> BatchResult:
     """Run a fresh predictor over every trace of a suite.
 
     Parameters
@@ -123,25 +237,85 @@ def run_suite(factory: PredictorFactory, traces: Sequence[TraceLike],
         Process count.  ``1`` (default) runs inline, which is also the
         right mode for timing measurements — parallel workers contend for
         cores and distort per-trace times.
+    cache:
+        A :class:`repro.cache.SimulationCache`, a directory path to open
+        one in, or ``None`` (default, no caching).  Cached traces are
+        not simulated at all — no predictor construction, no worker
+        submission — and new results are stored for next time.
+    on_error:
+        ``"raise"`` (default): if any trace fails, finish the suite, then
+        raise :class:`SuiteError` naming the failures and carrying the
+        partial :class:`BatchResult`.  ``"collect"``: return normally
+        with the failures recorded in :attr:`BatchResult.failures`.
     """
     config = config or SimulationConfig()
     if names is not None and len(names) != len(traces):
         raise ValueError("names and traces must have the same length")
+    if on_error not in ("raise", "collect"):
+        raise ValueError(f"on_error must be 'raise' or 'collect', got {on_error!r}")
     resolved_names = list(names) if names is not None else [
         str(t) if not isinstance(t, TraceData) else f"trace[{i}]"
         for i, t in enumerate(traces)
     ]
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
-    if workers == 1 or len(traces) <= 1:
-        results = [
-            _run_one(factory, trace, config, name)
-            for trace, name in zip(traces, resolved_names)
-        ]
-        return BatchResult(results=results)
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [
-            pool.submit(_run_one, factory, trace, config, name)
-            for trace, name in zip(traces, resolved_names)
-        ]
-        return BatchResult(results=[f.result() for f in futures])
+
+    store = _resolve_cache(cache)
+    slots: list[SimulationResult | TraceFailure | None] = [None] * len(traces)
+    pending: list[int] = []
+    keys: list[str | None] = [None] * len(traces)
+
+    if store is not None:
+        spec = factory().spec()
+        for i, (trace, name) in enumerate(zip(traces, resolved_names)):
+            try:
+                key = store.key_for(trace, spec, config)
+            except Exception as exc:  # noqa: BLE001 - unreadable trace file
+                slots[i] = TraceFailure(
+                    trace_name=name, error=f"{type(exc).__name__}: {exc}",
+                    details=traceback.format_exc(),
+                )
+                continue
+            keys[i] = key
+            hit = store.get(key)
+            if hit is not None:
+                hit.trace_name = name
+                slots[i] = hit
+            else:
+                pending.append(i)
+    else:
+        pending = [i for i in range(len(traces)) if slots[i] is None]
+
+    if pending:
+        if workers == 1 or len(pending) <= 1:
+            for i in pending:
+                slots[i] = _run_one(factory, traces[i], config,
+                                    resolved_names[i])
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    i: pool.submit(_run_one, factory, traces[i], config,
+                                   resolved_names[i])
+                    for i in pending
+                }
+                for i, future in futures.items():
+                    try:
+                        slots[i] = future.result()
+                    except Exception as exc:  # noqa: BLE001 - broken pool
+                        slots[i] = TraceFailure(
+                            trace_name=resolved_names[i],
+                            error=f"{type(exc).__name__}: {exc}",
+                            details=traceback.format_exc(),
+                        )
+        if store is not None:
+            for i in pending:
+                outcome = slots[i]
+                if isinstance(outcome, SimulationResult) and keys[i]:
+                    store.put(keys[i], outcome)
+
+    results = [s for s in slots if isinstance(s, SimulationResult)]
+    failures = [s for s in slots if isinstance(s, TraceFailure)]
+    batch = BatchResult(results=results, failures=failures)
+    if failures and on_error == "raise":
+        raise SuiteError(failures, batch)
+    return batch

@@ -13,6 +13,7 @@ __all__ = [
     "TraceFormatError",
     "TraceValidationError",
     "SimulationError",
+    "CacheError",
     "ConfigurationError",
 ]
 
@@ -40,6 +41,16 @@ class TraceValidationError(TraceError):
 
 class SimulationError(ReproError):
     """A simulation could not be carried out as requested."""
+
+
+class CacheError(ReproError):
+    """The simulation result cache could not honour a request.
+
+    Only raised for *caller* mistakes (bad directory, invalid capacity).
+    Corrupted or concurrently-clobbered entries never raise — they are
+    treated as misses so a damaged cache can only cost recomputation,
+    never return wrong results.
+    """
 
 
 class ConfigurationError(ReproError):

@@ -48,6 +48,11 @@ class SimulationResult:
     predictor_statistics: dict[str, Any] = field(default_factory=dict)
     most_failed: list[MostFailedEntry] = field(default_factory=list)
     simulator_name: str = SIMULATOR_NAME
+    #: True when this result was served by a :mod:`repro.cache` lookup
+    #: instead of a fresh simulation.  Deliberately *not* part of the
+    #: JSON schema: a cached result serializes identically to the run
+    #: that produced it.
+    from_cache: bool = field(default=False, compare=False)
 
     @property
     def mpki(self) -> float:
@@ -101,6 +106,42 @@ class SimulationResult:
     def to_json_string(self, *, indent: int | None = 2) -> str:
         """The JSON object serialized to text."""
         return json.dumps(self.to_json(), indent=indent)
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "SimulationResult":
+        """Rebuild a result from its :meth:`to_json` representation.
+
+        The inverse used by the simulation cache; round-trips exactly:
+        ``SimulationResult.from_json(r.to_json()).to_json() == r.to_json()``.
+        Raises ``KeyError``/``TypeError``/``ValueError`` on malformed
+        input — callers that must never fail (the cache read path) catch
+        those and treat the entry as a miss.
+        """
+        metadata = data["metadata"]
+        metrics = data["metrics"]
+        return cls(
+            trace_name=str(metadata["trace"]),
+            warmup_instructions=int(metadata["warmup_instr"]),
+            simulation_instructions=int(metadata["simulation_instr"]),
+            exhausted_trace=bool(metadata["exhausted_trace"]),
+            num_branch_instructions=int(metadata["num_branch_instructions"]),
+            num_conditional_branches=int(metadata["num_conditional_branches"]),
+            mispredictions=int(metrics["mispredictions"]),
+            simulation_time=float(metrics["simulation_time"]),
+            predictor_metadata=dict(metadata["predictor"]),
+            predictor_statistics=dict(data.get("predictor_statistics", {})),
+            most_failed=[
+                MostFailedEntry(
+                    ip=int(entry["ip"]),
+                    occurrences=int(entry["occurrences"]),
+                    mispredictions=int(entry["mispredictions"]),
+                    mpki=float(entry["mpki"]),
+                    accuracy=float(entry["accuracy"]),
+                )
+                for entry in data.get("most_failed", [])
+            ],
+            simulator_name=str(metadata["simulator"]),
+        )
 
     def summary(self) -> str:
         """A one-line human summary for interactive use."""

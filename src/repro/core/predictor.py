@@ -28,11 +28,36 @@ after ``train``.
 from __future__ import annotations
 
 import abc
+import numbers
 from typing import Any
 
 from .branch import Branch
 
-__all__ = ["Predictor", "MetadataMixin"]
+__all__ = ["Predictor", "MetadataMixin", "canonical_spec"]
+
+
+def canonical_spec(value: Any) -> Any:
+    """Recursively normalize a spec fragment into canonical JSON form.
+
+    Dict keys are sorted, tuples/lists become lists, enums and numpy
+    scalars collapse to plain Python scalars.  Anything that cannot be
+    represented as deterministic JSON raises ``TypeError`` — a spec that
+    silently varied between runs would poison content-addressed caches.
+    """
+    if isinstance(value, dict):
+        return {str(k): canonical_spec(value[k]) for k in sorted(value, key=str)}
+    if isinstance(value, (list, tuple)):
+        return [canonical_spec(v) for v in value]
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, numbers.Integral):
+        return int(value)  # plain ints, IntEnums, numpy integer scalars
+    if isinstance(value, numbers.Real):
+        return float(value)  # floats and numpy float scalars
+    raise TypeError(
+        f"spec value {value!r} of type {type(value).__name__} is not "
+        "canonically JSON-representable"
+    )
 
 
 class Predictor(abc.ABC):
@@ -84,6 +109,26 @@ class Predictor(abc.ABC):
         Predictors that keep their own statistics can reset them here so
         that ``execution_stats`` only reflects the measured region.
         """
+
+    def spec(self) -> dict[str, Any]:
+        """Canonical (name + parameters) identity of this configuration.
+
+        The simulation cache (:mod:`repro.cache`) keys results by this
+        dict, so it must be **deterministic across runs and processes**
+        and must change whenever a constructor parameter that affects
+        predictions changes.  The default derives it from
+        :meth:`metadata_stats` — which by library convention lists the
+        name and every parameter — normalized through
+        :func:`canonical_spec`.
+
+        Composed predictors override this to build their spec from their
+        components' ``spec()`` (not ``metadata_stats``), so a component
+        with a customized spec stays correctly keyed when nested.
+
+        Raises ``TypeError`` if the metadata contains values with no
+        canonical JSON form; such predictors must override ``spec()``.
+        """
+        return canonical_spec(self.metadata_stats())
 
     # ------------------------------------------------------------------
     # Convenience.

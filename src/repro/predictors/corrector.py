@@ -143,6 +143,17 @@ class StatisticalCorrector(Predictor):
             "main": self.main.metadata_stats(),
         }
 
+    def spec(self) -> dict[str, Any]:
+        """Cache-key identity, recursing into the main predictor's spec."""
+        return {
+            "name": "repro StatisticalCorrector",
+            "num_tables": self.num_tables,
+            "log_table_size": self.log_table_size,
+            "counter_width": self.counter_width,
+            "threshold": self.threshold,
+            "main": self.main.spec(),
+        }
+
     def execution_stats(self) -> dict[str, Any]:
         """Override behaviour plus the main predictor's statistics."""
         stats: dict[str, Any] = {

@@ -45,6 +45,13 @@ class ConditionalOnlyFilter(Predictor):
             "inner": self.inner.metadata_stats(),
         }
 
+    def spec(self) -> dict[str, Any]:
+        """Cache-key identity, recursing into the inner spec."""
+        return {
+            "name": "repro ConditionalOnlyFilter",
+            "inner": self.inner.spec(),
+        }
+
     def execution_stats(self) -> dict[str, Any]:  # noqa: D102 - delegation
         return self.inner.execution_stats()
 
@@ -101,6 +108,14 @@ class NeverTakenFilter(Predictor):
             "name": "repro NeverTakenFilter",
             "track_filtered": self.track_filtered,
             "inner": self.inner.metadata_stats(),
+        }
+
+    def spec(self) -> dict[str, Any]:
+        """Cache-key identity, recursing into the inner spec."""
+        return {
+            "name": "repro NeverTakenFilter",
+            "track_filtered": self.track_filtered,
+            "inner": self.inner.spec(),
         }
 
     def execution_stats(self) -> dict[str, Any]:

@@ -163,6 +163,23 @@ class OGehl(Predictor):
             "theta": self.theta,
         }
 
+    def spec(self) -> dict[str, Any]:
+        """Cache-key identity from *constructor* parameters only.
+
+        ``metadata_stats`` includes the adaptive ``theta``, which mutates
+        during simulation; the spec must stay fixed for a configuration,
+        so it lists the constructor arguments instead.
+        """
+        return {
+            "name": "repro O-GEHL",
+            "num_tables": self.num_tables,
+            "log_table_size": self.log_table_size,
+            "counter_width": self.counter_width,
+            "min_history": self.min_history,
+            "max_history": self.max_history,
+            "alt_max_history": self.alt_max_history,
+        }
+
     def execution_stats(self) -> dict[str, Any]:
         """Controller activity."""
         return {

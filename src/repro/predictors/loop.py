@@ -184,6 +184,14 @@ class WithLoopPredictor(Predictor):
             "loop": self.loop.metadata_stats(),
         }
 
+    def spec(self) -> dict[str, Any]:
+        """Cache-key identity, built from both components' specs."""
+        return {
+            "name": "repro WithLoopPredictor",
+            "main": self.main.spec(),
+            "loop": self.loop.spec(),
+        }
+
     def execution_stats(self) -> dict[str, Any]:
         """How often the loop predictor overrode the main prediction."""
         stats = {"loop_overrides": self._stat_overrides}

@@ -75,6 +75,7 @@ class HashedPerceptron(Predictor):
             1.93 * max(self.history_lengths) / max(1, self.num_tables)
             * 2 + 14
         )
+        self._initial_theta = self.theta
         self._w_max = (1 << (weight_width - 1)) - 1
         self._w_min = -(1 << (weight_width - 1))
         self._tables = [
@@ -177,6 +178,23 @@ class HashedPerceptron(Predictor):
             "weight_width": self.weight_width,
             "history_lengths": list(self.history_lengths),
             "theta": self.theta,
+            "adaptive_theta": self.adaptive_theta,
+            "use_path_history": self.use_path_history,
+        }
+
+    def spec(self) -> dict[str, Any]:
+        """Cache-key identity with a *stable* theta.
+
+        With ``adaptive_theta`` the live ``theta`` drifts during
+        simulation, so the spec is pinned to the constructor-time value
+        the instance started from.
+        """
+        return {
+            "name": "repro HashedPerceptron",
+            "log_table_size": self.log_table_size,
+            "weight_width": self.weight_width,
+            "history_lengths": list(self.history_lengths),
+            "theta": self._initial_theta,
             "adaptive_theta": self.adaptive_theta,
             "use_path_history": self.use_path_history,
         }

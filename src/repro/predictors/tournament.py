@@ -88,6 +88,15 @@ class Tournament(Predictor):
             "predictor_1": self.bp1.metadata_stats(),
         }
 
+    def spec(self) -> dict[str, Any]:
+        """Cache-key identity, built from the components' own specs."""
+        return {
+            "name": "repro Tournament",
+            "metapredictor": self.meta.spec(),
+            "predictor_0": self.bp0.spec(),
+            "predictor_1": self.bp1.spec(),
+        }
+
     def execution_stats(self) -> dict[str, Any]:
         """Merge component statistics under their role names."""
         stats: dict[str, Any] = {}

@@ -20,6 +20,7 @@ from .compression import (
     read_all,
     write_all,
 )
+from .digest import DIGEST_ALGORITHM, payload_digest, trace_digest
 from .header import FORMAT_VERSION, HEADER_SIZE, SIGNATURE, SbbtHeader
 from .packet import (
     MAX_GAP,
@@ -37,6 +38,7 @@ from .writer import SbbtWriter, encode_payload, write_trace
 __all__ = [
     "BEST_CODEC_SUFFIX", "CODEC_SUFFIXES", "available_codecs",
     "codec_for_path", "open_compressed", "read_all", "write_all",
+    "DIGEST_ALGORITHM", "payload_digest", "trace_digest",
     "FORMAT_VERSION", "HEADER_SIZE", "SIGNATURE", "SbbtHeader",
     "MAX_GAP", "PACKET_SIZE", "SbbtPacket", "decode_address",
     "encode_address", "is_encodable_address",

@@ -1,0 +1,173 @@
+"""Property-based SBBT round-trip: write(stream) then read gives back
+identical packets, for arbitrary valid branch streams, every branch type,
+and every compression mode.
+
+Uses `hypothesis` when the environment provides it; otherwise the same
+properties run against streams drawn from a seeded ``random.Random``, so
+the test file never silently skips.
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from repro.core.branch import Branch, BranchType, Opcode
+from repro.sbbt.digest import trace_digest
+from repro.sbbt.packet import MAX_GAP, SbbtPacket, is_encodable_address
+from repro.sbbt.reader import decode_payload, read_trace
+from repro.sbbt.trace import TraceData
+from repro.sbbt.writer import encode_payload, write_trace
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - depends on the environment
+    HAVE_HYPOTHESIS = False
+
+SUFFIXES = [".sbbt", ".sbbt.gz", ".sbbt.xz"]
+
+#: All 12 valid 4-bit opcodes (base type 0b11 is reserved).
+VALID_OPCODES = [
+    Opcode.encode(conditional=cond, indirect=ind, branch_type=btype)
+    for btype in BranchType
+    for cond in (False, True)
+    for ind in (False, True)
+]
+
+_ADDR_BITS = 52
+
+
+def canonical_address(raw52: int) -> int:
+    """Map a 52-bit value onto the canonical 64-bit address it encodes.
+
+    Bit 51 sign-extends through bits 63..52, covering both the user half
+    (upper bits zero) and the kernel half (upper bits one).
+    """
+    raw52 &= (1 << _ADDR_BITS) - 1
+    if raw52 >> (_ADDR_BITS - 1):
+        return raw52 | (((1 << 12) - 1) << _ADDR_BITS)
+    return raw52
+
+
+def build_packet(opcode: Opcode, taken: bool, ip_raw: int,
+                 target_raw: int, gap: int) -> SbbtPacket:
+    """A packet from primitive draws, adjusted to satisfy the two SBBT
+    validity rules (so every draw maps to *some* valid packet)."""
+    if not opcode.is_conditional:
+        taken = True  # rule 1: unconditional branches are always taken
+    target = canonical_address(target_raw)
+    if opcode.is_conditional and opcode.is_indirect and not taken:
+        target = 0  # rule 2: no resolved target on a not-taken cond-indirect
+    return SbbtPacket(
+        branch=Branch(ip=canonical_address(ip_raw), target=target,
+                      opcode=opcode, taken=taken),
+        gap=gap,
+    )
+
+
+def roundtrip_and_check(packets: list[SbbtPacket], suffix: str) -> None:
+    """The property: packets -> TraceData -> file -> identical packets."""
+    trace = TraceData.from_packets(packets)
+
+    # In-memory canonical encoding round-trips without touching disk...
+    decoded = decode_payload(encode_payload(trace))
+    assert decoded == trace
+
+    # ...and through an actual (optionally compressed) file.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / f"t{suffix}"
+        write_trace(path, trace)
+        loaded = read_trace(path)
+        assert loaded == trace
+        assert loaded.num_instructions == trace.num_instructions
+        assert [loaded.packet(i) for i in range(len(loaded))] == packets
+        # Compression is transparent to the content digest.
+        assert trace_digest(path) == trace_digest(trace)
+
+
+if HAVE_HYPOTHESIS:
+
+    packet_strategy = st.builds(
+        build_packet,
+        opcode=st.sampled_from(VALID_OPCODES),
+        taken=st.booleans(),
+        ip_raw=st.integers(0, (1 << _ADDR_BITS) - 1),
+        target_raw=st.integers(0, (1 << _ADDR_BITS) - 1),
+        gap=st.integers(0, MAX_GAP),
+    )
+
+    @settings(max_examples=50, deadline=None)
+    @given(packets=st.lists(packet_strategy, max_size=60),
+           suffix=st.sampled_from(SUFFIXES))
+    def test_roundtrip_arbitrary_streams(packets, suffix):
+        roundtrip_and_check(packets, suffix)
+
+else:  # stdlib-random fallback: same property, seeded draws
+
+    def _random_packets(rng: random.Random, size: int) -> list[SbbtPacket]:
+        return [
+            build_packet(
+                opcode=rng.choice(VALID_OPCODES),
+                taken=rng.random() < 0.5,
+                ip_raw=rng.getrandbits(_ADDR_BITS),
+                target_raw=rng.getrandbits(_ADDR_BITS),
+                gap=rng.randint(0, MAX_GAP),
+            )
+            for _ in range(size)
+        ]
+
+    @pytest.mark.parametrize("seed", range(25))
+    @pytest.mark.parametrize("suffix", SUFFIXES)
+    def test_roundtrip_arbitrary_streams(seed, suffix):
+        rng = random.Random(seed)
+        roundtrip_and_check(_random_packets(rng, rng.randint(0, 60)), suffix)
+
+
+@pytest.mark.parametrize("suffix", SUFFIXES)
+def test_roundtrip_every_branch_type(suffix):
+    """One deterministic stream holding every valid opcode, both outcomes
+    where the rules allow, and the address/gap extremes."""
+    packets = []
+    gap_cases = [0, 1, MAX_GAP]
+    addr_cases = [
+        0x0,                      # null
+        0x1000,                   # small user address
+        (1 << 51) - 1,            # top of the user half
+        (1 << 64) - (1 << 51),    # bottom of the kernel half
+        (1 << 64) - 0x10,         # near the top of memory
+    ]
+    for i, opcode in enumerate(VALID_OPCODES):
+        for taken in ((False, True) if opcode.is_conditional else (True,)):
+            ip = addr_cases[i % len(addr_cases)] or 0x40
+            packets.append(build_packet(
+                opcode=opcode, taken=taken, ip_raw=ip & ((1 << 52) - 1),
+                target_raw=addr_cases[(i + 1) % len(addr_cases)],
+                gap=gap_cases[i % len(gap_cases)],
+            ))
+    types_seen = {p.branch.opcode.branch_type for p in packets}
+    assert types_seen == set(BranchType)
+    assert all(is_encodable_address(p.branch.ip) for p in packets)
+    roundtrip_and_check(packets, suffix)
+
+
+@pytest.mark.parametrize("suffix", SUFFIXES)
+def test_roundtrip_empty_trace(suffix):
+    roundtrip_and_check([], suffix)
+
+
+def test_all_valid_opcodes_encode_and_decode():
+    """Every non-reserved opcode survives a packet-level round trip."""
+    for opcode in VALID_OPCODES:
+        packet = build_packet(opcode, True, 0x400, 0x800, 7)
+        assert SbbtPacket.decode(packet.encode()) == packet
+
+
+def test_reserved_base_type_is_rejected():
+    for value in (0b1100, 0b1101, 0b1110, 0b1111):
+        with pytest.raises(ValueError):
+            Opcode(value)

@@ -1,0 +1,139 @@
+"""Golden-file tests for the ``mbp`` CLI.
+
+Each test runs a CLI command over a deterministic generated trace and
+compares the output, after normalization, against a committed golden file
+in ``tests/golden/``.  Normalization replaces the run-specific parts —
+temp-directory paths, wall-clock times, on-disk byte counts — with stable
+placeholders, so everything else (metric values, JSON shape, key order,
+formatting) is pinned exactly.
+
+Regenerating the goldens after an intentional output change::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_cli_golden.py
+
+then review the diff of ``tests/golden/`` like any other code change.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+REGEN = os.environ.get("REPRO_REGEN_GOLDEN") == "1"
+
+#: Fixed generation parameters: the goldens pin this exact trace.
+TRACE_ARGS = ["--category", "short_server", "--branches", "4000",
+              "--seed", "2023"]
+
+
+def normalize(text: str, tmp: Path) -> str:
+    """Replace run-specific output fragments with stable placeholders."""
+    text = text.replace(str(tmp), "<TMP>")
+    # JSON wall-clock fields: "simulation_time": 0.123...
+    text = re.sub(r'("simulation_time": )[0-9.e+-]+', r"\1<TIME>", text)
+    # Compact-summary wall clock: (..., 0.123s)
+    text = re.sub(r"\d+\.\d{3}s\)", "<TIME>)", text)
+    # Cache entry sizes include the stored float times, so they drift.
+    text = re.sub(r'("total_bytes": )\d+', r"\1<SIZE>", text)
+    return text
+
+
+def check_golden(name: str, output: str, tmp: Path) -> None:
+    normalized = normalize(output, tmp)
+    golden_path = GOLDEN_DIR / name
+    if REGEN:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        golden_path.write_text(normalized)
+        pytest.skip(f"regenerated {golden_path.name}")
+    assert golden_path.exists(), (
+        f"missing golden file {golden_path}; run with REPRO_REGEN_GOLDEN=1 "
+        "to create it"
+    )
+    assert normalized == golden_path.read_text(), (
+        f"output differs from {golden_path.name}; if the change is "
+        "intentional, regenerate with REPRO_REGEN_GOLDEN=1 and review"
+    )
+
+
+@pytest.fixture(scope="module")
+def trace_file(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("golden-trace")
+    path = directory / "golden.sbbt"
+    assert main(["generate", str(path), *TRACE_ARGS]) == 0
+    return path
+
+
+def run(argv: list[str], capsys) -> str:
+    capsys.readouterr()  # drop anything buffered by fixtures
+    assert main(argv) == 0
+    return capsys.readouterr().out
+
+
+class TestSimulateGolden:
+    def test_simulate_json(self, trace_file, capsys):
+        out = run(["simulate", str(trace_file), "--predictor", "gshare"],
+                  capsys)
+        check_golden("simulate_gshare.json", out, trace_file.parent)
+
+    def test_simulate_compact(self, trace_file, capsys):
+        out = run(["simulate", str(trace_file), "--predictor", "bimodal",
+                   "--compact"], capsys)
+        check_golden("simulate_bimodal_compact.txt", out, trace_file.parent)
+
+    def test_simulate_with_warmup(self, trace_file, capsys):
+        out = run(["simulate", str(trace_file), "--predictor", "bimodal",
+                   "--warmup", "5000"], capsys)
+        check_golden("simulate_bimodal_warmup.json", out, trace_file.parent)
+
+
+class TestInfoGolden:
+    def test_info_json(self, trace_file, capsys):
+        out = run(["info", str(trace_file), "--json"], capsys)
+        check_golden("info.json", out, trace_file.parent)
+
+    def test_info_human(self, trace_file, capsys):
+        out = run(["info", str(trace_file)], capsys)
+        check_golden("info_human.txt", out, trace_file.parent)
+
+
+class TestCacheGolden:
+    def test_cache_stats_after_cached_simulate(self, trace_file, capsys,
+                                               tmp_path):
+        cache_dir = tmp_path / "cache"
+        # Two identical runs: the second must be a hit, and the cached
+        # JSON must equal the fresh one after time normalization.
+        first = run(["simulate", str(trace_file), "--predictor", "gshare",
+                     "--cache-dir", str(cache_dir)], capsys)
+        second = run(["simulate", str(trace_file), "--predictor", "gshare",
+                      "--cache-dir", str(cache_dir)], capsys)
+        assert (normalize(first, trace_file.parent)
+                == normalize(second, trace_file.parent))
+        out = run(["cache", "stats", "--cache-dir", str(cache_dir)], capsys)
+        check_golden("cache_stats.json", out, tmp_path)
+
+    def test_cache_verify_and_clear(self, trace_file, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        run(["simulate", str(trace_file), "--predictor", "bimodal",
+             "--cache-dir", str(cache_dir)], capsys)
+        out = run(["cache", "verify", "--cache-dir", str(cache_dir)], capsys)
+        assert out == "1 valid, 0 invalid\n"
+        out = run(["cache", "clear", "--cache-dir", str(cache_dir)], capsys)
+        assert out == f"removed 1 cache entries from {cache_dir}\n"
+
+    def test_cache_verify_reports_corruption(self, trace_file, capsys,
+                                             tmp_path):
+        cache_dir = tmp_path / "cache"
+        run(["simulate", str(trace_file), "--predictor", "bimodal",
+             "--cache-dir", str(cache_dir)], capsys)
+        entry = next(cache_dir.glob("*.json"))
+        entry.write_bytes(b"garbage")
+        assert main(["cache", "verify", "--cache-dir", str(cache_dir)]) == 1
+        out = capsys.readouterr().out
+        assert "0 valid, 1 invalid" in out
+        assert "not valid JSON" in out
