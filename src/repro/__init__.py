@@ -50,6 +50,14 @@ from .sbbt import (
     write_trace,
 )
 from .cache import SimulationCache
+from .telemetry import (
+    IntervalRecorder,
+    IntervalSeries,
+    PhaseTimers,
+    RunManifest,
+    build_manifest,
+    suite_manifest,
+)
 
 __version__ = "1.0.0"
 
@@ -59,6 +67,8 @@ __all__ = [
     "simulate", "simulate_file",
     "SbbtReader", "SbbtWriter", "TraceData", "read_trace", "write_trace",
     "SimulationCache", "trace_digest",
+    "IntervalRecorder", "IntervalSeries", "PhaseTimers",
+    "RunManifest", "build_manifest", "suite_manifest",
     "__version__",
 ]
 

@@ -3,7 +3,15 @@ searches (Section VI-A/B), and paper-style report formatting."""
 
 from .championship import Championship, LeaderboardEntry, Submission
 from .cpi import PipelineModel, speedup_from_mpki_reduction
-from .reporting import SpeedupRow, format_duration, format_table, speedup_table
+from .reporting import (
+    SpeedupRow,
+    format_duration,
+    format_table,
+    interval_series_table,
+    manifest_summary_table,
+    phase_breakdown_table,
+    speedup_table,
+)
 from .search import SearchResult, SearchSpace, hill_climb, random_search
 from .sweep import SweepPoint, SweepResult, sweep_grid, sweep_parameter
 
@@ -11,6 +19,8 @@ __all__ = [
     "Championship", "LeaderboardEntry", "Submission",
     "PipelineModel", "speedup_from_mpki_reduction",
     "SpeedupRow", "format_duration", "format_table", "speedup_table",
+    "manifest_summary_table", "phase_breakdown_table",
+    "interval_series_table",
     "SearchResult", "SearchSpace", "hill_climb", "random_search",
     "SweepPoint", "SweepResult", "sweep_grid", "sweep_parameter",
 ]

@@ -3,14 +3,25 @@
 Every Table I/III/IV benchmark prints its measured rows next to the
 paper's published values; this module holds the shared formatting so the
 benches stay declarative.
+
+The ``mbp report`` subcommand reuses the same formatting to render
+:mod:`repro.telemetry` artifacts — run manifests, phase-timing
+breakdowns and interval timeseries — so observability output reads like
+the paper's tables.  Those renderers take the *JSON* (plain-dict) form
+of the artifacts, because ``mbp report`` works on files written by
+earlier runs, possibly by other machines.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Mapping, Sequence
 
-__all__ = ["format_duration", "format_table", "SpeedupRow", "speedup_table"]
+__all__ = [
+    "format_duration", "format_table", "SpeedupRow", "speedup_table",
+    "manifest_summary_table", "phase_breakdown_table",
+    "interval_series_table",
+]
 
 
 def format_duration(seconds: float) -> str:
@@ -63,6 +74,101 @@ class SpeedupRow:
         if self.library_seconds == 0:
             return float("inf")
         return self.baseline_seconds / self.library_seconds
+
+
+def manifest_summary_table(manifests: Sequence[Mapping[str, Any]],
+                           title: str | None = "Run manifests") -> str:
+    """One row per run manifest (JSON form): the provenance at a glance.
+
+    Accepts the ``to_json()`` form of
+    :class:`repro.telemetry.RunManifest`; suite manifests should pass
+    their ``runs`` list.
+    """
+    rows = []
+    for manifest in manifests:
+        metrics = manifest.get("metrics", {})
+        timing = manifest.get("timing", {})
+        cache = manifest.get("cache", {})
+        trace = manifest.get("trace", {})
+        digest = trace.get("digest")
+        cache_note = ("-" if not cache.get("used")
+                      else ("hit" if cache.get("hit") else "miss"))
+        rows.append([
+            str(trace.get("name", "?")),
+            str(digest[:12]) if digest else "-",
+            str(manifest.get("predictor", {}).get("name", "?")),
+            f"{metrics.get('mpki', float('nan')):.4f}",
+            f"{metrics.get('accuracy', float('nan')):.4%}",
+            str(metrics.get("mispredictions", "?")),
+            format_duration(float(timing.get("simulation_time", 0.0))),
+            cache_note,
+        ])
+    return format_table(
+        headers=["Trace", "Digest", "Predictor", "MPKI", "Accuracy",
+                 "Mispred.", "Sim. time", "Cache"],
+        rows=rows,
+        title=title,
+    )
+
+
+def phase_breakdown_table(phases: Mapping[str, float],
+                          title: str | None = "Phase timings") -> str:
+    """Where the wall-clock went: one row per phase, with shares.
+
+    ``phases`` maps phase name to accumulated seconds (the
+    :attr:`repro.telemetry.PhaseTimers.phases` dict or its JSON copy);
+    rows are ordered by descending time so the dominant phase leads.
+    """
+    total = sum(phases.values())
+    rows = []
+    for name, seconds in sorted(phases.items(),
+                                key=lambda item: (-item[1], item[0])):
+        share = 100.0 * seconds / total if total > 0 else 0.0
+        rows.append([name, format_duration(seconds), f"{share:.1f} %"])
+    rows.append(["total", format_duration(total), "100.0 %" if total > 0
+                 else "0.0 %"])
+    return format_table(headers=["Phase", "Time", "Share"], rows=rows,
+                        title=title)
+
+
+def interval_series_table(series: Mapping[str, Any],
+                          title: str | None = "Interval telemetry",
+                          limit: int | None = None) -> str:
+    """Render an interval timeseries (JSON form) as a paper-style table.
+
+    ``series`` is the ``to_json()`` form of
+    :class:`repro.telemetry.IntervalSeries`.  ``limit`` keeps only the
+    first N windows (a trailing row notes the elision).
+    """
+    records = list(series.get("records", []))
+    elided = 0
+    if limit is not None and limit >= 0 and len(records) > limit:
+        elided = len(records) - limit
+        records = records[:limit]
+    rows = [
+        [
+            str(r["index"]),
+            str(r["instructions"]),
+            str(r["window_conditional_branches"]),
+            str(r["window_mispredictions"]),
+            f"{r['window_mpki']:.4f}",
+            f"{r['window_accuracy']:.4%}",
+            f"{r['cumulative_mpki']:.4f}",
+        ]
+        for r in records
+    ]
+    if elided:
+        rows.append([f"... {elided} more", "", "", "", "", "", ""])
+    header = title
+    if header is not None:
+        header = (f"{header} (interval={series.get('interval')}, "
+                  f"warmup={series.get('warmup_instructions')})")
+    return format_table(
+        headers=["Window", "Instr.", "Cond.", "Mispred.", "MPKI",
+                 "Accuracy", "Cum. MPKI"],
+        rows=rows,
+        title=header,
+    )
 
 
 def speedup_table(rows: Sequence[SpeedupRow], baseline_name: str,

@@ -38,6 +38,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Union
@@ -240,24 +241,42 @@ class SimulationCache:
     def get_or_simulate(self, factory: Callable[[], Predictor],
                         trace: TraceLike,
                         config: SimulationConfig | None = None, *,
-                        trace_name: str | None = None) -> SimulationResult:
+                        trace_name: str | None = None,
+                        instrumentation: Any = None,
+                        telemetry: Any = None) -> SimulationResult:
         """Serve from cache, or simulate once and remember the result.
 
         ``factory`` is only called when the spec (one cheap construction)
         or a fresh simulation is needed; a hit never simulates.  The
         trace name is display-only and deliberately not part of the key,
         so a hit is renamed to the caller's current spelling.
+
+        ``instrumentation`` / ``telemetry`` are the standard simulator's
+        observability hooks (:mod:`repro.telemetry`): the key derivation
+        and lookup are timed as a "cache_lookup" phase and counted as
+        "cache_hit" / "cache_miss"; on a miss both hooks are forwarded
+        to :func:`~repro.core.simulator.simulate`.  A hit emits no
+        interval telemetry — the stored result has no timeseries — which
+        the run manifest makes visible via its ``cache`` section.
         """
         config = config or SimulationConfig()
+        instr = instrumentation
+        lookup_start = time.perf_counter() if instr is not None else 0.0
         key = self.key_for(trace, factory(), config)
         cached = self.get(key)
+        if instr is not None:
+            instr.add_phase("cache_lookup",
+                            time.perf_counter() - lookup_start)
+            instr.count("cache_hit" if cached is not None else "cache_miss")
         if cached is not None:
             if trace_name is not None:
                 cached.trace_name = trace_name
             elif not isinstance(trace, TraceData):
                 cached.trace_name = str(trace)
             return cached
-        result = simulate(factory(), trace, config, trace_name=trace_name)
+        result = simulate(factory(), trace, config, trace_name=trace_name,
+                          instrumentation=instrumentation,
+                          telemetry=telemetry)
         self.put(key, result)
         return result
 

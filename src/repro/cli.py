@@ -5,12 +5,19 @@ primary interface (user code calls it), but the everyday chores are one
 command away:
 
 * ``mbp simulate``  — run a named predictor over an SBBT trace
-  (``--cache-dir`` serves repeats from the simulation cache).
+  (``--cache-dir`` serves repeats from the simulation cache;
+  ``--telemetry`` writes a run manifest, phase timings and an interval
+  timeseries).
 * ``mbp compare``   — run two predictors in parallel (Section VI-C).
 * ``mbp info``      — trace statistics (gap bounds, branch mix).
 * ``mbp generate``  — synthesize a workload trace to a file.
 * ``mbp translate`` — convert between BT9 / champsimtrace / SBBT.
+* ``mbp championship`` — rank predictors CBP-style over trace suites.
 * ``mbp cache``     — stats / clear / verify of a result cache directory.
+* ``mbp report``    — render telemetry documents / manifests as tables.
+
+Every subcommand is documented in ``docs/cli.md``; a CI check
+(``tools/check_docs.py``) keeps that page in sync with this parser.
 """
 
 from __future__ import annotations
@@ -79,6 +86,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None, metavar="DIR",
         help="content-addressed result cache: identical (trace, predictor, "
              "config) runs are served from DIR instead of re-simulating")
+    simulate_parser.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="write a telemetry document (run manifest + phase timings + "
+             "interval timeseries) to PATH; a .csv suffix writes the "
+             "interval series as CSV instead")
+    simulate_parser.add_argument(
+        "--interval", type=int, default=None, metavar="INSTRUCTIONS",
+        help="interval-telemetry window size in instructions "
+             "(default 100000; requires --telemetry)")
 
     compare_parser = sub.add_parser(
         "compare", help="simulate two predictors in parallel")
@@ -130,20 +146,73 @@ def build_parser() -> argparse.ArgumentParser:
     cache_parser.add_argument(
         "--delete-invalid", action="store_true",
         help="with 'verify': also delete the entries that fail to decode")
+
+    report_parser = sub.add_parser(
+        "report",
+        help="render telemetry documents, run manifests or interval "
+             "series as paper-style tables")
+    report_parser.add_argument(
+        "files", nargs="+", metavar="FILE",
+        help="JSON artifacts written by 'mbp simulate --telemetry', "
+             "RunManifest.write() or suite_manifest()")
+    report_parser.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="show at most N interval windows per file (default: all)")
+    report_parser.add_argument(
+        "--json", action="store_true",
+        help="echo the merged telemetry documents as JSON instead of "
+             "tables")
     return parser
+
+
+#: Default interval-telemetry window (instructions) for ``--telemetry``.
+DEFAULT_TELEMETRY_INTERVAL = 100_000
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     config = SimulationConfig(warmup_instructions=args.warmup,
                               max_instructions=args.max_instructions)
-    if args.cache_dir is not None:
+    if args.interval is not None and args.telemetry is None:
+        raise SystemExit("--interval requires --telemetry")
+    instrumentation = recorder = None
+    if args.telemetry is not None:
+        from .telemetry import IntervalRecorder, PhaseTimers
+
+        instrumentation = PhaseTimers()
+        recorder = IntervalRecorder(
+            args.interval if args.interval is not None
+            else DEFAULT_TELEMETRY_INTERVAL)
+    cache_used = args.cache_dir is not None
+    if cache_used:
         from .cache import SimulationCache
 
         cache = SimulationCache(args.cache_dir)
         result = cache.get_or_simulate(
-            lambda: make_predictor(args.predictor), args.trace, config)
+            lambda: make_predictor(args.predictor), args.trace, config,
+            instrumentation=instrumentation, telemetry=recorder)
     else:
-        result = simulate(make_predictor(args.predictor), args.trace, config)
+        result = simulate(make_predictor(args.predictor), args.trace, config,
+                          instrumentation=instrumentation,
+                          telemetry=recorder)
+    if args.telemetry is not None:
+        from .telemetry import build_manifest, write_telemetry
+
+        series = recorder.series  # None on a cache hit (nothing simulated)
+        if series is None and args.telemetry.lower().endswith(".csv"):
+            raise SystemExit(
+                "cache hit produced no interval series; CSV telemetry "
+                "needs a fresh simulation (use 'mbp cache clear' or a "
+                "JSON telemetry path)")
+        manifest = build_manifest(
+            result, trace=args.trace,
+            predictor=make_predictor(args.predictor), config=config,
+            phases=instrumentation.phases,
+            counters=instrumentation.counters or None,
+            cache_used=cache_used)
+        write_telemetry(args.telemetry, manifest=manifest,
+                        phases=instrumentation.phases,
+                        counters=instrumentation.counters or None,
+                        intervals=series)
     if args.compact:
         print(result.summary())
     else:
@@ -226,6 +295,71 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.reporting import (
+        interval_series_table,
+        manifest_summary_table,
+        phase_breakdown_table,
+    )
+    from .core.errors import TelemetryError
+    from .telemetry import read_telemetry
+
+    status = 0
+    documents: list[tuple[str, dict]] = []
+    for path in args.files:
+        try:
+            documents.append((path, read_telemetry(path)))
+        except TelemetryError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            status = 1
+    if args.json:
+        print(json.dumps([doc for _, doc in documents], indent=2))
+        return status
+    first = True
+    for path, doc in documents:
+        if not first:
+            print()
+        first = False
+        print(f"== {path}")
+        manifest = doc.get("manifest")
+        rendered = False
+        if manifest:
+            if manifest.get("kind") == "repro-suite-manifest":
+                print(manifest_summary_table(manifest.get("runs", []),
+                                             title="Suite run manifests"))
+                aggregate = manifest.get("aggregate")
+                if aggregate:
+                    timing = aggregate.get("timing", {})
+                    print(
+                        f"suite: {manifest.get('num_traces')} traces, "
+                        f"{manifest.get('cache_hits', 0)} cache hits, "
+                        f"{len(manifest.get('failures', []))} failures, "
+                        f"mean MPKI {aggregate.get('mean_mpki', 0.0):.4f}, "
+                        f"total time {timing.get('total', 0.0):.3f}s")
+            else:
+                print(manifest_summary_table([manifest]))
+            rendered = True
+        phases = doc.get("phases")
+        if phases:
+            print()
+            print(phase_breakdown_table(phases))
+            rendered = True
+        counters = doc.get("counters")
+        if counters:
+            print()
+            print("counters: " + ", ".join(
+                f"{name}={counters[name]}" for name in sorted(counters)))
+            rendered = True
+        intervals = doc.get("intervals")
+        if intervals:
+            print()
+            print(interval_series_table(intervals, limit=args.limit))
+            rendered = True
+        if not rendered:
+            print("(empty telemetry document)")
+    return status
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "compare": _cmd_compare,
@@ -234,6 +368,7 @@ _COMMANDS = {
     "translate": _cmd_translate,
     "championship": _cmd_championship,
     "cache": _cmd_cache,
+    "report": _cmd_report,
 }
 
 

@@ -31,6 +31,7 @@ from .errors import (
     ConfigurationError,
     ReproError,
     SimulationError,
+    TelemetryError,
     TraceError,
     TraceFormatError,
     TraceValidationError,
@@ -48,7 +49,8 @@ __all__ = [
     "ComparisonEntry", "ComparisonResult", "MultiComparisonResult",
     "compare", "compare_many",
     "CacheError", "ConfigurationError", "ReproError",
-    "SimulationError", "SuiteError", "TraceSimulationError", "TraceError",
+    "SimulationError", "SuiteError", "TelemetryError",
+    "TraceSimulationError", "TraceError",
     "TraceFormatError", "TraceValidationError",
     "BranchStats", "MostFailedEntry", "accuracy", "most_failed_branches",
     "mpki",

@@ -22,11 +22,18 @@ Two robustness/scale features beyond the paper:
   default (``on_error="raise"``) then raises a :class:`SuiteError`
   carrying the partial results; ``on_error="collect"`` returns them in
   :attr:`BatchResult.failures` instead.
+
+Observability: ``instrumentation=`` accepts :mod:`repro.telemetry`
+phase timers, which then report where a suite's wall-clock went
+(cache lookups vs. simulation) and how many traces hit the cache; a
+finished :class:`BatchResult` can be turned into a provenance document
+with :func:`repro.telemetry.suite_manifest`.
 """
 
 from __future__ import annotations
 
 import statistics
+import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -41,6 +48,7 @@ from .simulator import SimulationConfig, simulate
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..cache import SimulationCache
+    from ..telemetry.instrumentation import Instrumentation
 
 __all__ = [
     "TimingSummary",
@@ -221,7 +229,9 @@ def run_suite(factory: PredictorFactory, traces: Sequence[TraceLike],
               names: Sequence[str] | None = None,
               workers: int = 1,
               cache: CacheLike = None,
-              on_error: str = "raise") -> BatchResult:
+              on_error: str = "raise",
+              instrumentation: "Instrumentation | None" = None
+              ) -> BatchResult:
     """Run a fresh predictor over every trace of a suite.
 
     Parameters
@@ -247,8 +257,16 @@ def run_suite(factory: PredictorFactory, traces: Sequence[TraceLike],
         raise :class:`SuiteError` naming the failures and carrying the
         partial :class:`BatchResult`.  ``"collect"``: return normally
         with the failures recorded in :attr:`BatchResult.failures`.
+    instrumentation:
+        Optional :mod:`repro.telemetry` phase timers: records a
+        "cache_lookup" phase around the cache scan, a "simulate" phase
+        around the actual simulations, and "cache_hit" / "cache_miss" /
+        "trace_failure" counters.  Suite-level only — per-trace phase
+        detail would distort the Table III timing methodology when
+        workers contend for cores.
     """
     config = config or SimulationConfig()
+    instr = instrumentation
     if names is not None and len(names) != len(traces):
         raise ValueError("names and traces must have the same length")
     if on_error not in ("raise", "collect"):
@@ -266,6 +284,7 @@ def run_suite(factory: PredictorFactory, traces: Sequence[TraceLike],
     keys: list[str | None] = [None] * len(traces)
 
     if store is not None:
+        lookup_start = time.perf_counter() if instr is not None else 0.0
         spec = factory().spec()
         for i, (trace, name) in enumerate(zip(traces, resolved_names)):
             try:
@@ -283,9 +302,17 @@ def run_suite(factory: PredictorFactory, traces: Sequence[TraceLike],
                 slots[i] = hit
             else:
                 pending.append(i)
+        if instr is not None:
+            instr.add_phase("cache_lookup",
+                            time.perf_counter() - lookup_start)
+            hits = sum(1 for s in slots
+                       if isinstance(s, SimulationResult))
+            instr.count("cache_hit", hits)
+            instr.count("cache_miss", len(pending))
     else:
         pending = [i for i in range(len(traces)) if slots[i] is None]
 
+    simulate_start = time.perf_counter() if instr is not None else 0.0
     if pending:
         if workers == 1 or len(pending) <= 1:
             for i in pending:
@@ -312,9 +339,13 @@ def run_suite(factory: PredictorFactory, traces: Sequence[TraceLike],
                 outcome = slots[i]
                 if isinstance(outcome, SimulationResult) and keys[i]:
                     store.put(keys[i], outcome)
+    if instr is not None:
+        instr.add_phase("simulate", time.perf_counter() - simulate_start)
 
     results = [s for s in slots if isinstance(s, SimulationResult)]
     failures = [s for s in slots if isinstance(s, TraceFailure)]
+    if instr is not None and failures:
+        instr.count("trace_failure", len(failures))
     batch = BatchResult(results=results, failures=failures)
     if failures and on_error == "raise":
         raise SuiteError(failures, batch)

@@ -15,6 +15,7 @@ __all__ = [
     "SimulationError",
     "CacheError",
     "ConfigurationError",
+    "TelemetryError",
 ]
 
 
@@ -55,3 +56,13 @@ class CacheError(ReproError):
 
 class ConfigurationError(ReproError):
     """A component was configured with inconsistent parameters."""
+
+
+class TelemetryError(ReproError):
+    """The observability layer (:mod:`repro.telemetry`) was misused.
+
+    Only raised for *caller* mistakes (non-positive interval, malformed
+    manifest/telemetry documents).  The instrumentation hooks themselves
+    never raise from inside a simulation — a simulation that succeeds
+    without telemetry also succeeds with it.
+    """

@@ -53,6 +53,14 @@ class SimulationResult:
     #: JSON schema: a cached result serializes identically to the run
     #: that produced it.
     from_cache: bool = field(default=False, compare=False)
+    #: Phase-timing snapshot (phase name -> seconds) attached by the
+    #: simulator when a :class:`repro.telemetry.PhaseTimers` was passed.
+    #: Like ``from_cache`` this is in-memory provenance, *not* part of
+    #: the Listing-1 JSON schema — results serialize identically with or
+    #: without instrumentation, so telemetry can never split the
+    #: content-addressed cache.  Run manifests
+    #: (:func:`repro.telemetry.build_manifest`) pick it up by default.
+    phases: dict[str, float] | None = field(default=None, compare=False)
 
     @property
     def mpki(self) -> float:

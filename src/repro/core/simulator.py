@@ -11,6 +11,20 @@ Driving rules (Section IV-B):
 * ``track`` is invoked for **every** branch (unless the user asks for
   ``track_only_conditional``), after ``train``;
 * mispredictions inside the warm-up instruction window are not counted.
+
+Observability (:mod:`repro.telemetry`): the simulator accepts an
+optional ``instrumentation`` object — phase timers bracketing trace
+decode ("trace_read"), the predict/train/track loop ("simulate_loop")
+and result finalization ("finalize") — and an optional ``telemetry``
+interval recorder sampling the running counters every N instructions.
+Both default to off, and the off path adds **no hook calls**: phases
+are per-run brackets behind ``is not None`` guards and interval
+sampling is a single integer comparison against an unreachable
+sentinel, so Table III-style timing measurements are unaffected.
+
+All durations are measured with the monotonic ``time.perf_counter``;
+wall-clock ``time.time`` (which can jump under NTP adjustment) is never
+used for timing.
 """
 
 from __future__ import annotations
@@ -18,7 +32,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Union
+from typing import TYPE_CHECKING, Union
 
 from ..sbbt.reader import read_trace
 from ..sbbt.trace import TraceData
@@ -27,9 +41,17 @@ from .metrics import BranchStats, most_failed_branches
 from .output import SimulationResult
 from .predictor import Predictor
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..telemetry.instrumentation import Instrumentation
+    from ..telemetry.interval import IntervalRecorder
+
 __all__ = ["SimulationConfig", "simulate", "simulate_file"]
 
 TraceLike = Union[TraceData, str, Path]
+
+#: Sentinel window mark no instruction counter ever reaches; comparing
+#: against it is the entire cost of disabled interval telemetry.
+_NEVER = float("inf")
 
 
 @dataclass(frozen=True, slots=True)
@@ -75,15 +97,31 @@ def _resolve_trace(trace: TraceLike) -> tuple[TraceData, str]:
 
 def simulate(predictor: Predictor, trace: TraceLike,
              config: SimulationConfig | None = None, *,
-             trace_name: str | None = None) -> SimulationResult:
+             trace_name: str | None = None,
+             instrumentation: "Instrumentation | None" = None,
+             telemetry: "IntervalRecorder | None" = None
+             ) -> SimulationResult:
     """Run ``predictor`` over ``trace`` and return the full result object.
 
     This is the library's main entry point — the user code calls it (the
     library never owns ``main``), which is the design inversion the paper
     argues for against framework-style simulators.
+
+    ``instrumentation`` (phase timers / counters) and ``telemetry`` (an
+    :class:`~repro.telemetry.interval.IntervalRecorder`) are optional
+    observability hooks; when instrumentation records phase timings
+    (exposes a ``phases`` dict), a snapshot is attached to the result's
+    non-serialized ``phases`` field.  Neither changes the metrics: a run
+    with hooks produces the same :class:`SimulationResult` as one
+    without.
     """
     config = config or SimulationConfig()
+    instr = instrumentation
+
+    read_start = time.perf_counter() if instr is not None else 0.0
     data, default_name = _resolve_trace(trace)
+    if instr is not None:
+        instr.add_phase("trace_read", time.perf_counter() - read_start)
     name = trace_name if trace_name is not None else default_name
 
     start = time.perf_counter()
@@ -96,6 +134,14 @@ def simulate(predictor: Predictor, trace: TraceLike,
     predict = predictor.predict
     train = predictor.train
     track = predictor.track
+
+    recorder = telemetry
+    if recorder is not None:
+        recorder.start(warmup)
+        mark_step = recorder.interval
+        next_mark: float = mark_step
+    else:
+        next_mark = _NEVER
 
     instructions = 0
     branch_instructions = 0
@@ -137,6 +183,12 @@ def simulate(predictor: Predictor, trace: TraceLike,
             track(branch)
         elif track_all:
             track(branch)
+        if instructions >= next_mark:
+            recorder.record(instructions, conditional_branches,
+                            mispredictions)
+            # A single large gap may cross several window marks; one
+            # record covers them all and sampling realigns to the grid.
+            next_mark = (instructions // mark_step + 1) * mark_step
 
     if exhausted and data.num_instructions > instructions:
         # Non-branch instructions after the last branch still count.
@@ -149,6 +201,10 @@ def simulate(predictor: Predictor, trace: TraceLike,
 
     elapsed = time.perf_counter() - start
 
+    if recorder is not None:
+        recorder.finish(instructions, conditional_branches, mispredictions)
+
+    final_start = time.perf_counter() if instr is not None else 0.0
     measured_instructions = max(0, instructions - warmup)
     most_failed = (
         most_failed_branches(
@@ -158,6 +214,13 @@ def simulate(predictor: Predictor, trace: TraceLike,
         )
         if collect else []
     )
+    phases_snapshot = None
+    if instr is not None:
+        instr.add_phase("simulate_loop", elapsed)
+        instr.add_phase("finalize", time.perf_counter() - final_start)
+        recorded = getattr(instr, "phases", None)
+        if recorded is not None:
+            phases_snapshot = dict(recorded)
     return SimulationResult(
         trace_name=name,
         warmup_instructions=warmup,
@@ -170,6 +233,7 @@ def simulate(predictor: Predictor, trace: TraceLike,
         predictor_metadata=predictor.metadata_stats(),
         predictor_statistics=predictor.execution_stats(),
         most_failed=most_failed,
+        phases=phases_snapshot,
     )
 
 

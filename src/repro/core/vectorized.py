@@ -27,16 +27,27 @@ composition — computable with a segmented Hillis-Steele scan in
 
 This is the reproduction's analogue of MBPlib's C++-level speed work and
 the subject of the ``benchmarks/test_ablation_vectorized.py`` ablation.
+
+Observability: both engines accept an optional ``instrumentation``
+object (:mod:`repro.telemetry`) and bracket their array passes as
+phases — "index" (history/index derivation), "scan" (the segmented
+clamped-walk scan) and "finish" (misprediction counting).  The default
+is off and adds no calls, matching the standard simulator's contract.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..sbbt.trace import TraceData
 from .errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..telemetry.instrumentation import Instrumentation
 
 __all__ = [
     "VectorizedResult",
@@ -200,10 +211,20 @@ def _finish(trace: TraceData, conditional: np.ndarray,
     )
 
 
+def _phase_end(instrumentation: "Instrumentation | None", name: str,
+               start: float) -> float:
+    """Record one engine phase; returns the next phase's start time."""
+    now = time.perf_counter()
+    instrumentation.add_phase(name, now - start)
+    return now
+
+
 def simulate_bimodal_vectorized(trace: TraceData, log_table_size: int = 14,
                                 counter_width: int = 2,
                                 instruction_shift: int = 0,
-                                warmup_instructions: int = 0
+                                warmup_instructions: int = 0, *,
+                                instrumentation:
+                                "Instrumentation | None" = None
                                 ) -> VectorizedResult:
     """Bit-exact vectorized run of :class:`repro.predictors.Bimodal`.
 
@@ -213,28 +234,39 @@ def simulate_bimodal_vectorized(trace: TraceData, log_table_size: int = 14,
     """
     if counter_width < 1:
         raise SimulationError("counter_width must be >= 1")
+    instr = instrumentation
+    start = time.perf_counter() if instr is not None else 0.0
     conditional = trace.conditional_mask()
     ips = trace.ips[conditional]
     taken = trace.taken[conditional]
     n = len(ips)
     mask = np.uint64((1 << log_table_size) - 1)
     indices = (ips >> np.uint64(instruction_shift)) & mask
+    if instr is not None:
+        start = _phase_end(instr, "index", start)
 
     order = np.argsort(indices, kind="stable")
     lo = -(1 << (counter_width - 1))
     hi = (1 << (counter_width - 1)) - 1
     steps = np.where(taken[order], 1, -1)
     before = clamped_walk_states(indices[order], steps, lo, hi)
+    if instr is not None:
+        start = _phase_end(instr, "scan", start)
 
     predictions = np.empty(n, dtype=bool)
     predictions[order] = before >= 0
-    return _finish(trace, conditional, predictions, warmup_instructions)
+    result = _finish(trace, conditional, predictions, warmup_instructions)
+    if instr is not None:
+        _phase_end(instr, "finish", start)
+    return result
 
 
 def simulate_gshare_vectorized(trace: TraceData, history_length: int = 15,
                                log_table_size: int = 17,
                                counter_width: int = 2,
-                               warmup_instructions: int = 0
+                               warmup_instructions: int = 0, *,
+                               instrumentation:
+                               "Instrumentation | None" = None
                                ) -> VectorizedResult:
     """Bit-exact vectorized run of :class:`repro.predictors.GShare`.
 
@@ -245,19 +277,28 @@ def simulate_gshare_vectorized(trace: TraceData, history_length: int = 15,
     """
     if counter_width < 1:
         raise SimulationError("counter_width must be >= 1")
+    instr = instrumentation
+    start = time.perf_counter() if instr is not None else 0.0
     # track() pushes *every* branch outcome (unconditional = taken).
     history = global_history_windows(trace.taken, history_length)
     conditional = trace.conditional_mask()
     ips = trace.ips[conditional]
     taken = trace.taken[conditional]
     indices = xor_fold_array(ips ^ history[conditional], log_table_size)
+    if instr is not None:
+        start = _phase_end(instr, "index", start)
 
     order = np.argsort(indices, kind="stable")
     lo = -(1 << (counter_width - 1))
     hi = (1 << (counter_width - 1)) - 1
     steps = np.where(taken[order], 1, -1)
     before = clamped_walk_states(indices[order], steps, lo, hi)
+    if instr is not None:
+        start = _phase_end(instr, "scan", start)
 
     predictions = np.empty(len(ips), dtype=bool)
     predictions[order] = before >= 0
-    return _finish(trace, conditional, predictions, warmup_instructions)
+    result = _finish(trace, conditional, predictions, warmup_instructions)
+    if instr is not None:
+        _phase_end(instr, "finish", start)
+    return result

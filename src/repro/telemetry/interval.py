@@ -1,0 +1,299 @@
+"""Interval telemetry: per-N-instruction MPKI/accuracy timeseries.
+
+The standard simulator's output (paper Section IV-E) is an end-of-run
+total, which hides everything that happens *during* a run — warm-up
+transients, phase changes, the very effects ``warmup_instructions``
+exists to exclude.  An :class:`IntervalRecorder` attached to
+:func:`repro.core.simulator.simulate` emits one :class:`IntervalRecord`
+every ``interval`` instructions, turning a simulation into a timeseries
+of window and cumulative misprediction rates.
+
+Accounting matches the simulator's counting rules exactly: conditional
+branches and mispredictions inside the warm-up window are not counted,
+and the window deltas of a finished series sum to the final
+:class:`~repro.core.output.SimulationResult` totals (a tested
+invariant — see :meth:`IntervalSeries.consistent_with`).
+
+>>> recorder = IntervalRecorder(interval=100)
+>>> recorder.start(warmup=0)
+>>> recorder.record(100, 10, 3)
+>>> recorder.record(200, 25, 4)
+>>> series = recorder.finish(250, 30, 5)
+>>> [r.window_mispredictions for r in series.records]
+[3, 1, 1]
+>>> series.total_mispredictions
+5
+>>> series.records[-1].cumulative_mispredictions
+5
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.errors import TelemetryError
+from ..core.metrics import accuracy, mpki
+
+__all__ = ["IntervalRecord", "IntervalRecorder", "IntervalSeries"]
+
+#: Version of the interval-series JSON layout.
+INTERVAL_SCHEMA = 1
+
+__all__.append("INTERVAL_SCHEMA")
+
+#: Column order of :meth:`IntervalSeries.to_csv` (and the CSV sink).
+CSV_COLUMNS = (
+    "index", "instructions", "window_instructions",
+    "window_conditional_branches", "window_mispredictions",
+    "cumulative_conditional_branches", "cumulative_mispredictions",
+    "window_mpki", "window_accuracy", "cumulative_mpki",
+)
+
+__all__.append("CSV_COLUMNS")
+
+
+@dataclass(frozen=True, slots=True)
+class IntervalRecord:
+    """One window of a simulation's telemetry timeseries.
+
+    ``window_*`` fields are deltas over this window; ``cumulative_*``
+    fields count from the end of warm-up to the end of this window.
+    ``instructions`` is the cumulative instruction count (including
+    warm-up) at the point the record was emitted; it may exceed the
+    nominal window boundary by the gap of the branch that crossed it.
+    """
+
+    index: int
+    instructions: int
+    measured_instructions: int
+    window_instructions: int
+    window_conditional_branches: int
+    window_mispredictions: int
+    cumulative_conditional_branches: int
+    cumulative_mispredictions: int
+
+    @property
+    def window_mpki(self) -> float:
+        """Mispredictions per kilo-instruction within this window."""
+        return mpki(self.window_mispredictions, self.window_instructions)
+
+    @property
+    def window_accuracy(self) -> float:
+        """Prediction accuracy over this window's conditional branches."""
+        return accuracy(self.window_mispredictions,
+                        self.window_conditional_branches)
+
+    @property
+    def cumulative_mpki(self) -> float:
+        """MPKI over the measured region up to the end of this window."""
+        return mpki(self.cumulative_mispredictions,
+                    self.measured_instructions)
+
+    @property
+    def cumulative_accuracy(self) -> float:
+        """Accuracy over the measured region up to this window's end."""
+        return accuracy(self.cumulative_mispredictions,
+                        self.cumulative_conditional_branches)
+
+    def to_json(self) -> dict[str, Any]:
+        """Plain-dict form, including the derived rates."""
+        return {
+            "index": self.index,
+            "instructions": self.instructions,
+            "measured_instructions": self.measured_instructions,
+            "window_instructions": self.window_instructions,
+            "window_conditional_branches": self.window_conditional_branches,
+            "window_mispredictions": self.window_mispredictions,
+            "cumulative_conditional_branches":
+                self.cumulative_conditional_branches,
+            "cumulative_mispredictions": self.cumulative_mispredictions,
+            "window_mpki": self.window_mpki,
+            "window_accuracy": self.window_accuracy,
+            "cumulative_mpki": self.cumulative_mpki,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "IntervalRecord":
+        """Rebuild a record from :meth:`to_json` output (rates rederived)."""
+        return cls(
+            index=int(data["index"]),
+            instructions=int(data["instructions"]),
+            measured_instructions=int(data["measured_instructions"]),
+            window_instructions=int(data["window_instructions"]),
+            window_conditional_branches=int(
+                data["window_conditional_branches"]),
+            window_mispredictions=int(data["window_mispredictions"]),
+            cumulative_conditional_branches=int(
+                data["cumulative_conditional_branches"]),
+            cumulative_mispredictions=int(data["cumulative_mispredictions"]),
+        )
+
+
+@dataclass(slots=True)
+class IntervalSeries:
+    """A finished interval timeseries plus its sampling parameters."""
+
+    interval: int
+    warmup_instructions: int
+    records: list[IntervalRecord] = field(default_factory=list)
+
+    @property
+    def total_mispredictions(self) -> int:
+        """Sum of every window's misprediction delta."""
+        return sum(r.window_mispredictions for r in self.records)
+
+    @property
+    def total_conditional_branches(self) -> int:
+        """Sum of every window's conditional-branch delta."""
+        return sum(r.window_conditional_branches for r in self.records)
+
+    @property
+    def total_instructions(self) -> int:
+        """Cumulative instructions at the end of the series (with warmup)."""
+        return self.records[-1].instructions if self.records else 0
+
+    def consistent_with(self, result: Any) -> bool:
+        """True when the series sums to ``result``'s final totals.
+
+        ``result`` is a :class:`~repro.core.output.SimulationResult`;
+        checked both as window-delta sums and as the last record's
+        cumulative counters (the two must agree by construction).
+        """
+        if not self.records:
+            return (result.mispredictions == 0
+                    and result.num_conditional_branches == 0)
+        last = self.records[-1]
+        return (
+            self.total_mispredictions == result.mispredictions
+            and self.total_conditional_branches
+                == result.num_conditional_branches
+            and last.cumulative_mispredictions == result.mispredictions
+            and last.cumulative_conditional_branches
+                == result.num_conditional_branches
+            and last.measured_instructions == result.simulation_instructions
+        )
+
+    def to_json(self) -> dict[str, Any]:
+        """The interval-series JSON document (see ``docs/telemetry.md``)."""
+        return {
+            "schema": INTERVAL_SCHEMA,
+            "interval": self.interval,
+            "warmup_instructions": self.warmup_instructions,
+            "num_records": len(self.records),
+            "records": [r.to_json() for r in self.records],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "IntervalSeries":
+        """Inverse of :meth:`to_json`; raises ``TelemetryError`` on junk."""
+        try:
+            if data["schema"] != INTERVAL_SCHEMA:
+                raise TelemetryError(
+                    f"unsupported interval schema {data['schema']!r}")
+            return cls(
+                interval=int(data["interval"]),
+                warmup_instructions=int(data["warmup_instructions"]),
+                records=[IntervalRecord.from_json(r)
+                         for r in data["records"]],
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TelemetryError(
+                f"malformed interval series: {exc!r}") from exc
+
+    def to_csv(self) -> str:
+        """CSV rendering, one line per record, header first."""
+        out = io.StringIO()
+        out.write(",".join(CSV_COLUMNS) + "\n")
+        for record in self.records:
+            row = record.to_json()
+            out.write(",".join(
+                repr(row[c]) if isinstance(row[c], float) else str(row[c])
+                for c in CSV_COLUMNS) + "\n")
+        return out.getvalue()
+
+    def to_json_string(self, *, indent: int | None = 2) -> str:
+        """:meth:`to_json` serialized to text."""
+        return json.dumps(self.to_json(), indent=indent)
+
+
+class IntervalRecorder:
+    """Collects :class:`IntervalRecord` objects during one simulation.
+
+    The simulator owns the sampling decision (it compares its running
+    instruction counter against window marks); the recorder turns each
+    sample of cumulative counters into window deltas, forwards records
+    to an optional streaming :class:`~repro.telemetry.sinks.TelemetrySink`,
+    and assembles the final :class:`IntervalSeries`.
+
+    A recorder is reusable: :meth:`start` (called by the simulator)
+    resets all state, and the last finished series stays available as
+    :attr:`series`.
+    """
+
+    def __init__(self, interval: int, *, sink: Any = None):
+        if interval < 1:
+            raise TelemetryError(
+                f"interval must be a positive instruction count, "
+                f"got {interval}")
+        self.interval = int(interval)
+        self.sink = sink
+        #: The most recently finished series (``None`` until finish()).
+        self.series: IntervalSeries | None = None
+        self._records: list[IntervalRecord] = []
+        self._warmup = 0
+        self._prev_instructions = 0
+        self._prev_conditional = 0
+        self._prev_mispredictions = 0
+
+    def start(self, warmup: int = 0) -> None:
+        """Reset for a new run; ``warmup`` mirrors the simulator config."""
+        self._records = []
+        self._warmup = warmup
+        self._prev_instructions = 0
+        self._prev_conditional = 0
+        self._prev_mispredictions = 0
+
+    def record(self, instructions: int, conditional_branches: int,
+               mispredictions: int) -> None:
+        """Sample the simulator's cumulative counters at a window mark.
+
+        ``conditional_branches`` and ``mispredictions`` are *measured*
+        (post-warm-up) cumulative counts, exactly the counters the
+        simulator reports at the end of the run.
+        """
+        record = IntervalRecord(
+            index=len(self._records) + 1,
+            instructions=instructions,
+            measured_instructions=max(0, instructions - self._warmup),
+            window_instructions=instructions - self._prev_instructions,
+            window_conditional_branches=(
+                conditional_branches - self._prev_conditional),
+            window_mispredictions=(
+                mispredictions - self._prev_mispredictions),
+            cumulative_conditional_branches=conditional_branches,
+            cumulative_mispredictions=mispredictions,
+        )
+        self._records.append(record)
+        self._prev_instructions = instructions
+        self._prev_conditional = conditional_branches
+        self._prev_mispredictions = mispredictions
+        if self.sink is not None:
+            self.sink.emit(record)
+
+    def finish(self, instructions: int, conditional_branches: int,
+               mispredictions: int) -> IntervalSeries:
+        """Emit the final partial window (if any) and build the series."""
+        if instructions > self._prev_instructions or not self._records:
+            self.record(instructions, conditional_branches,
+                        mispredictions)
+        self.series = IntervalSeries(
+            interval=self.interval,
+            warmup_instructions=self._warmup,
+            records=list(self._records),
+        )
+        if self.sink is not None:
+            self.sink.finalize(self.series)
+        return self.series

@@ -1,0 +1,162 @@
+"""Telemetry sinks: where interval records and telemetry documents go.
+
+A :class:`TelemetrySink` receives :class:`~repro.telemetry.interval.
+IntervalRecord` objects as the simulator emits them and the finished
+:class:`~repro.telemetry.interval.IntervalSeries` at the end of the run.
+The library ships three:
+
+* :class:`MemorySink` — collects records in a list (tests, notebooks);
+* :class:`JsonFileSink` — writes the series JSON document on finalize;
+* :class:`CsvFileSink` — writes the series as CSV on finalize.
+
+On top of per-record sinks, :func:`write_telemetry` /
+:func:`read_telemetry` handle the *combined* telemetry document the CLI
+produces (``mbp simulate --telemetry out.json``) and consumes
+(``mbp report``): one JSON object bundling the run manifest, phase
+timings, counters and the interval series.
+
+>>> sink = MemorySink()
+>>> from .interval import IntervalRecorder
+>>> recorder = IntervalRecorder(interval=50, sink=sink)
+>>> recorder.start()
+>>> recorder.record(50, 5, 1)
+>>> series = recorder.finish(80, 9, 2)
+>>> len(sink.records), sink.series is series
+(2, True)
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..core.errors import TelemetryError
+from .interval import IntervalRecord, IntervalSeries
+
+__all__ = [
+    "TELEMETRY_KIND",
+    "TELEMETRY_SCHEMA",
+    "TelemetrySink",
+    "MemorySink",
+    "JsonFileSink",
+    "CsvFileSink",
+    "write_telemetry",
+    "read_telemetry",
+]
+
+#: Version of the combined telemetry document layout.
+TELEMETRY_SCHEMA = 1
+
+#: ``kind`` tag of the combined telemetry document.
+TELEMETRY_KIND = "repro-telemetry"
+
+
+class TelemetrySink:
+    """Base class of interval-record consumers (both hooks optional)."""
+
+    def emit(self, record: IntervalRecord) -> None:
+        """Receive one record as soon as the simulator produces it."""
+
+    def finalize(self, series: IntervalSeries) -> None:
+        """Receive the complete series when the run finishes."""
+
+
+class MemorySink(TelemetrySink):
+    """Collects records (and the final series) in memory."""
+
+    def __init__(self) -> None:
+        self.records: list[IntervalRecord] = []
+        self.series: IntervalSeries | None = None
+
+    def emit(self, record: IntervalRecord) -> None:
+        self.records.append(record)
+
+    def finalize(self, series: IntervalSeries) -> None:
+        self.series = series
+
+
+class JsonFileSink(TelemetrySink):
+    """Writes the finished series as a JSON document to ``path``."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+
+    def finalize(self, series: IntervalSeries) -> None:
+        self.path.write_text(series.to_json_string() + "\n")
+
+
+class CsvFileSink(TelemetrySink):
+    """Writes the finished series as CSV to ``path``."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+
+    def finalize(self, series: IntervalSeries) -> None:
+        self.path.write_text(series.to_csv())
+
+
+def write_telemetry(path: str | Path, *,
+                    manifest: Any = None,
+                    phases: dict[str, float] | None = None,
+                    counters: dict[str, int] | None = None,
+                    intervals: IntervalSeries | None = None) -> Path:
+    """Write the combined telemetry document the CLI emits.
+
+    ``manifest`` may be a :class:`~repro.telemetry.manifest.RunManifest`
+    or an already-serialized dict.  A ``.csv`` path writes the interval
+    series as CSV instead (the other sections have no CSV form).
+    """
+    path = Path(path)
+    if path.suffix.lower() == ".csv":
+        if intervals is None:
+            raise TelemetryError(
+                "CSV telemetry output requires an interval series")
+        path.write_text(intervals.to_csv())
+        return path
+    document = {
+        "schema": TELEMETRY_SCHEMA,
+        "kind": TELEMETRY_KIND,
+        "manifest": (manifest.to_json() if hasattr(manifest, "to_json")
+                     else manifest),
+        "phases": None if phases is None else dict(phases),
+        "counters": None if counters is None else dict(counters),
+        "intervals": None if intervals is None else intervals.to_json(),
+    }
+    path.write_text(json.dumps(document, indent=2) + "\n")
+    return path
+
+
+def read_telemetry(path: str | Path) -> dict[str, Any]:
+    """Load a telemetry document (or a bare manifest) for ``mbp report``.
+
+    Returns the combined-document shape regardless of input: a bare run
+    manifest is wrapped as ``{"manifest": ..., "intervals": None, ...}``
+    and a bare interval series as ``{"intervals": ..., ...}``, so the
+    report renderer handles every artifact the library writes.
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except OSError as exc:
+        raise TelemetryError(f"cannot read {path}: {exc}") from exc
+    except ValueError as exc:
+        raise TelemetryError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise TelemetryError(f"{path} is not a JSON object")
+    kind = data.get("kind")
+    if kind == TELEMETRY_KIND:
+        if data.get("schema") != TELEMETRY_SCHEMA:
+            raise TelemetryError(
+                f"unsupported telemetry schema {data.get('schema')!r}")
+        return data
+    if kind in ("repro-run-manifest", "repro-suite-manifest"):
+        return {"schema": TELEMETRY_SCHEMA, "kind": TELEMETRY_KIND,
+                "manifest": data, "phases": None, "counters": None,
+                "intervals": None}
+    if "records" in data and "interval" in data:
+        return {"schema": TELEMETRY_SCHEMA, "kind": TELEMETRY_KIND,
+                "manifest": None, "phases": None, "counters": None,
+                "intervals": data}
+    raise TelemetryError(
+        f"{path} is not a telemetry document, manifest or interval series")

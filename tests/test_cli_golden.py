@@ -102,6 +102,74 @@ class TestInfoGolden:
         check_golden("info_human.txt", out, trace_file.parent)
 
 
+def _fixture_telemetry(path: Path) -> Path:
+    """A fully deterministic telemetry document (all times fixed).
+
+    ``mbp report`` output over this file is byte-exact, so the goldens
+    pin table layout, duration formatting and section ordering without
+    any normalization of the numbers themselves.
+    """
+    from repro.core.output import SimulationResult
+    from repro.telemetry import (
+        IntervalRecorder, build_manifest, write_telemetry,
+    )
+
+    result = SimulationResult(
+        trace_name="golden-trace", warmup_instructions=1000,
+        simulation_instructions=9000, exhausted_trace=True,
+        num_branch_instructions=1800, num_conditional_branches=1500,
+        mispredictions=120, simulation_time=0.25,
+        predictor_metadata={"name": "GShare", "history_length": 8,
+                            "log_table_size": 10})
+    recorder = IntervalRecorder(interval=4000)
+    recorder.start(1000)
+    recorder.record(4000, 600, 50)
+    recorder.record(8000, 1200, 95)
+    series = recorder.finish(10000, 1500, 120)
+    manifest = build_manifest(
+        result,
+        phases={"trace_read": 0.0125, "simulate_loop": 0.25,
+                "finalize": 0.0005},
+        counters={"cache_miss": 1},
+        environment={"python": "3.12.0", "implementation": "CPython",
+                     "platform": "linux"},
+        created="2026-08-06T00:00:00+00:00")
+    return write_telemetry(
+        path, manifest=manifest,
+        phases={"trace_read": 0.0125, "simulate_loop": 0.25,
+                "finalize": 0.0005},
+        counters={"cache_miss": 1}, intervals=series)
+
+
+class TestReportGolden:
+    def test_report_tables(self, tmp_path, capsys):
+        path = _fixture_telemetry(tmp_path / "telemetry.json")
+        out = run(["report", str(path)], capsys)
+        check_golden("report_tables.txt", out, tmp_path)
+
+    def test_report_limit(self, tmp_path, capsys):
+        path = _fixture_telemetry(tmp_path / "telemetry.json")
+        out = run(["report", str(path), "--limit", "1"], capsys)
+        check_golden("report_limit.txt", out, tmp_path)
+
+    def test_report_json(self, tmp_path, capsys):
+        path = _fixture_telemetry(tmp_path / "telemetry.json")
+        out = run(["report", str(path), "--json"], capsys)
+        check_golden("report_json.json", out, tmp_path)
+
+    def test_simulate_telemetry_then_report(self, trace_file, tmp_path,
+                                            capsys):
+        """The live pipeline: not golden (times vary), but shape-checked."""
+        telemetry = tmp_path / "run.json"
+        run(["simulate", str(trace_file), "--predictor", "gshare",
+             "--telemetry", str(telemetry), "--interval", "5000"], capsys)
+        out = run(["report", str(telemetry)], capsys)
+        assert "Run manifests" in out
+        assert "Phase timings" in out
+        assert "Interval telemetry (interval=5000" in out
+        assert "simulate_loop" in out
+
+
 class TestCacheGolden:
     def test_cache_stats_after_cached_simulate(self, trace_file, capsys,
                                                tmp_path):

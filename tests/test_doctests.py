@@ -10,6 +10,10 @@ import pytest
 
 import repro.analysis.sweep
 import repro.sbbt.header
+import repro.telemetry.instrumentation
+import repro.telemetry.interval
+import repro.telemetry.manifest
+import repro.telemetry.sinks
 import repro.traces.tracer
 import repro.traces.workloads
 import repro.utils.bits
@@ -25,6 +29,10 @@ MODULES = [
     repro.utils.hashing,
     repro.utils.history,
     repro.utils.lfsr,
+    repro.telemetry.instrumentation,
+    repro.telemetry.interval,
+    repro.telemetry.manifest,
+    repro.telemetry.sinks,
     repro.traces.tracer,
     repro.traces.workloads,
 ]

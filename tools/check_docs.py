@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Executable-documentation checker for ``docs/*.md``.
+
+Two guarantees, both enforced in CI (the ``docs`` job):
+
+1. **Code blocks run.**  Every fenced ``python`` block in the docs is
+   executed as a doctest when it contains ``>>>`` examples, and
+   compile-checked otherwise (illustrative snippets may reference
+   free variables, but they must at least parse).
+2. **The CLI reference is complete.**  Every subcommand registered in
+   ``repro.cli.build_parser`` must be mentioned in ``docs/cli.md``
+   as ``mbp <subcommand>``, so a new subparser cannot ship
+   undocumented.
+
+Exit status is non-zero on any failure; output lists every problem,
+not just the first.  Run locally with::
+
+    PYTHONPATH=src python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOCS = REPO / "docs"
+
+#: Fence info-strings treated as Python (everything else is skipped).
+PYTHON_FENCES = {"python", "py", "pycon"}
+
+FENCE_RE = re.compile(
+    r"^```(?P<info>[^\n`]*)\n(?P<body>.*?)^```\s*$",
+    re.MULTILINE | re.DOTALL,
+)
+
+
+def iter_python_blocks(text: str):
+    """Yield ``(line_number, body)`` for each Python fence in ``text``."""
+    for match in FENCE_RE.finditer(text):
+        info = match.group("info").strip().split()
+        language = info[0].lower() if info else ""
+        if language in PYTHON_FENCES:
+            line = text.count("\n", 0, match.start()) + 2  # body start
+            yield line, match.group("body")
+
+
+def check_block(path: Path, line: int, body: str) -> list[str]:
+    """Doctest a ``>>>`` block, otherwise compile-check it."""
+    label = f"{path.relative_to(REPO)}:{line}"
+    if ">>>" in body:
+        parser = doctest.DocTestParser()
+        try:
+            test = parser.get_doctest(body, {}, label, str(path), line)
+        except ValueError as exc:
+            return [f"{label}: malformed doctest: {exc}"]
+        runner = doctest.DocTestRunner(
+            verbose=False, optionflags=doctest.NORMALIZE_WHITESPACE)
+        failures: list[str] = []
+
+        def report(kind):
+            def _report(out, dt, example, got):
+                failures.append(
+                    f"{label}: doctest {kind} at line "
+                    f"{line + example.lineno}:\n"
+                    f"    {example.source.strip()}\n"
+                    f"    expected: {example.want.strip()!r}\n"
+                    f"    got:      {got.strip()!r}")
+            return _report
+
+        runner.report_failure = report("failure")
+        runner.report_unexpected_exception = (
+            lambda out, dt, example, exc_info: failures.append(
+                f"{label}: doctest raised at line {line + example.lineno}: "
+                f"{exc_info[1]!r}"))
+        runner.run(test, clear_globs=False)
+        if runner.tries == 0:
+            failures.append(f"{label}: block contains '>>>' but no "
+                            "parseable examples")
+        return failures
+    try:
+        compile(body, label, "exec")
+    except SyntaxError as exc:
+        return [f"{label}: does not compile: {exc}"]
+    return []
+
+
+def check_cli_reference() -> list[str]:
+    """Every registered ``mbp`` subcommand must appear in docs/cli.md."""
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    subparsers = next(
+        action for action in parser._actions
+        if isinstance(action, type(parser._subparsers._group_actions[0])))
+    subcommands = sorted(subparsers.choices)
+    cli_doc = (DOCS / "cli.md").read_text()
+    problems = []
+    for name in subcommands:
+        if f"mbp {name}" not in cli_doc:
+            problems.append(
+                f"docs/cli.md: subcommand {name!r} is registered in "
+                "repro.cli.build_parser but never mentioned as "
+                f"'mbp {name}'")
+    if not subcommands:
+        problems.append("repro.cli.build_parser exposes no subcommands?")
+    return problems
+
+
+def main() -> int:
+    problems: list[str] = []
+    documents = sorted(DOCS.glob("*.md"))
+    if not documents:
+        print("error: no documents found under docs/", file=sys.stderr)
+        return 1
+    blocks = doctested = 0
+    for path in documents:
+        for line, body in iter_python_blocks(path.read_text()):
+            blocks += 1
+            if ">>>" in body:
+                doctested += 1
+            problems.extend(check_block(path, line, body))
+    problems.extend(check_cli_reference())
+    if problems:
+        for problem in problems:
+            print(f"FAIL {problem}")
+        print(f"\n{len(problems)} problem(s) in {len(documents)} documents")
+        return 1
+    print(f"OK: {len(documents)} documents, {blocks} python blocks "
+          f"({doctested} doctested), docs/cli.md covers every mbp "
+          "subcommand")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
