@@ -5,10 +5,21 @@ a laptop Python run can afford.  Traces are generated once per session
 into a temporary directory in the formats each experiment needs; every
 benchmark writes its rendered paper-style table both to stdout and to
 ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can quote it.
+
+Alongside the human-readable tables, the harness records one
+machine-readable ``benchmarks/results/BENCH_<module>.json`` per
+benchmark module: per-test wall time (the ``call`` phase of every
+passing test) plus any metrics a test registered through the
+``bench_metrics`` fixture — when a test records an ``instructions``
+count, the derived ``instructions_per_second`` throughput is stamped in
+as well.  CI uploads these files so throughput regressions are
+diffable across runs without scraping the text tables.
 """
 
 from __future__ import annotations
 
+import json
+from collections import defaultdict
 from pathlib import Path
 
 import pytest
@@ -23,6 +34,62 @@ from repro.traces.synth import generate_trace
 from repro.traces.workloads import PROFILES, SuiteSpec
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Layout version of the ``BENCH_<module>.json`` artifacts.
+BENCH_SCHEMA = 1
+
+# nodeid -> wall time of the passed ``call`` phase / extra metrics.
+_bench_times: dict[str, float] = {}
+_bench_extra: dict[str, dict[str, float]] = {}
+
+
+@pytest.fixture
+def bench_metrics(request):
+    """A dict a benchmark fills with scalar metrics for BENCH_*.json.
+
+    Record an ``instructions`` count and the artifact writer derives
+    ``instructions_per_second`` from the test's wall time.
+    """
+    metrics = _bench_extra.setdefault(request.node.nodeid, {})
+    return metrics
+
+
+def pytest_runtest_logreport(report):
+    if report.when == "call" and report.passed:
+        _bench_times[report.nodeid] = report.duration
+
+
+def _bench_module(nodeid: str) -> str:
+    stem = Path(nodeid.split("::", 1)[0]).stem
+    return stem.removeprefix("test_")
+
+
+def pytest_sessionfinish(session):
+    if not _bench_times:
+        return
+    by_module: dict[str, list[dict]] = defaultdict(list)
+    for nodeid, wall_time in sorted(_bench_times.items()):
+        entry: dict = {
+            "test": nodeid.split("::", 1)[1],
+            "wall_time_s": wall_time,
+        }
+        extra = _bench_extra.get(nodeid)
+        if extra:
+            entry["metrics"] = dict(extra)
+            instructions = extra.get("instructions")
+            if instructions and wall_time > 0:
+                entry["instructions_per_second"] = instructions / wall_time
+        by_module[_bench_module(nodeid)].append(entry)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    for module, tests in by_module.items():
+        document = {
+            "schema": BENCH_SCHEMA,
+            "kind": "repro-bench",
+            "module": module,
+            "tests": tests,
+        }
+        path = RESULTS_DIR / f"BENCH_{module}.json"
+        path.write_text(json.dumps(document, indent=2) + "\n")
 
 #: The scaled-down CBP5 training suite used by Tables III and IV:
 #: 2 traces per category with a 6x length spread, 6k-36k branches.

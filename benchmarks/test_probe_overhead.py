@@ -1,0 +1,119 @@
+"""Overhead guard for the :mod:`repro.probe` hot-loop hooks.
+
+The probe's contract is *zero overhead when disabled*: the hooks added
+to every predictor's ``train`` compile down to one attribute load and
+one ``is not None`` test, so a probe-less simulation must behave — and
+cost — the same as one run against a predictor with the hooks deleted.
+
+Two guards enforce that:
+
+* a correctness guard — a hook-stripped ``Bimodal`` clone produces a
+  byte-identical ``SimulationResult`` JSON document (so cache keys and
+  goldens cannot shift), and
+* a timing guard — the hooked, probe-disabled simulation is bounded
+  against the stripped clone with a deliberately generous factor.
+  Wall-clock ratios on shared CI machines are noisy; the bound exists
+  to catch an accidental per-branch allocation or function call in the
+  disabled path, not to assert the hooks are literally free.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from conftest import emit_report
+
+from repro.analysis.reporting import format_table
+from repro.core.simulator import SimulationConfig, simulate
+from repro.predictors import Bimodal
+from repro.probe import PredictionProbe
+from repro.traces.synth import generate_trace
+from repro.traces.workloads import PROFILES
+
+#: Disabled-path slowdown tolerated relative to the stripped clone.
+#: The real ratio is ~1.0x; anything near the bound means a per-branch
+#: cost crept into the ``probe is None`` fast path.
+MAX_DISABLED_SLOWDOWN = 2.5
+
+TRACE_BRANCHES = 40_000
+
+
+class StrippedBimodal(Bimodal):
+    """``Bimodal`` with the probe hook deleted from the train path —
+    the reference point the disabled path is measured against."""
+
+    def train(self, branch) -> None:
+        i = self._index(branch.ip)
+        v = self._table[i]
+        if branch.taken:
+            if v < self._max:
+                self._table[i] = v + 1
+        elif v > self._min:
+            self._table[i] = v - 1
+
+
+def _bench_trace():
+    return generate_trace(PROFILES["short_server"], 7, TRACE_BRANCHES)
+
+
+def _best_of(factory, trace, rounds=3, probe_factory=None):
+    """Best wall time of ``rounds`` fresh simulations (least noisy)."""
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        probe = None if probe_factory is None else probe_factory()
+        start = time.perf_counter()
+        result = simulate(factory(), trace, SimulationConfig(),
+                          probe=probe)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_disabled_probe_result_is_byte_identical():
+    """Hooked predictor + no probe == hook-free predictor, exactly."""
+    trace = _bench_trace()
+    hooked = simulate(Bimodal(log_table_size=12), trace)
+    stripped = simulate(StrippedBimodal(log_table_size=12), trace)
+    a, b = hooked.to_json(), stripped.to_json()
+    a["metrics"].pop("simulation_time")
+    b["metrics"].pop("simulation_time")
+    assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+
+def test_disabled_probe_overhead_bounded(bench_metrics):
+    trace = _bench_trace()
+    instructions = int(trace.num_instructions)
+
+    stripped_t, _ = _best_of(
+        lambda: StrippedBimodal(log_table_size=12), trace)
+    hooked_t, hooked = _best_of(
+        lambda: Bimodal(log_table_size=12), trace)
+    enabled_t, probed = _best_of(
+        lambda: Bimodal(log_table_size=12), trace,
+        probe_factory=PredictionProbe)
+
+    assert probed.probe_report is not None
+    assert hooked.probe_report is None
+    slowdown = hooked_t / stripped_t
+    assert slowdown < MAX_DISABLED_SLOWDOWN, (
+        f"probe-disabled path is {slowdown:.2f}x the hook-free "
+        f"reference (bound {MAX_DISABLED_SLOWDOWN}x): the disabled "
+        "path is doing per-branch work"
+    )
+
+    bench_metrics["instructions"] = instructions
+    bench_metrics["disabled_slowdown"] = slowdown
+    bench_metrics["enabled_slowdown"] = enabled_t / stripped_t
+
+    rows = [
+        ["hook-free reference", f"{stripped_t * 1e3:.1f} ms", "1.00x"],
+        ["hooks present, probe off", f"{hooked_t * 1e3:.1f} ms",
+         f"{slowdown:.2f}x"],
+        ["probe enabled", f"{enabled_t * 1e3:.1f} ms",
+         f"{enabled_t / stripped_t:.2f}x"],
+    ]
+    emit_report("probe_overhead", format_table(
+        headers=["Configuration", "Best time", "vs reference"],
+        rows=rows,
+        title=f"Probe overhead (Bimodal, {TRACE_BRANCHES} branches)"))

@@ -79,8 +79,14 @@ def __getattr__(name: str):
     ``from repro import GShare`` works without importing every predictor
     module at package-import time.
     """
-    from . import predictors
+    # import_module, not ``from . import predictors``: the from-import
+    # probes this module with hasattr, which re-enters this __getattr__
+    # and recurses forever.
+    from importlib import import_module
 
+    predictors = import_module(".predictors", __name__)
+    if name == "predictors":
+        return predictors
     if name in predictors.__all__:
         return getattr(predictors, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -6,21 +6,35 @@ benches stay declarative.
 
 The ``mbp report`` subcommand reuses the same formatting to render
 :mod:`repro.telemetry` artifacts — run manifests, phase-timing
-breakdowns and interval timeseries — so observability output reads like
-the paper's tables.  Those renderers take the *JSON* (plain-dict) form
-of the artifacts, because ``mbp report`` works on files written by
-earlier runs, possibly by other machines.
+breakdowns, interval timeseries and :mod:`repro.probe` reports — so
+observability output reads like the paper's tables.  Those renderers
+take the *JSON* (plain-dict) form of the artifacts, because ``mbp
+report`` works on files written by earlier runs, possibly by other
+machines.
+
+Each renderer is split into a ``*_rows`` function producing
+``(headers, rows)`` and a ``*_table`` wrapper formatting them with
+:func:`format_table`; :func:`format_csv` renders the same rows as CSV,
+which is what ``mbp report --format csv`` emits.
 """
 
 from __future__ import annotations
 
+import csv
+import io
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
 __all__ = [
-    "format_duration", "format_table", "SpeedupRow", "speedup_table",
-    "manifest_summary_table", "phase_breakdown_table",
-    "interval_series_table",
+    "format_duration", "format_table", "format_csv",
+    "SpeedupRow", "speedup_table",
+    "manifest_summary_rows", "manifest_summary_table",
+    "phase_breakdown_rows", "phase_breakdown_table",
+    "interval_series_rows", "interval_series_table",
+    "attribution_rows", "attribution_table",
+    "top_offenders_rows", "top_offenders_table",
+    "structure_rows", "structure_table",
+    "telemetry_csv",
 ]
 
 
@@ -59,6 +73,21 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]],
     return "\n".join(lines)
 
 
+def format_csv(headers: Sequence[str],
+               rows: Sequence[Sequence[Any]]) -> str:
+    """The same rows a text table renders, as RFC-4180 CSV.
+
+    Always ``\\n``-terminated lines (platform-independent goldens) and
+    ends with a trailing newline.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(list(headers))
+    for row in rows:
+        writer.writerow([str(v) for v in row])
+    return buffer.getvalue()
+
+
 @dataclass(frozen=True, slots=True)
 class SpeedupRow:
     """One (predictor, statistic) row of a Table III-style comparison."""
@@ -76,14 +105,9 @@ class SpeedupRow:
         return self.baseline_seconds / self.library_seconds
 
 
-def manifest_summary_table(manifests: Sequence[Mapping[str, Any]],
-                           title: str | None = "Run manifests") -> str:
-    """One row per run manifest (JSON form): the provenance at a glance.
-
-    Accepts the ``to_json()`` form of
-    :class:`repro.telemetry.RunManifest`; suite manifests should pass
-    their ``runs`` list.
-    """
+def manifest_summary_rows(manifests: Sequence[Mapping[str, Any]]
+                          ) -> tuple[list[str], list[list[str]]]:
+    """``(headers, rows)`` of the run-manifest summary (JSON form)."""
     rows = []
     for manifest in manifests:
         metrics = manifest.get("metrics", {})
@@ -103,12 +127,35 @@ def manifest_summary_table(manifests: Sequence[Mapping[str, Any]],
             format_duration(float(timing.get("simulation_time", 0.0))),
             cache_note,
         ])
-    return format_table(
-        headers=["Trace", "Digest", "Predictor", "MPKI", "Accuracy",
-                 "Mispred.", "Sim. time", "Cache"],
-        rows=rows,
-        title=title,
-    )
+    headers = ["Trace", "Digest", "Predictor", "MPKI", "Accuracy",
+               "Mispred.", "Sim. time", "Cache"]
+    return headers, rows
+
+
+def manifest_summary_table(manifests: Sequence[Mapping[str, Any]],
+                           title: str | None = "Run manifests") -> str:
+    """One row per run manifest (JSON form): the provenance at a glance.
+
+    Accepts the ``to_json()`` form of
+    :class:`repro.telemetry.RunManifest`; suite manifests should pass
+    their ``runs`` list.
+    """
+    headers, rows = manifest_summary_rows(manifests)
+    return format_table(headers=headers, rows=rows, title=title)
+
+
+def phase_breakdown_rows(phases: Mapping[str, float]
+                         ) -> tuple[list[str], list[list[str]]]:
+    """``(headers, rows)`` of the phase breakdown, total row included."""
+    total = sum(phases.values())
+    rows = []
+    for name, seconds in sorted(phases.items(),
+                                key=lambda item: (-item[1], item[0])):
+        share = 100.0 * seconds / total if total > 0 else 0.0
+        rows.append([name, format_duration(seconds), f"{share:.1f} %"])
+    rows.append(["total", format_duration(total), "100.0 %" if total > 0
+                 else "0.0 %"])
+    return ["Phase", "Time", "Share"], rows
 
 
 def phase_breakdown_table(phases: Mapping[str, float],
@@ -119,26 +166,17 @@ def phase_breakdown_table(phases: Mapping[str, float],
     :attr:`repro.telemetry.PhaseTimers.phases` dict or its JSON copy);
     rows are ordered by descending time so the dominant phase leads.
     """
-    total = sum(phases.values())
-    rows = []
-    for name, seconds in sorted(phases.items(),
-                                key=lambda item: (-item[1], item[0])):
-        share = 100.0 * seconds / total if total > 0 else 0.0
-        rows.append([name, format_duration(seconds), f"{share:.1f} %"])
-    rows.append(["total", format_duration(total), "100.0 %" if total > 0
-                 else "0.0 %"])
-    return format_table(headers=["Phase", "Time", "Share"], rows=rows,
-                        title=title)
+    headers, rows = phase_breakdown_rows(phases)
+    return format_table(headers=headers, rows=rows, title=title)
 
 
-def interval_series_table(series: Mapping[str, Any],
-                          title: str | None = "Interval telemetry",
-                          limit: int | None = None) -> str:
-    """Render an interval timeseries (JSON form) as a paper-style table.
+def interval_series_rows(series: Mapping[str, Any],
+                         limit: int | None = None
+                         ) -> tuple[list[str], list[list[str]], int]:
+    """``(headers, rows, elided)`` of an interval timeseries (JSON form).
 
-    ``series`` is the ``to_json()`` form of
-    :class:`repro.telemetry.IntervalSeries`.  ``limit`` keeps only the
-    first N windows (a trailing row notes the elision).
+    ``elided`` counts windows dropped by ``limit``; the rows contain
+    data only (the text table adds its own elision marker row).
     """
     records = list(series.get("records", []))
     elided = 0
@@ -157,18 +195,191 @@ def interval_series_table(series: Mapping[str, Any],
         ]
         for r in records
     ]
+    headers = ["Window", "Instr.", "Cond.", "Mispred.", "MPKI",
+               "Accuracy", "Cum. MPKI"]
+    return headers, rows, elided
+
+
+def interval_series_table(series: Mapping[str, Any],
+                          title: str | None = "Interval telemetry",
+                          limit: int | None = None) -> str:
+    """Render an interval timeseries (JSON form) as a paper-style table.
+
+    ``series`` is the ``to_json()`` form of
+    :class:`repro.telemetry.IntervalSeries`.  ``limit`` keeps only the
+    first N windows (a trailing row notes the elision).
+    """
+    headers, rows, elided = interval_series_rows(series, limit)
     if elided:
         rows.append([f"... {elided} more", "", "", "", "", "", ""])
     header = title
     if header is not None:
         header = (f"{header} (interval={series.get('interval')}, "
                   f"warmup={series.get('warmup_instructions')})")
-    return format_table(
-        headers=["Window", "Instr.", "Cond.", "Mispred.", "MPKI",
-                 "Accuracy", "Cum. MPKI"],
-        rows=rows,
-        title=header,
-    )
+    return format_table(headers=headers, rows=rows, title=header)
+
+
+def attribution_rows(report: Mapping[str, Any]
+                     ) -> tuple[list[str], list[list[str]]]:
+    """``(headers, rows)`` of a probe report's attribution matrices.
+
+    One row per (scope, component); the root scope renders as
+    ``(top)``.  ``Hit rate`` is correct-when-provided, the per-component
+    accuracy the probe was built to expose.
+    """
+    rows = []
+    for scope, data in sorted(report.get("attribution", {}).items()):
+        scope_label = scope if scope else "(top)"
+        for name, cell in sorted(data.get("components", {}).items()):
+            provided = cell["provided"]
+            rate = (f"{cell['correct'] / provided:.4%}" if provided
+                    else "-")
+            rows.append([
+                scope_label,
+                name,
+                str(provided),
+                str(cell["correct"]),
+                rate,
+                str(cell["overrides"]),
+                str(cell["overridden"]),
+            ])
+    headers = ["Scope", "Component", "Provided", "Correct", "Hit rate",
+               "Overrides", "Overridden"]
+    return headers, rows
+
+
+def attribution_table(report: Mapping[str, Any],
+                      title: str | None = "Component attribution") -> str:
+    """Render a probe report's attribution section as a text table."""
+    headers, rows = attribution_rows(report)
+    return format_table(headers=headers, rows=rows, title=title)
+
+
+def top_offenders_rows(report: Mapping[str, Any]
+                       ) -> tuple[list[str], list[list[str]]]:
+    """``(headers, rows)`` of a probe report's top-offenders profile."""
+    rows = []
+    branches = report.get("branches", {})
+    for offender in branches.get("top_offenders", []):
+        dominant = offender.get("dominant_component")
+        rows.append([
+            f"0x{offender['ip']:x}",
+            str(offender["occurrences"]),
+            f"{offender['taken_rate']:.4%}",
+            str(offender["mispredictions"]),
+            f"{offender['misprediction_rate']:.4%}",
+            dominant if dominant is not None else "-",
+        ])
+    headers = ["IP", "Occur.", "Taken rate", "Mispred.", "Mispred. rate",
+               "Dominant"]
+    return headers, rows
+
+
+def top_offenders_table(report: Mapping[str, Any],
+                        title: str | None = "Top offenders") -> str:
+    """Render the worst-predicted branches of a probe report."""
+    headers, rows = top_offenders_rows(report)
+    header = title
+    if header is not None:
+        tracked = report.get("branches", {}).get("tracked")
+        if tracked is not None:
+            header = f"{header} ({tracked} branches tracked)"
+    return format_table(headers=headers, rows=rows, title=header)
+
+
+def _flatten_structure(structure: Mapping[str, Any], prefix: str = ""
+                       ) -> list[tuple[str, Mapping[str, Any]]]:
+    """Leaf stat dicts of a nested structure snapshot, path-labelled.
+
+    A leaf is a dict carrying an ``entries`` count (the
+    :func:`repro.utils.tables.distribution_stats` shape); anything else
+    dict-valued is a component grouping to recurse into.
+    """
+    leaves = []
+    for name, value in sorted(structure.items()):
+        path = f"{prefix}/{name}" if prefix else str(name)
+        if isinstance(value, Mapping):
+            if "entries" in value:
+                leaves.append((path, value))
+            else:
+                leaves.extend(_flatten_structure(value, path))
+    return leaves
+
+
+def structure_rows(report: Mapping[str, Any]
+                   ) -> tuple[list[str], list[list[str]]]:
+    """``(headers, rows)`` of a probe report's structural snapshots.
+
+    Missing statistics (not every table kind reports every column)
+    render as ``-``.
+    """
+    def fmt(value: Any, spec: str) -> str:
+        return format(value, spec) if value is not None else "-"
+
+    rows = []
+    for path, stats in _flatten_structure(report.get("structure", {})):
+        rows.append([
+            path,
+            str(stats.get("entries", "-")),
+            fmt(stats.get("live_fraction"), ".4f"),
+            fmt(stats.get("saturated_fraction"), ".4f"),
+            fmt(stats.get("entropy_bits"), ".4f"),
+        ])
+    headers = ["Component", "Entries", "Live", "Saturated",
+               "Entropy (bits)"]
+    return headers, rows
+
+
+def structure_table(report: Mapping[str, Any],
+                    title: str | None = "Predictor structure") -> str:
+    """Render a probe report's structural statistics as a text table."""
+    headers, rows = structure_rows(report)
+    return format_table(headers=headers, rows=rows, title=title)
+
+
+def telemetry_csv(document: Mapping[str, Any],
+                  limit: int | None = None) -> str:
+    """A whole telemetry document as sectioned CSV.
+
+    Each populated section becomes one CSV block preceded by a
+    ``# section:`` comment line, so the output remains a single stream
+    yet splits cleanly.  ``limit`` bounds the interval rows like the
+    text renderer (no elision marker — CSV consumers count rows).
+    """
+    blocks: list[str] = []
+
+    def add(section: str, headers: Sequence[str],
+            rows: Sequence[Sequence[Any]]) -> None:
+        blocks.append(f"# section: {section}\n" + format_csv(headers, rows))
+
+    manifest = document.get("manifest")
+    if manifest is not None:
+        runs = (manifest.get("runs", []) if manifest.get("kind")
+                == "repro-suite-manifest" else [manifest])
+        add("manifest", *manifest_summary_rows(runs))
+    phases = document.get("phases")
+    if phases is None and manifest is not None:
+        phases = manifest.get("timing", {}).get("phases")
+    if phases:
+        add("phases", *phase_breakdown_rows(phases))
+    intervals = document.get("intervals")
+    if intervals is not None:
+        headers, rows, _ = interval_series_rows(intervals, limit)
+        add("intervals", headers, rows)
+    probe = document.get("probe")
+    if probe is None and manifest is not None:
+        probe = manifest.get("probe")
+    if probe is not None:
+        headers, rows = attribution_rows(probe)
+        if rows:
+            add("attribution", headers, rows)
+        headers, rows = top_offenders_rows(probe)
+        if rows:
+            add("top_offenders", headers, rows)
+        headers, rows = structure_rows(probe)
+        if rows:
+            add("structure", headers, rows)
+    return "\n".join(blocks)
 
 
 def speedup_table(rows: Sequence[SpeedupRow], baseline_name: str,

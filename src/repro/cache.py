@@ -243,7 +243,8 @@ class SimulationCache:
                         config: SimulationConfig | None = None, *,
                         trace_name: str | None = None,
                         instrumentation: Any = None,
-                        telemetry: Any = None) -> SimulationResult:
+                        telemetry: Any = None,
+                        probe: Any = None) -> SimulationResult:
         """Serve from cache, or simulate once and remember the result.
 
         ``factory`` is only called when the spec (one cheap construction)
@@ -258,6 +259,11 @@ class SimulationCache:
         to :func:`~repro.core.simulator.simulate`.  A hit emits no
         interval telemetry — the stored result has no timeseries — which
         the run manifest makes visible via its ``cache`` section.
+
+        ``probe`` (a :class:`repro.probe.PredictionProbe`) is likewise
+        forwarded only on a miss: attribution is observed *during*
+        simulation, so a hit returns with ``probe_report=None`` — the
+        entry format (and the key) never carry probe data.
         """
         config = config or SimulationConfig()
         instr = instrumentation
@@ -276,7 +282,7 @@ class SimulationCache:
             return cached
         result = simulate(factory(), trace, config, trace_name=trace_name,
                           instrumentation=instrumentation,
-                          telemetry=telemetry)
+                          telemetry=telemetry, probe=probe)
         self.put(key, result)
         return result
 

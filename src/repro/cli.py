@@ -7,7 +7,9 @@ command away:
 * ``mbp simulate``  — run a named predictor over an SBBT trace
   (``--cache-dir`` serves repeats from the simulation cache;
   ``--telemetry`` writes a run manifest, phase timings and an interval
-  timeseries).
+  timeseries; ``--probe`` adds component attribution to it).
+* ``mbp explain``   — attribute a run's predictions to predictor
+  components and profile the worst-predicted branches (repro.probe).
 * ``mbp compare``   — run two predictors in parallel (Section VI-C).
 * ``mbp info``      — trace statistics (gap bounds, branch mix).
 * ``mbp generate``  — synthesize a workload trace to a file.
@@ -95,6 +97,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--interval", type=int, default=None, metavar="INSTRUCTIONS",
         help="interval-telemetry window size in instructions "
              "(default 100000; requires --telemetry)")
+    simulate_parser.add_argument(
+        "--probe", action="store_true",
+        help="attach a prediction probe (component attribution, branch "
+             "profile, table statistics) and record its report in the "
+             "telemetry document; requires --telemetry")
+
+    explain_parser = sub.add_parser(
+        "explain",
+        help="attribute a run's predictions to predictor components and "
+             "profile the worst-predicted branches")
+    explain_parser.add_argument("trace", help="path to an SBBT trace")
+    explain_parser.add_argument(
+        "--predictor", default="tournament",
+        choices=sorted(PREDICTOR_CHOICES))
+    explain_parser.add_argument("--warmup", type=int, default=0,
+                                metavar="INSTRUCTIONS")
+    explain_parser.add_argument("--max-instructions", type=int, default=None)
+    explain_parser.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="number of worst-predicted branches to list (default 10)")
+    explain_parser.add_argument(
+        "--json", action="store_true",
+        help="print the raw probe report as JSON instead of tables")
 
     compare_parser = sub.add_parser(
         "compare", help="simulate two predictors in parallel")
@@ -161,7 +186,11 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument(
         "--json", action="store_true",
         help="echo the merged telemetry documents as JSON instead of "
-             "tables")
+             "tables (same as --format json)")
+    report_parser.add_argument(
+        "--format", default=None, choices=["text", "json", "csv"],
+        help="output format: text tables (default), merged JSON, or "
+             "sectioned CSV")
     return parser
 
 
@@ -174,7 +203,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                               max_instructions=args.max_instructions)
     if args.interval is not None and args.telemetry is None:
         raise SystemExit("--interval requires --telemetry")
-    instrumentation = recorder = None
+    if args.probe and args.telemetry is None:
+        raise SystemExit("--probe requires --telemetry")
+    instrumentation = recorder = probe = None
     if args.telemetry is not None:
         from .telemetry import IntervalRecorder, PhaseTimers
 
@@ -182,6 +213,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         recorder = IntervalRecorder(
             args.interval if args.interval is not None
             else DEFAULT_TELEMETRY_INTERVAL)
+    if args.probe:
+        from .probe import PredictionProbe
+
+        probe = PredictionProbe()
     cache_used = args.cache_dir is not None
     if cache_used:
         from .cache import SimulationCache
@@ -189,11 +224,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         cache = SimulationCache(args.cache_dir)
         result = cache.get_or_simulate(
             lambda: make_predictor(args.predictor), args.trace, config,
-            instrumentation=instrumentation, telemetry=recorder)
+            instrumentation=instrumentation, telemetry=recorder,
+            probe=probe)
     else:
         result = simulate(make_predictor(args.predictor), args.trace, config,
                           instrumentation=instrumentation,
-                          telemetry=recorder)
+                          telemetry=recorder, probe=probe)
     if args.telemetry is not None:
         from .telemetry import build_manifest, write_telemetry
 
@@ -212,11 +248,49 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         write_telemetry(args.telemetry, manifest=manifest,
                         phases=instrumentation.phases,
                         counters=instrumentation.counters or None,
-                        intervals=series)
+                        intervals=series,
+                        probe=result.probe_report)
     if args.compact:
         print(result.summary())
     else:
         print(result.to_json_string())
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from .analysis.reporting import (
+        attribution_rows,
+        attribution_table,
+        structure_rows,
+        structure_table,
+        top_offenders_table,
+    )
+    from .probe import PredictionProbe
+
+    config = SimulationConfig(warmup_instructions=args.warmup,
+                              max_instructions=args.max_instructions)
+    probe = PredictionProbe(top_branches=args.top)
+    result = simulate(make_predictor(args.predictor), args.trace, config,
+                      probe=probe)
+    report = result.probe_report
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+    # Deliberately no wall-clock figures: explain output is a function
+    # of (trace, predictor, config) alone, so it can be golden-tested.
+    print(f"trace: {result.trace_name}")
+    print(f"predictor: {result.predictor_metadata.get('name', '?')}")
+    print(f"branches: {result.num_conditional_branches} conditional, "
+          f"{result.mispredictions} mispredicted, "
+          f"MPKI {result.mpki:.4f}")
+    if attribution_rows(report)[1]:
+        print()
+        print(attribution_table(report))
+    print()
+    print(top_offenders_table(report))
+    if structure_rows(report)[1]:
+        print()
+        print(structure_table(report))
     return 0
 
 
@@ -297,13 +371,21 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     from .analysis.reporting import (
+        attribution_rows,
+        attribution_table,
         interval_series_table,
         manifest_summary_table,
         phase_breakdown_table,
+        structure_rows,
+        structure_table,
+        telemetry_csv,
+        top_offenders_rows,
+        top_offenders_table,
     )
     from .core.errors import TelemetryError
     from .telemetry import read_telemetry
 
+    fmt = args.format or ("json" if args.json else "text")
     status = 0
     documents: list[tuple[str, dict]] = []
     for path in args.files:
@@ -312,8 +394,19 @@ def _cmd_report(args: argparse.Namespace) -> int:
         except TelemetryError as exc:
             print(f"error: {exc}", file=sys.stderr)
             status = 1
-    if args.json:
+    if fmt == "json":
         print(json.dumps([doc for _, doc in documents], indent=2))
+        return status
+    if fmt == "csv":
+        first = True
+        for path, doc in documents:
+            if not first:
+                print()
+            first = False
+            print(f"# file: {path}")
+            rendered = telemetry_csv(doc, limit=args.limit)
+            if rendered:
+                print(rendered, end="")
         return status
     first = True
     for path, doc in documents:
@@ -355,6 +448,20 @@ def _cmd_report(args: argparse.Namespace) -> int:
             print()
             print(interval_series_table(intervals, limit=args.limit))
             rendered = True
+        probe = doc.get("probe")
+        if probe is None and manifest:
+            probe = manifest.get("probe")
+        if probe:
+            if attribution_rows(probe)[1]:
+                print()
+                print(attribution_table(probe))
+            if top_offenders_rows(probe)[1]:
+                print()
+                print(top_offenders_table(probe))
+            if structure_rows(probe)[1]:
+                print()
+                print(structure_table(probe))
+            rendered = True
         if not rendered:
             print("(empty telemetry document)")
     return status
@@ -362,6 +469,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "simulate": _cmd_simulate,
+    "explain": _cmd_explain,
     "compare": _cmd_compare,
     "info": _cmd_info,
     "generate": _cmd_generate,

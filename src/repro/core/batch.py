@@ -192,7 +192,8 @@ class BatchResult:
 
 
 def _run_one(factory: PredictorFactory, trace: TraceLike,
-             config: SimulationConfig, name: str | None
+             config: SimulationConfig, name: str | None,
+             probe: bool = False
              ) -> SimulationResult | TraceFailure:
     """Simulate one trace with a freshly constructed predictor.
 
@@ -201,9 +202,19 @@ def _run_one(factory: PredictorFactory, trace: TraceLike,
     trace, so a process-pool worker reports the real problem instead of
     surfacing an opaque late exception — and the rest of the suite keeps
     going.
+
+    ``probe=True`` builds a fresh :class:`repro.probe.PredictionProbe`
+    in the worker — one per trace, so process-pool runs never share
+    accumulators — and the report travels back on the (picklable)
+    result's ``probe_report``.
     """
     try:
-        return simulate(factory(), trace, config, trace_name=name)
+        run_probe = None
+        if probe:
+            from ..probe import PredictionProbe
+            run_probe = PredictionProbe()
+        return simulate(factory(), trace, config, trace_name=name,
+                        probe=run_probe)
     except Exception as exc:  # noqa: BLE001 - deliberate fault barrier
         return TraceFailure(
             trace_name=name if name is not None else str(trace),
@@ -230,7 +241,8 @@ def run_suite(factory: PredictorFactory, traces: Sequence[TraceLike],
               workers: int = 1,
               cache: CacheLike = None,
               on_error: str = "raise",
-              instrumentation: "Instrumentation | None" = None
+              instrumentation: "Instrumentation | None" = None,
+              probe: bool = False
               ) -> BatchResult:
     """Run a fresh predictor over every trace of a suite.
 
@@ -264,6 +276,12 @@ def run_suite(factory: PredictorFactory, traces: Sequence[TraceLike],
         "trace_failure" counters.  Suite-level only — per-trace phase
         detail would distort the Table III timing methodology when
         workers contend for cores.
+    probe:
+        ``True`` attaches a fresh :class:`repro.probe.PredictionProbe`
+        to every *simulated* trace (cache hits carry no probe data) and
+        leaves each report on its result's ``probe_report``.  Off by
+        default; it perturbs simulation time, so leave it off for
+        Table III-style timing runs.
     """
     config = config or SimulationConfig()
     instr = instrumentation
@@ -317,12 +335,12 @@ def run_suite(factory: PredictorFactory, traces: Sequence[TraceLike],
         if workers == 1 or len(pending) <= 1:
             for i in pending:
                 slots[i] = _run_one(factory, traces[i], config,
-                                    resolved_names[i])
+                                    resolved_names[i], probe)
         else:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = {
                     i: pool.submit(_run_one, factory, traces[i], config,
-                                   resolved_names[i])
+                                   resolved_names[i], probe)
                     for i in pending
                 }
                 for i, future in futures.items():

@@ -61,6 +61,12 @@ class SimulationResult:
     #: content-addressed cache.  Run manifests
     #: (:func:`repro.telemetry.build_manifest`) pick it up by default.
     phases: dict[str, float] | None = field(default=None, compare=False)
+    #: Component-attribution report attached by the simulator when a
+    #: :class:`repro.probe.PredictionProbe` was passed.  Same rule as
+    #: ``phases``: in-memory provenance only, never serialized into the
+    #: Listing-1 JSON, so enabling probes cannot perturb cache keys or
+    #: golden outputs.  Run manifests pick it up by default.
+    probe_report: dict[str, Any] | None = field(default=None, compare=False)
 
     @property
     def mpki(self) -> float:

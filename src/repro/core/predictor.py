@@ -110,6 +110,35 @@ class Predictor(abc.ABC):
         that ``execution_stats`` only reflects the measured region.
         """
 
+    # ------------------------------------------------------------------
+    # Probe hooks (component attribution, :mod:`repro.probe`).
+    # ------------------------------------------------------------------
+
+    #: The attached :class:`repro.probe.PredictionProbe` (or a scoped
+    #: view of one), ``None`` when attribution is disabled.  A class
+    #: attribute so probe-unaware predictors pay nothing: the instance
+    #: never grows the slot and ``self._probe`` reads the shared None.
+    _probe: Any = None
+
+    def attach_probe(self, probe: Any) -> None:
+        """Attach an attribution probe (``None`` detaches).
+
+        Composed predictors override this to forward scoped views —
+        ``probe.scoped("role")`` — to their sub-components, so nested
+        compositions report attribution at every level.
+        """
+        self._probe = probe
+
+    def probe_stats(self) -> dict[str, Any]:
+        """End-of-run structural statistics for the probe report.
+
+        Conventionally a dict of component name to the output of
+        :func:`repro.utils.tables.distribution_stats` (occupancy,
+        saturation, entropy); composed predictors nest their
+        components' dicts.  Empty by default.
+        """
+        return {}
+
     def spec(self) -> dict[str, Any]:
         """Canonical (name + parameters) identity of this configuration.
 

@@ -12,15 +12,19 @@ Driving rules (Section IV-B):
   ``track_only_conditional``), after ``train``;
 * mispredictions inside the warm-up instruction window are not counted.
 
-Observability (:mod:`repro.telemetry`): the simulator accepts an
-optional ``instrumentation`` object — phase timers bracketing trace
-decode ("trace_read"), the predict/train/track loop ("simulate_loop")
-and result finalization ("finalize") — and an optional ``telemetry``
-interval recorder sampling the running counters every N instructions.
-Both default to off, and the off path adds **no hook calls**: phases
-are per-run brackets behind ``is not None`` guards and interval
-sampling is a single integer comparison against an unreachable
-sentinel, so Table III-style timing measurements are unaffected.
+Observability (:mod:`repro.telemetry`, :mod:`repro.probe`): the
+simulator accepts an optional ``instrumentation`` object — phase timers
+bracketing trace decode ("trace_read"), the predict/train/track loop
+("simulate_loop") and result finalization ("finalize") — an optional
+``telemetry`` interval recorder sampling the running counters every N
+instructions, and an optional ``probe`` accumulating component
+attribution and per-branch profiles.  All default to off, and the off
+path adds **no hook calls**: phases are per-run brackets behind
+``is not None`` guards, interval sampling is a single integer
+comparison against an unreachable sentinel, and the probe's entire
+disabled cost is one ``is not None`` test of a local variable per
+measured conditional branch, so Table III-style timing measurements
+are unaffected.
 
 All durations are measured with the monotonic ``time.perf_counter``;
 wall-clock ``time.time`` (which can jump under NTP adjustment) is never
@@ -42,6 +46,7 @@ from .output import SimulationResult
 from .predictor import Predictor
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..probe import PredictionProbe
     from ..telemetry.instrumentation import Instrumentation
     from ..telemetry.interval import IntervalRecorder
 
@@ -99,7 +104,8 @@ def simulate(predictor: Predictor, trace: TraceLike,
              config: SimulationConfig | None = None, *,
              trace_name: str | None = None,
              instrumentation: "Instrumentation | None" = None,
-             telemetry: "IntervalRecorder | None" = None
+             telemetry: "IntervalRecorder | None" = None,
+             probe: "PredictionProbe | None" = None
              ) -> SimulationResult:
     """Run ``predictor`` over ``trace`` and return the full result object.
 
@@ -107,13 +113,15 @@ def simulate(predictor: Predictor, trace: TraceLike,
     library never owns ``main``), which is the design inversion the paper
     argues for against framework-style simulators.
 
-    ``instrumentation`` (phase timers / counters) and ``telemetry`` (an
-    :class:`~repro.telemetry.interval.IntervalRecorder`) are optional
-    observability hooks; when instrumentation records phase timings
-    (exposes a ``phases`` dict), a snapshot is attached to the result's
-    non-serialized ``phases`` field.  Neither changes the metrics: a run
-    with hooks produces the same :class:`SimulationResult` as one
-    without.
+    ``instrumentation`` (phase timers / counters), ``telemetry`` (an
+    :class:`~repro.telemetry.interval.IntervalRecorder`) and ``probe``
+    (a :class:`~repro.probe.PredictionProbe` attached to the predictor
+    for the run, with its report landing in the result's non-serialized
+    ``probe_report`` field) are optional observability hooks; when
+    instrumentation records phase timings (exposes a ``phases`` dict), a
+    snapshot is attached to the result's non-serialized ``phases``
+    field.  None of them changes the metrics: a run with hooks produces
+    the same :class:`SimulationResult` as one without.
     """
     config = config or SimulationConfig()
     instr = instrumentation
@@ -134,6 +142,11 @@ def simulate(predictor: Predictor, trace: TraceLike,
     predict = predictor.predict
     train = predictor.train
     track = predictor.track
+
+    if probe is not None:
+        predictor.attach_probe(probe)
+        probe.start(warmup_active=warmup > 0)
+    probe_branch = probe.record_branch if probe is not None else None
 
     recorder = telemetry
     if recorder is not None:
@@ -164,6 +177,8 @@ def simulate(predictor: Predictor, trace: TraceLike,
         if warmup_pending and instructions > warmup:
             warmup_pending = False
             predictor.on_warmup_end()
+            if probe is not None:
+                probe.arm()
         if branch.opcode & 1:  # conditional (opcode bit 0)
             prediction = predict(branch.ip)
             mispredicted = prediction != branch.taken
@@ -179,6 +194,8 @@ def simulate(predictor: Predictor, trace: TraceLike,
                         cell[0] += 1
                         if mispredicted:
                             cell[1] += 1
+                if probe_branch is not None:
+                    probe_branch(branch.ip, branch.taken, mispredicted)
             train(branch)
             track(branch)
         elif track_all:
@@ -205,6 +222,11 @@ def simulate(predictor: Predictor, trace: TraceLike,
         recorder.finish(instructions, conditional_branches, mispredictions)
 
     final_start = time.perf_counter() if instr is not None else 0.0
+    probe_report = None
+    if probe is not None:
+        probe.finish(predictor)
+        probe_report = probe.report()
+        predictor.attach_probe(None)
     measured_instructions = max(0, instructions - warmup)
     most_failed = (
         most_failed_branches(
@@ -234,6 +256,7 @@ def simulate(predictor: Predictor, trace: TraceLike,
         predictor_statistics=predictor.execution_stats(),
         most_failed=most_failed,
         phases=phases_snapshot,
+        probe_report=probe_report,
     )
 
 

@@ -33,6 +33,12 @@ object (:mod:`repro.telemetry`) and bracket their array passes as
 phases — "index" (history/index derivation), "scan" (the segmented
 clamped-walk scan) and "finish" (misprediction counting).  The default
 is off and adds no calls, matching the standard simulator's contract.
+They likewise accept an optional ``probe``
+(:class:`repro.probe.PredictionProbe`), filled post-hoc from the
+prediction arrays via the bulk hooks: a single-component attribution
+row (these predictors have one table and no arbitration), the full
+per-branch profile, and the final table's structural statistics
+reconstructed from the scan.
 """
 
 from __future__ import annotations
@@ -47,6 +53,7 @@ from ..sbbt.trace import TraceData
 from .errors import SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..probe import PredictionProbe
     from ..telemetry.instrumentation import Instrumentation
 
 __all__ = [
@@ -211,6 +218,64 @@ def _finish(trace: TraceData, conditional: np.ndarray,
     )
 
 
+def _final_table_stats(indices_sorted: np.ndarray, before: np.ndarray,
+                       steps: np.ndarray, lo: int, hi: int,
+                       size: int) -> dict:
+    """Structural statistics of the table *after* the whole run.
+
+    ``before`` is the scan output (state seen by each element);
+    applying each segment's last step to its own ``before`` yields the
+    entry's final state.  Untouched entries stay at the reset value 0.
+    """
+    from ..utils.tables import distribution_stats
+
+    values = np.zeros(size, dtype=np.int64)
+    if len(indices_sorted):
+        is_last = np.empty(len(indices_sorted), dtype=bool)
+        is_last[-1] = True
+        np.not_equal(indices_sorted[1:], indices_sorted[:-1],
+                     out=is_last[:-1])
+        final = np.clip(before[is_last] + steps[is_last], lo, hi)
+        values[indices_sorted[is_last].astype(np.int64)] = final
+    return distribution_stats(values, lo, hi)
+
+
+def _fill_probe(probe: "PredictionProbe", trace: TraceData,
+                conditional: np.ndarray, predictions: np.ndarray,
+                warmup_instructions: int, structure: dict) -> None:
+    """Populate ``probe`` from a finished engine run via the bulk hooks.
+
+    Only the measured (post-warm-up) region is profiled, matching the
+    scalar simulator's accounting; the single ``table`` component
+    receives the whole attribution because these predictors have no
+    arbitration to observe.
+    """
+    probe.start()
+    ips = trace.ips[conditional]
+    taken = trace.taken[conditional]
+    wrong = predictions != taken
+    if warmup_instructions > 0:
+        numbers = trace.instruction_numbers()[conditional]
+        measured = numbers > warmup_instructions
+        ips = ips[measured]
+        taken = taken[measured]
+        wrong = wrong[measured]
+    n = len(ips)
+    probe.record_bulk("table", n, n - int(wrong.sum()))
+    unique_ips, inverse = np.unique(ips, return_inverse=True)
+    occurrences = np.bincount(inverse, minlength=len(unique_ips))
+    taken_counts = np.bincount(inverse, weights=taken,
+                               minlength=len(unique_ips))
+    wrong_counts = np.bincount(inverse, weights=wrong,
+                               minlength=len(unique_ips))
+    for i, ip in enumerate(unique_ips):
+        probe.record_branch_bulk(int(ip), int(occurrences[i]),
+                                 int(taken_counts[i]),
+                                 int(wrong_counts[i]), component="table")
+    probe.set_structure(structure)
+    probe.finish()
+
+
 def _phase_end(instrumentation: "Instrumentation | None", name: str,
                start: float) -> float:
     """Record one engine phase; returns the next phase's start time."""
@@ -224,7 +289,8 @@ def simulate_bimodal_vectorized(trace: TraceData, log_table_size: int = 14,
                                 instruction_shift: int = 0,
                                 warmup_instructions: int = 0, *,
                                 instrumentation:
-                                "Instrumentation | None" = None
+                                "Instrumentation | None" = None,
+                                probe: "PredictionProbe | None" = None
                                 ) -> VectorizedResult:
     """Bit-exact vectorized run of :class:`repro.predictors.Bimodal`.
 
@@ -256,6 +322,11 @@ def simulate_bimodal_vectorized(trace: TraceData, log_table_size: int = 14,
     predictions = np.empty(n, dtype=bool)
     predictions[order] = before >= 0
     result = _finish(trace, conditional, predictions, warmup_instructions)
+    if probe is not None:
+        structure = {"table": _final_table_stats(
+            indices[order], before, steps, lo, hi, 1 << log_table_size)}
+        _fill_probe(probe, trace, conditional, predictions,
+                    warmup_instructions, structure)
     if instr is not None:
         _phase_end(instr, "finish", start)
     return result
@@ -266,7 +337,8 @@ def simulate_gshare_vectorized(trace: TraceData, history_length: int = 15,
                                counter_width: int = 2,
                                warmup_instructions: int = 0, *,
                                instrumentation:
-                               "Instrumentation | None" = None
+                               "Instrumentation | None" = None,
+                               probe: "PredictionProbe | None" = None
                                ) -> VectorizedResult:
     """Bit-exact vectorized run of :class:`repro.predictors.GShare`.
 
@@ -299,6 +371,11 @@ def simulate_gshare_vectorized(trace: TraceData, history_length: int = 15,
     predictions = np.empty(len(ips), dtype=bool)
     predictions[order] = before >= 0
     result = _finish(trace, conditional, predictions, warmup_instructions)
+    if probe is not None:
+        structure = {"table": _final_table_stats(
+            indices[order], before, steps, lo, hi, 1 << log_table_size)}
+        _fill_probe(probe, trace, conditional, predictions,
+                    warmup_instructions, structure)
     if instr is not None:
         _phase_end(instr, "finish", start)
     return result

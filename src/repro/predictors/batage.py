@@ -95,6 +95,34 @@ class _DualCounterTable:
         self.n_not_taken[index] = 0 if taken else 1
 
 
+def _dual_table_stats(table: _DualCounterTable) -> dict[str, Any]:
+    """Structural snapshot of a dual-counter table (:mod:`repro.probe`).
+
+    Instead of counter-value entropy (dual counters are 2-D), reports
+    the confidence-class mix derived from :func:`dual_counter_confidence`
+    plus occupancy and saturation fractions.
+    """
+    import numpy as np
+
+    n_taken = np.asarray(table.n_taken, dtype=np.int64)
+    n_not_taken = np.asarray(table.n_not_taken, dtype=np.int64)
+    entries = int(n_taken.size)
+    low = np.minimum(n_taken, n_not_taken)
+    high = np.maximum(n_taken, n_not_taken)
+    high_conf = 2 * low + 1 < high
+    return {
+        "entries": entries,
+        "live_fraction": float(((n_taken + n_not_taken) > 0).mean()),
+        "saturated_fraction": float(
+            ((n_taken == table.counter_max)
+             | (n_not_taken == table.counter_max)).mean()),
+        "high_confidence_fraction": float(high_conf.mean()),
+        "medium_confidence_fraction": float((~high_conf & (low < high))
+                                            .mean()),
+        "low_confidence_fraction": float((low == high).mean()),
+    }
+
+
 class Batage(Predictor):
     """A parameterizable BATAGE.
 
@@ -263,6 +291,18 @@ class Batage(Predictor):
 
         self._stat_provider_hits[0 if provider is None else provider + 1] += 1
 
+        probe = self._probe
+        if probe is not None:
+            # The most confident entry provided; when that was not the
+            # longest-history hit, confidence ranking overrode it.
+            source = "base" if provider is None else f"T{provider + 1}"
+            longest = hits[-1] if hits else None
+            overrode = (f"T{longest + 1}"
+                        if longest is not None and provider != longest
+                        else None)
+            probe.record(branch.ip, source, not mispredicted,
+                         overrode=overrode)
+
         # Update the provider; also update the next candidate when the
         # provider is not yet highly confident (keeps the fallback warm).
         if provider is None:
@@ -365,6 +405,13 @@ class Batage(Predictor):
         self._stat_provider_hits = [0] * (self.num_tables + 1)
         self._stat_allocations = 0
         self._stat_decays = 0
+
+    def probe_stats(self) -> dict[str, Any]:
+        """Structural snapshot: confidence mix of every dual-counter table."""
+        stats: dict[str, Any] = {"base": _dual_table_stats(self._base)}
+        for t, table in enumerate(self._tables):
+            stats[f"T{t + 1}"] = _dual_table_stats(table)
+        return stats
 
     def storage_bits(self) -> int:
         """Hardware budget of the configuration, in bits."""

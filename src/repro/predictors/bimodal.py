@@ -64,6 +64,11 @@ class Bimodal(Predictor):
         """Saturating ±1 update of the selected counter."""
         i = self._index(branch.ip)
         v = self._table[i]
+        probe = self._probe
+        if probe is not None:
+            # Single-component: the table provides every prediction
+            # (same attribution the vectorized engine reports).
+            probe.record(branch.ip, "table", (v >= 0) == branch.taken)
         if branch.taken:
             if v < self._max:
                 self._table[i] = v + 1
@@ -85,3 +90,10 @@ class Bimodal(Predictor):
     def storage_bits(self) -> int:
         """Hardware budget of the configuration, in bits."""
         return (1 << self.log_table_size) * self.counter_width
+
+    def probe_stats(self) -> dict[str, Any]:
+        """Structural snapshot of the counter table."""
+        from ..utils.tables import distribution_stats
+
+        return {"table": distribution_stats(self._table, self._min,
+                                            self._max)}

@@ -115,6 +115,12 @@ class StatisticalCorrector(Predictor):
         taken = branch.taken
         if final != main_prediction and final == taken:
             self._stat_good_overrides += 1
+        probe = self._probe
+        if probe is not None:
+            inverted = final != main_prediction
+            probe.record(branch.ip, "corrector" if inverted else "main",
+                         final == taken,
+                         overrode="main" if inverted else None)
         # Perceptron-style: update on low confidence or wrong final.
         agree = main_prediction == taken
         if final != taken or abs(total) <= self.threshold * 2:
@@ -170,6 +176,25 @@ class StatisticalCorrector(Predictor):
         self._stat_overrides = 0
         self._stat_good_overrides = 0
         self.main.on_warmup_end()
+
+    def attach_probe(self, probe: Any) -> None:
+        """Attach the probe here and a scoped view to the main predictor."""
+        self._probe = probe
+        self.main.attach_probe(None if probe is None
+                               else probe.scoped("main"))
+
+    def probe_stats(self) -> dict[str, Any]:
+        """Corrector vote-table snapshots plus the main's statistics."""
+        from ..utils.tables import distribution_stats
+
+        stats: dict[str, Any] = {}
+        for t, table in enumerate(self._tables):
+            stats[f"SC{t}"] = distribution_stats(table, self._c_min,
+                                                 self._c_max)
+        main_stats = self.main.probe_stats()
+        if main_stats:
+            stats["main"] = main_stats
+        return stats
 
 
 def tage_sc(**tage_kwargs: Any) -> StatisticalCorrector:

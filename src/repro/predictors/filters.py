@@ -58,6 +58,14 @@ class ConditionalOnlyFilter(Predictor):
     def on_warmup_end(self) -> None:  # noqa: D102 - delegation
         self.inner.on_warmup_end()
 
+    def attach_probe(self, probe: Any) -> None:
+        """Transparent: the inner predictor records in the same scope."""
+        self._probe = probe
+        self.inner.attach_probe(probe)
+
+    def probe_stats(self) -> dict[str, Any]:  # noqa: D102 - delegation
+        return self.inner.probe_stats()
+
 
 class NeverTakenFilter(Predictor):
     """Handle never-taken branches without consuming inner capacity.
@@ -86,7 +94,11 @@ class NeverTakenFilter(Predictor):
 
     def train(self, branch: Branch) -> None:
         """Graduate a branch on its first taken outcome."""
+        probe = self._probe
         if self._is_filtered(branch.ip):
+            if probe is not None:
+                # The filter answered not-taken itself.
+                probe.record(branch.ip, "filter", not branch.taken)
             self._stat_filtered += 1
             if branch.taken:
                 self._seen_taken.add(branch.ip)
@@ -94,6 +106,11 @@ class NeverTakenFilter(Predictor):
                 self.inner.predict(branch.ip)
                 self.inner.train(branch)
             return
+        if probe is not None:
+            # predict is observably pure (and cached by the inner
+            # component), so re-asking recovers the final answer.
+            probe.record(branch.ip, "inner",
+                         self.inner.predict(branch.ip) == branch.taken)
         self.inner.train(branch)
 
     def track(self, branch: Branch) -> None:
@@ -133,3 +150,14 @@ class NeverTakenFilter(Predictor):
         """Propagate and reset the filter counter."""
         self._stat_filtered = 0
         self.inner.on_warmup_end()
+
+    def attach_probe(self, probe: Any) -> None:
+        """Attach the probe here and a scoped view to the inner predictor."""
+        self._probe = probe
+        self.inner.attach_probe(None if probe is None
+                                else probe.scoped("inner"))
+
+    def probe_stats(self) -> dict[str, Any]:
+        """Inner structural statistics under the ``inner`` key."""
+        inner_stats = self.inner.probe_stats()
+        return {"inner": inner_stats} if inner_stats else {}

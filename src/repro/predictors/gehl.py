@@ -119,6 +119,16 @@ class OGehl(Predictor):
         total = self._cached_sum
         taken = branch.taken
         mispredicted = (total >= 0) != taken
+        probe = self._probe
+        if probe is not None:
+            # Adder trees have no single provider; attribute the vote to
+            # the table contributing the largest-magnitude counter (the
+            # first such table on ties).
+            values = [self._tables[t][self._cached_indices[t]]
+                      for t in range(self.num_tables)]
+            dominant = max(range(self.num_tables),
+                           key=lambda t: abs(values[t]))
+            probe.record(branch.ip, f"T{dominant}", not mispredicted)
         if mispredicted or abs(total) <= self.theta:
             delta = 1 if taken else -1
             for table, index in zip(self._tables, self._cached_indices):
@@ -187,6 +197,13 @@ class OGehl(Predictor):
             "active_length_config": self._config,
             "config_switches": self._stat_config_switches,
         }
+
+    def probe_stats(self) -> dict[str, Any]:
+        """Structural snapshot of every vote table."""
+        from ..utils.tables import distribution_stats
+
+        return {f"T{t}": distribution_stats(table, self._c_min, self._c_max)
+                for t, table in enumerate(self._tables)}
 
     def storage_bits(self) -> int:
         """Hardware budget of the configuration, in bits."""

@@ -120,6 +120,13 @@ class TwoBcGskew(Predictor):
         majority = (bim_pred + g0_pred + g1_pred) >= 2
         use_gskew = self._meta[mi] >= 0
 
+        probe = self._probe
+        if probe is not None:
+            provider = "gskew" if use_gskew else "bimodal"
+            other = "bimodal" if use_gskew else "gskew"
+            probe.record(branch.ip, provider, final == taken,
+                         overrode=other if bim_pred != majority else None)
+
         # Meta learns which side was right, only when they disagreed.
         if bim_pred != majority:
             self._bump(self._meta, mi, majority == taken)
@@ -157,6 +164,17 @@ class TwoBcGskew(Predictor):
             "log_bank_size": self.log_bank_size,
             "history_length_g0": self.history_length_g0,
             "history_length_g1": self.history_length_g1,
+        }
+
+    def probe_stats(self) -> dict[str, Any]:
+        """Structural snapshot of all four banks."""
+        from ..utils.tables import distribution_stats
+
+        return {
+            "bimodal": distribution_stats(self._bim, -2, 1),
+            "g0": distribution_stats(self._g0, -2, 1),
+            "g1": distribution_stats(self._g1, -2, 1),
+            "meta": distribution_stats(self._meta, -2, 1),
         }
 
     def storage_bits(self) -> int:

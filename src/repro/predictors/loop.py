@@ -140,6 +140,19 @@ class LoopPredictor(Predictor):
             "confidence_threshold": self.confidence_threshold,
         }
 
+    def probe_stats(self) -> dict[str, Any]:
+        """Structural snapshot: how many entries are live and confident."""
+        entries = len(self._entries)
+        live = sum(1 for e in self._entries if e is not None)
+        confident = sum(
+            1 for e in self._entries
+            if e is not None and e.confidence >= self.confidence_threshold)
+        return {"entries": {
+            "entries": entries,
+            "live_fraction": live / entries if entries else 0.0,
+            "confident_fraction": confident / entries if entries else 0.0,
+        }}
+
 
 class WithLoopPredictor(Predictor):
     """Attach a loop predictor to any main predictor.
@@ -155,12 +168,17 @@ class WithLoopPredictor(Predictor):
         self.main = main
         self.loop = loop if loop is not None else LoopPredictor()
         self._stat_overrides = 0
+        # (ip, valid, loop_prediction, main_prediction) of the latest
+        # predict; invalidated by track (predict-then-train protocol).
+        self._cached: tuple[int, bool, bool, bool] | None = None
 
     def predict(self, ip: int) -> bool:
         """Loop prediction wins when valid; otherwise defer to main."""
         loop_prediction = self.loop.predict(ip)
         main_prediction = self.main.predict(ip)
-        if self.loop.is_valid():
+        valid = self.loop.is_valid()
+        self._cached = (ip, valid, loop_prediction, main_prediction)
+        if valid:
             if loop_prediction != main_prediction:
                 self._stat_overrides += 1
             return loop_prediction
@@ -168,6 +186,18 @@ class WithLoopPredictor(Predictor):
 
     def train(self, branch: Branch) -> None:
         """Train both components with the program branch."""
+        probe = self._probe
+        if probe is not None:
+            cached = self._cached
+            if cached is None or cached[0] != branch.ip:
+                self.predict(branch.ip)
+                cached = self._cached
+            _, valid, loop_prediction, main_prediction = cached
+            final = loop_prediction if valid else main_prediction
+            overrode = ("main" if valid and loop_prediction != main_prediction
+                        else None)
+            probe.record(branch.ip, "loop" if valid else "main",
+                         final == branch.taken, overrode=overrode)
         self.main.train(branch)
         self.loop.train(branch)
 
@@ -175,6 +205,7 @@ class WithLoopPredictor(Predictor):
         """Track both components with the program branch."""
         self.main.track(branch)
         self.loop.track(branch)
+        self._cached = None
 
     def metadata_stats(self) -> dict[str, Any]:
         """Nested self-description of both components."""
@@ -205,3 +236,22 @@ class WithLoopPredictor(Predictor):
         self._stat_overrides = 0
         self.main.on_warmup_end()
         self.loop.on_warmup_end()
+
+    def attach_probe(self, probe: Any) -> None:
+        """Attach the probe here and scoped views to both components."""
+        self._probe = probe
+        self.main.attach_probe(None if probe is None
+                               else probe.scoped("main"))
+        self.loop.attach_probe(None if probe is None
+                               else probe.scoped("loop"))
+
+    def probe_stats(self) -> dict[str, Any]:
+        """Merge both components' structural statistics."""
+        stats: dict[str, Any] = {}
+        main_stats = self.main.probe_stats()
+        if main_stats:
+            stats["main"] = main_stats
+        loop_stats = self.loop.probe_stats()
+        if loop_stats:
+            stats["loop"] = loop_stats
+        return stats

@@ -136,6 +136,15 @@ class HashedPerceptron(Predictor):
         total = self._cached_sum
         taken = branch.taken
         mispredicted = (total >= 0) != taken
+        probe = self._probe
+        if probe is not None:
+            # Attribute the vote to the largest-magnitude weight (the
+            # first such table on ties) — adder trees have no provider.
+            weights = [self._tables[t][self._cached_indices[t]]
+                       for t in range(self.num_tables)]
+            dominant = max(range(self.num_tables),
+                           key=lambda t: abs(weights[t]))
+            probe.record(branch.ip, f"T{dominant}", not mispredicted)
         if mispredicted or abs(total) <= self.theta:
             if mispredicted:
                 self._stat_mispredict_trainings += 1
@@ -211,6 +220,13 @@ class HashedPerceptron(Predictor):
         """Reset statistics so they cover the measured region only."""
         self._stat_threshold_trainings = 0
         self._stat_mispredict_trainings = 0
+
+    def probe_stats(self) -> dict[str, Any]:
+        """Structural snapshot of every weight table."""
+        from ..utils.tables import distribution_stats
+
+        return {f"T{t}": distribution_stats(table, self._w_min, self._w_max)
+                for t, table in enumerate(self._tables)}
 
     def storage_bits(self) -> int:
         """Hardware budget of the configuration, in bits."""

@@ -193,11 +193,9 @@ class Tage(Predictor):
         else:
             alt_pred = base_pred
 
-        if provider is not None and weak and self._use_alt_on_na >= (
-                self.USE_ALT_MAX + 1) // 2:
-            final = alt_pred
-        else:
-            final = provider_pred
+        alt_used = (provider is not None and weak
+                    and self._use_alt_on_na >= (self.USE_ALT_MAX + 1) // 2)
+        final = alt_pred if alt_used else provider_pred
         return {
             "indices": indices,
             "tags": tags,
@@ -207,6 +205,7 @@ class Tage(Predictor):
             "provider_pred": provider_pred,
             "alt_pred": alt_pred,
             "weak": weak,
+            "alt_used": alt_used,
             "final": final,
         }
 
@@ -241,6 +240,25 @@ class Tage(Predictor):
         mispredicted = state["final"] != taken
 
         self._stat_provider_hits[0 if provider is None else provider + 1] += 1
+
+        probe = self._probe
+        if probe is not None:
+            # Attribute to whoever supplied the *final* answer: the base,
+            # the provider table, or — when use_alt_on_na distrusted a
+            # weak provider — the alternative (which overrode it).
+            if provider is None:
+                source = "base"
+            elif state["alt_used"]:
+                source = ("base" if state["alt"] is None
+                          else f"T{state['alt'] + 1}")
+            else:
+                source = f"T{provider + 1}"
+            overrode = (f"T{provider + 1}"
+                        if state["alt_used"]
+                        and state["alt_pred"] != state["provider_pred"]
+                        else None)
+            probe.record(branch.ip, source, not mispredicted,
+                         overrode=overrode)
 
         if provider is None:
             self._update_base(branch.ip, taken)
@@ -369,6 +387,17 @@ class Tage(Predictor):
         self._stat_provider_hits = [0] * (self.num_tables + 1)
         self._stat_allocations = 0
         self._stat_allocation_failures = 0
+
+    def probe_stats(self) -> dict[str, Any]:
+        """Structural snapshot: the base table plus every tagged table."""
+        from ..utils.tables import distribution_stats
+
+        stats: dict[str, Any] = {
+            "base": distribution_stats(self._base, -2, 1),
+        }
+        for t, table in enumerate(self._tables):
+            stats[f"T{t + 1}"] = table.structural_stats()
+        return stats
 
     def storage_bits(self) -> int:
         """Hardware budget of the configuration, in bits."""

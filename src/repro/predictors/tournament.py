@@ -63,6 +63,14 @@ class Tournament(Predictor):
         update policy of Listing 4.
         """
         self.predict(branch.ip)  # ensure the cache matches this branch
+        probe = self._probe
+        if probe is not None:
+            provider = "predictor_1" if self._provider else "predictor_0"
+            loser = "predictor_0" if self._provider else "predictor_1"
+            disagreed = self._prediction[0] != self._prediction[1]
+            probe.record(branch.ip, provider,
+                         self._prediction[self._provider] == branch.taken,
+                         overrode=loser if disagreed else None)
         self.bp0.train(branch)
         self.bp1.train(branch)
         if self._prediction[0] != self._prediction[1]:
@@ -113,6 +121,26 @@ class Tournament(Predictor):
         self.meta.on_warmup_end()
         self.bp0.on_warmup_end()
         self.bp1.on_warmup_end()
+
+    def attach_probe(self, probe: Any) -> None:
+        """Attach the probe here and scoped views to every component."""
+        self._probe = probe
+        for role, component in (("metapredictor", self.meta),
+                                ("predictor_0", self.bp0),
+                                ("predictor_1", self.bp1)):
+            component.attach_probe(
+                None if probe is None else probe.scoped(role))
+
+    def probe_stats(self) -> dict[str, Any]:
+        """Merge component structural statistics under their role names."""
+        stats: dict[str, Any] = {}
+        for role, component in (("metapredictor", self.meta),
+                                ("predictor_0", self.bp0),
+                                ("predictor_1", self.bp1)):
+            component_stats = component.probe_stats()
+            if component_stats:
+                stats[role] = component_stats
+        return stats
 
 
 def mcfarling_tournament(log_table_size: int = 14,

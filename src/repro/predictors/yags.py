@@ -119,6 +119,17 @@ class Yags(Predictor):
          final) = self._cache
         taken = branch.taken
 
+        probe = self._probe
+        if probe is not None:
+            if cache_hit:
+                consulted = ("not_taken_cache" if bias_taken
+                             else "taken_cache")
+                probe.record(branch.ip, consulted, final == taken,
+                             overrode=("choice" if final != bias_taken
+                                       else None))
+            else:
+                probe.record(branch.ip, "choice", final == taken)
+
         # The choice table trains except when it disagreed with the
         # outcome but the exception cache covered for it (keeping the
         # bias stable is the point of the scheme).
@@ -148,6 +159,22 @@ class Yags(Predictor):
             "log_cache_size": self.log_cache_size,
             "tag_width": self.tag_width,
             "history_length": self.history_length,
+        }
+
+    def probe_stats(self) -> dict[str, Any]:
+        """Structural snapshot: choice table and both exception caches."""
+        from ..utils.tables import distribution_stats
+
+        def cache_stats(cache: _ExceptionCache) -> dict[str, Any]:
+            stats = distribution_stats(cache.counters, -2, 1)
+            live = sum(1 for tag in cache.tags if tag != -1)
+            stats["live_fraction"] = live / len(cache.tags)
+            return stats
+
+        return {
+            "choice": distribution_stats(self._choice, -2, 1),
+            "taken_cache": cache_stats(self._taken_cache),
+            "not_taken_cache": cache_stats(self._not_taken_cache),
         }
 
     def storage_bits(self) -> int:

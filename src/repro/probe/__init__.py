@@ -1,0 +1,40 @@
+"""Component-level prediction attribution and structural statistics.
+
+Run-level telemetry (:mod:`repro.telemetry`) can say *that* a predictor
+mispredicted; this package says *which component* was responsible.  A
+:class:`PredictionProbe` attached to a composed predictor accumulates,
+per component, how many final predictions that component *provided*, how
+many of those were correct, and how often it *overrode* (or was
+overridden by) a sibling — plus a per-branch top-offenders profile and
+end-of-run structural snapshots of the underlying tables.
+
+The contract mirrors the telemetry layer: **near-zero overhead when
+disabled**.  Without a probe attached every hook collapses to a single
+``is not None`` test on a local variable, the hot loop allocates
+nothing, and ``SimulationResult`` JSON (and therefore cache keys and
+goldens) is byte-identical to a probe-free build.
+
+>>> probe = PredictionProbe(top_branches=2)
+>>> probe.start()
+>>> probe.record(0x40, "loop", True, overrode="main")
+>>> probe.record(0x44, "main", False)
+>>> report = probe.report()
+>>> report["attribution"][""]["predictions"]
+2
+>>> report["attribution"][""]["components"]["loop"]["overrides"]
+1
+"""
+
+from .attribution import (
+    PROBE_SCHEMA,
+    PredictionProbe,
+    ScopedProbe,
+    probe_consistent_with,
+)
+
+__all__ = [
+    "PROBE_SCHEMA",
+    "PredictionProbe",
+    "ScopedProbe",
+    "probe_consistent_with",
+]

@@ -97,10 +97,16 @@ class RunManifest:
     cache: dict[str, Any]
     environment: dict[str, Any] = field(default_factory=dict)
     created: str | None = None
+    probe: dict[str, Any] | None = None
 
     def to_json(self) -> dict[str, Any]:
-        """The manifest JSON document (schema in ``docs/telemetry.md``)."""
-        return {
+        """The manifest JSON document (schema in ``docs/telemetry.md``).
+
+        The ``probe`` key is present only when a probe report was
+        attached — probe-less manifests serialize exactly as before the
+        key existed.
+        """
+        document = {
             "schema": MANIFEST_SCHEMA,
             "kind": MANIFEST_KIND,
             "created": self.created,
@@ -114,6 +120,9 @@ class RunManifest:
             "cache": self.cache,
             "environment": self.environment,
         }
+        if self.probe is not None:
+            document["probe"] = self.probe
+        return document
 
     @classmethod
     def from_json(cls, data: dict[str, Any]) -> "RunManifest":
@@ -141,6 +150,8 @@ class RunManifest:
                 environment=dict(data.get("environment") or {}),
                 created=(None if data.get("created") is None
                          else str(data["created"])),
+                probe=(None if data.get("probe") is None
+                       else dict(data["probe"])),
             )
         except TelemetryError:
             raise
@@ -186,7 +197,8 @@ def build_manifest(result: SimulationResult, *,
                    counters: dict[str, int] | None = None,
                    cache_used: bool = False,
                    environment: dict[str, Any] | None = None,
-                   created: str | None = None) -> RunManifest:
+                   created: str | None = None,
+                   probe: dict[str, Any] | None = None) -> RunManifest:
     """Assemble the provenance manifest for one simulation result.
 
     Parameters
@@ -218,6 +230,11 @@ def build_manifest(result: SimulationResult, *,
         ISO-8601 creation timestamp; defaults to now (UTC).  This is
         provenance metadata, not a duration — durations in ``timing``
         all come from monotonic ``time.perf_counter`` measurements.
+    probe:
+        A :mod:`repro.probe` report dict; defaults to the report
+        attached to ``result`` (if the run carried a
+        :class:`~repro.probe.PredictionProbe`).  ``None`` (the usual
+        case) omits the section entirely.
     """
     from .. import __version__
 
@@ -228,6 +245,8 @@ def build_manifest(result: SimulationResult, *,
 
     if phases is None:
         phases = getattr(result, "phases", None)
+    if probe is None:
+        probe = getattr(result, "probe_report", None)
 
     timing: dict[str, Any] = {"simulation_time": result.simulation_time}
     if phases is not None:
@@ -258,6 +277,7 @@ def build_manifest(result: SimulationResult, *,
         environment=(collect_environment() if environment is None
                      else dict(environment)),
         created=_default_created() if created is None else created,
+        probe=probe,
     )
 
 

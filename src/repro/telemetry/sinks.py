@@ -100,12 +100,17 @@ def write_telemetry(path: str | Path, *,
                     manifest: Any = None,
                     phases: dict[str, float] | None = None,
                     counters: dict[str, int] | None = None,
-                    intervals: IntervalSeries | None = None) -> Path:
+                    intervals: IntervalSeries | None = None,
+                    probe: dict[str, Any] | None = None) -> Path:
     """Write the combined telemetry document the CLI emits.
 
     ``manifest`` may be a :class:`~repro.telemetry.manifest.RunManifest`
     or an already-serialized dict.  A ``.csv`` path writes the interval
     series as CSV instead (the other sections have no CSV form).
+
+    ``probe`` attaches a :mod:`repro.probe` report; the key is present
+    only when one is given, so probe-less documents are byte-identical
+    to those written before the section existed.
     """
     path = Path(path)
     if path.suffix.lower() == ".csv":
@@ -123,6 +128,8 @@ def write_telemetry(path: str | Path, *,
         "counters": None if counters is None else dict(counters),
         "intervals": None if intervals is None else intervals.to_json(),
     }
+    if probe is not None:
+        document["probe"] = dict(probe)
     path.write_text(json.dumps(document, indent=2) + "\n")
     return path
 

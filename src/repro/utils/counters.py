@@ -344,5 +344,11 @@ class CounterArray:
             raise ValueError(f"fill {fill} out of range [{self._min}, {self._max}]")
         self._values.fill(fill)
 
+    def structural_stats(self) -> dict:
+        """Occupancy/saturation/entropy snapshot (:mod:`repro.probe`)."""
+        from .tables import distribution_stats
+
+        return distribution_stats(self._values, self._min, self._max)
+
     def __repr__(self) -> str:
         return f"CounterArray(size={len(self)}, width={self._width})"

@@ -4,17 +4,67 @@ Table-based predictors share a handful of storage idioms: direct-mapped
 counter tables indexed by hashed bits, and *tagged* tables whose entries
 are claimed and recycled (TAGE/BATAGE).  This module provides both as
 numpy-backed structures so that large tables stay cheap.
+
+For the probe layer (:mod:`repro.probe`), :func:`distribution_stats`
+summarizes any clamped counter array — occupancy, saturation, mean and
+value entropy — and both table classes expose a ``structural_stats``
+snapshot built on it.  These are end-of-run diagnostics: nothing in the
+hot predict/train path calls them.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
 from .bits import mask
 
-__all__ = ["DirectMappedTable", "TaggedEntryView", "TaggedTable"]
+__all__ = ["DirectMappedTable", "TaggedEntryView", "TaggedTable",
+           "distribution_stats"]
+
+
+def distribution_stats(values: Any, lo: int, hi: int,
+                       reset: int = 0) -> dict[str, Any]:
+    """Cheap structural summary of a clamped counter array.
+
+    Returns a JSON-ready dict:
+
+    ``entries``
+        Number of cells.
+    ``live_fraction``
+        Fraction of cells that moved off the ``reset`` value.
+    ``saturated_fraction``
+        Fraction of cells pinned at either clamp bound.
+    ``mean``
+        Arithmetic mean of the stored values.
+    ``entropy_bits``
+        Shannon entropy of the value distribution — 0 when every cell
+        holds the same value, up to ``log2(hi - lo + 1)`` when the
+        table is fully exercised.  A proxy for how much of the
+        structure's state space a workload actually used (and, for
+        hashed tables, how much aliasing pressure it is under).
+
+    >>> stats = distribution_stats([0, 0, 1, -2], lo=-2, hi=1)
+    >>> stats["entries"], stats["live_fraction"], stats["saturated_fraction"]
+    (4, 0.5, 0.5)
+    """
+    arr = np.asarray(values, dtype=np.int64)
+    n = int(arr.size)
+    if n == 0:
+        return {"entries": 0, "live_fraction": 0.0,
+                "saturated_fraction": 0.0, "mean": 0.0, "entropy_bits": 0.0}
+    counts = np.bincount(np.clip(arr, lo, hi) - lo, minlength=hi - lo + 1)
+    probabilities = counts[counts > 0] / n
+    entropy = float(-(probabilities * np.log2(probabilities)).sum())
+    return {
+        "entries": n,
+        "live_fraction": float((arr != reset).mean()),
+        "saturated_fraction": float(((arr == lo) | (arr == hi)).mean()),
+        "mean": float(arr.mean()),
+        "entropy_bits": entropy,
+    }
 
 
 class DirectMappedTable:
@@ -85,6 +135,10 @@ class DirectMappedTable:
         if not self._lo <= fill <= self._hi:
             raise ValueError(f"fill {fill} out of range [{self._lo}, {self._hi}]")
         self._values.fill(fill)
+
+    def structural_stats(self) -> dict[str, Any]:
+        """Occupancy/saturation/entropy snapshot (:mod:`repro.probe`)."""
+        return distribution_stats(self._values, self._lo, self._hi)
 
     def __repr__(self) -> str:
         return (
@@ -227,6 +281,26 @@ class TaggedTable:
         self.counters.fill(0)
         self.useful.fill(0)
         self.aux.fill(0)
+
+    def structural_stats(self) -> dict[str, Any]:
+        """Occupancy/saturation/entropy snapshot (:mod:`repro.probe`).
+
+        Counter statistics come from :func:`distribution_stats`;
+        ``live_fraction`` is redefined as the fraction of entries that
+        have been allocated (any non-zero field), and
+        ``distinct_tag_fraction`` estimates aliasing pressure — a low
+        value means many allocations share partial tags.
+        """
+        stats = distribution_stats(self.counters, self._ctr_min,
+                                   self._ctr_max)
+        allocated = (self.tags != 0) | (self.counters != 0) | \
+                    (self.useful != 0) | (self.aux != 0)
+        live = int(allocated.sum())
+        stats["live_fraction"] = live / len(self.tags)
+        distinct = int(np.unique(self.tags[allocated]).size) if live else 0
+        stats["distinct_tag_fraction"] = distinct / live if live else 0.0
+        stats["useful_mean"] = float(self.useful.mean())
+        return stats
 
     def __repr__(self) -> str:
         return (

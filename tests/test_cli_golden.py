@@ -102,7 +102,7 @@ class TestInfoGolden:
         check_golden("info_human.txt", out, trace_file.parent)
 
 
-def _fixture_telemetry(path: Path) -> Path:
+def _fixture_telemetry(path: Path, probe: dict | None = None) -> Path:
     """A fully deterministic telemetry document (all times fixed).
 
     ``mbp report`` output over this file is byte-exact, so the goldens
@@ -138,7 +138,36 @@ def _fixture_telemetry(path: Path) -> Path:
         path, manifest=manifest,
         phases={"trace_read": 0.0125, "simulate_loop": 0.25,
                 "finalize": 0.0005},
-        counters={"cache_miss": 1}, intervals=series)
+        counters={"cache_miss": 1}, intervals=series, probe=probe)
+
+
+def _fixture_probe_report() -> dict:
+    """A small deterministic probe report for the report goldens."""
+    from repro.probe import PredictionProbe
+
+    probe = PredictionProbe(top_branches=3)
+    for scope, component, outcomes in [
+        ("", "predictor_0", [True, True, False]),
+        ("", "predictor_1", [True, False]),
+        ("predictor_0", "table", [True, True, False]),
+        ("predictor_1", "table", [True, False]),
+    ]:
+        for correct in outcomes:
+            probe.record(0x400, component, correct, scope=scope)
+    probe.record(0x404, "predictor_0", True,
+                 overrode="predictor_1")
+    probe.record(0x404, "table", True, scope="predictor_0")
+    probe.record_branch_bulk(0x400, 4, 2, 2, component="predictor_0")
+    probe.record_branch_bulk(0x404, 2, 2, 0, component="predictor_0")
+    probe.set_structure({
+        "predictor_0": {"table": {"entries": 1024, "live_fraction": 0.5,
+                                  "saturated_fraction": 0.25,
+                                  "entropy_bits": 1.5}},
+        "predictor_1": {"table": {"entries": 1024, "live_fraction": 0.75,
+                                  "saturated_fraction": 0.125,
+                                  "entropy_bits": 1.25}},
+    })
+    return probe.report()
 
 
 class TestReportGolden:
@@ -157,6 +186,33 @@ class TestReportGolden:
         out = run(["report", str(path), "--json"], capsys)
         check_golden("report_json.json", out, tmp_path)
 
+    def test_report_csv(self, tmp_path, capsys):
+        path = _fixture_telemetry(tmp_path / "telemetry.json",
+                                  probe=_fixture_probe_report())
+        out = run(["report", str(path), "--format", "csv"], capsys)
+        check_golden("report_csv.txt", out, tmp_path)
+
+    def test_report_csv_and_text_agree_on_sections(self, tmp_path, capsys):
+        # Every table the text renderer prints must have a CSV section.
+        path = _fixture_telemetry(tmp_path / "telemetry.json",
+                                  probe=_fixture_probe_report())
+        text = run(["report", str(path)], capsys)
+        csv_out = run(["report", str(path), "--format", "csv"], capsys)
+        for title, section in [("Run manifests", "manifest"),
+                               ("Phase timings", "phases"),
+                               ("Interval telemetry", "intervals"),
+                               ("Component attribution", "attribution"),
+                               ("Top offenders", "top_offenders"),
+                               ("Predictor structure", "structure")]:
+            assert title in text
+            assert f"# section: {section}" in csv_out
+
+    def test_report_probe_tables(self, tmp_path, capsys):
+        path = _fixture_telemetry(tmp_path / "telemetry.json",
+                                  probe=_fixture_probe_report())
+        out = run(["report", str(path)], capsys)
+        check_golden("report_probe.txt", out, tmp_path)
+
     def test_simulate_telemetry_then_report(self, trace_file, tmp_path,
                                             capsys):
         """The live pipeline: not golden (times vary), but shape-checked."""
@@ -168,6 +224,42 @@ class TestReportGolden:
         assert "Phase timings" in out
         assert "Interval telemetry (interval=5000" in out
         assert "simulate_loop" in out
+
+    def test_simulate_probe_telemetry_then_report(self, trace_file,
+                                                  tmp_path, capsys):
+        """``--probe`` threads a live report into the document."""
+        import json as json_module
+
+        telemetry = tmp_path / "run.json"
+        run(["simulate", str(trace_file), "--predictor", "tournament",
+             "--telemetry", str(telemetry), "--probe"], capsys)
+        document = json_module.loads(telemetry.read_text())
+        assert document["probe"]["schema"] == 1
+        assert document["manifest"]["probe"] == document["probe"]
+        out = run(["report", str(telemetry)], capsys)
+        assert "Component attribution" in out
+        assert "Top offenders" in out
+
+    def test_probe_requires_telemetry(self, trace_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", str(trace_file), "--probe"])
+
+
+class TestExplainGolden:
+    def test_explain_tournament(self, trace_file, capsys):
+        out = run(["explain", str(trace_file), "--predictor", "tournament",
+                   "--top", "5"], capsys)
+        check_golden("explain_tournament.txt", out, trace_file.parent)
+
+    def test_explain_json(self, trace_file, capsys):
+        out = run(["explain", str(trace_file), "--predictor", "bimodal",
+                   "--top", "3", "--json"], capsys)
+        check_golden("explain_bimodal.json", out, trace_file.parent)
+
+    def test_explain_warmup(self, trace_file, capsys):
+        out = run(["explain", str(trace_file), "--predictor", "gshare",
+                   "--warmup", "5000", "--top", "3"], capsys)
+        check_golden("explain_gshare_warmup.txt", out, trace_file.parent)
 
 
 class TestCacheGolden:

@@ -339,6 +339,33 @@ class TestCacheTelemetry:
         assert "cache_lookup" in hit_timers.phases
         assert hit_recorder.series is None  # a hit simulates nothing
 
+    def test_cache_hit_still_yields_valid_manifest(self, small_trace,
+                                                   tmp_path):
+        # A cached result must build a well-formed manifest: the cache
+        # section records the hit, and run-only artifacts (interval
+        # series, probe report) are simply absent, not fabricated.
+        cache = SimulationCache(tmp_path / "cache")
+        cache.get_or_simulate(Bimodal, small_trace)
+        hit_recorder = IntervalRecorder(interval=1000)
+        cached = cache.get_or_simulate(Bimodal, small_trace,
+                                       telemetry=hit_recorder)
+        assert cached.from_cache
+        manifest = build_manifest(cached, trace=small_trace,
+                                  cache_used=True, environment={},
+                                  created="2026-01-01T00:00:00+00:00")
+        assert manifest.cache == {"used": True, "hit": True}
+        assert manifest.probe is None
+        document = manifest.to_json()
+        assert "probe" not in document
+        assert RunManifest.from_json(document) == manifest
+        assert hit_recorder.series is None
+        path = write_telemetry(tmp_path / "telemetry.json",
+                               manifest=manifest)
+        loaded = read_telemetry(path)
+        assert loaded["manifest"]["cache"] == {"used": True, "hit": True}
+        assert loaded["intervals"] is None
+        assert "probe" not in loaded
+
 
 class TestVectorizedInstrumentation:
     def test_phases_and_unchanged_results(self, small_trace):
