@@ -32,6 +32,7 @@ from .core import (
     Branch,
     BranchType,
     ComparisonResult,
+    ExecutionEngine,
     Opcode,
     Predictor,
     SimulationConfig,
@@ -64,6 +65,7 @@ __version__ = "1.0.0"
 __all__ = [
     "Branch", "BranchType", "ComparisonResult", "Opcode", "Predictor",
     "SimulationConfig", "SimulationResult", "compare", "run_suite",
+    "ExecutionEngine",
     "simulate", "simulate_file",
     "SbbtReader", "SbbtWriter", "TraceData", "read_trace", "write_trace",
     "SimulationCache", "trace_digest",

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass
-from typing import Any, Callable, Sequence, Union
+from typing import TYPE_CHECKING, Any, Callable, Sequence, Union
 
 from pathlib import Path
 
@@ -22,6 +22,10 @@ from ..core.batch import CacheLike, run_suite
 from ..core.predictor import Predictor
 from ..core.simulator import SimulationConfig
 from ..sbbt.trace import TraceData
+from .sweep import engine_scope
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.engine import ExecutionEngine
 
 __all__ = ["SearchSpace", "SearchResult", "random_search", "hill_climb"]
 
@@ -74,6 +78,7 @@ def _objective(factory: Callable[..., Predictor],
                traces: Sequence[TraceLike],
                config: SimulationConfig | None,
                cache: CacheLike = None,
+               engine: "ExecutionEngine | None" = None,
                ) -> Callable[[dict[str, Any]], float]:
     """The MPKI objective, memoized twice over.
 
@@ -81,7 +86,10 @@ def _objective(factory: Callable[..., Predictor],
     optional on-disk ``cache`` (a :class:`repro.cache.SimulationCache` or
     directory path) persists every (configuration, trace) result, so a
     re-run or refined search — or a sweep over an overlapping grid —
-    only simulates configurations never seen before.
+    only simulates configurations never seen before.  ``engine`` routes
+    every evaluation through one persistent worker pool with the traces
+    resident in shared memory, so the per-evaluation cost is pure
+    simulation, not orchestration.
     """
     seen: dict[tuple, float] = {}
 
@@ -89,7 +97,7 @@ def _objective(factory: Callable[..., Predictor],
         key = tuple(sorted(parameters.items()))
         if key not in seen:
             batch = run_suite(functools.partial(factory, **parameters),
-                              traces, config, cache=cache)
+                              traces, config, cache=cache, engine=engine)
             seen[key] = batch.mean_mpki()
         return seen[key]
 
@@ -100,21 +108,29 @@ def random_search(factory: Callable[..., Predictor], space: SearchSpace,
                   traces: Sequence[TraceLike], budget: int = 20,
                   seed: int = 0,
                   config: SimulationConfig | None = None, *,
-                  cache: CacheLike = None) -> SearchResult:
-    """Evaluate ``budget`` random configurations; keep the best."""
+                  cache: CacheLike = None,
+                  workers: int = 1,
+                  engine: "ExecutionEngine | None" = None) -> SearchResult:
+    """Evaluate ``budget`` random configurations; keep the best.
+
+    ``workers > 1`` evaluates each configuration's trace suite through a
+    private :class:`~repro.core.engine.ExecutionEngine` spanning the
+    whole search; ``engine=`` reuses a caller-owned one instead.
+    """
     if budget < 1:
         raise ValueError("budget must be >= 1")
     rng = np.random.default_rng(seed)
-    evaluate = _objective(factory, traces, config, cache)
     history = []
     best_parameters: dict[str, Any] | None = None
     best_mpki = float("inf")
-    for _ in range(budget):
-        parameters = space.sample(rng)
-        mpki = evaluate(parameters)
-        history.append((parameters, mpki))
-        if mpki < best_mpki:
-            best_parameters, best_mpki = parameters, mpki
+    with engine_scope(engine, workers) as scoped:
+        evaluate = _objective(factory, traces, config, cache, scoped)
+        for _ in range(budget):
+            parameters = space.sample(rng)
+            mpki = evaluate(parameters)
+            history.append((parameters, mpki))
+            if mpki < best_mpki:
+                best_parameters, best_mpki = parameters, mpki
     assert best_parameters is not None
     return SearchResult(best_parameters=best_parameters,
                         best_mpki=best_mpki, evaluations=history)
@@ -125,7 +141,9 @@ def hill_climb(factory: Callable[..., Predictor], space: SearchSpace,
                start: dict[str, Any] | None = None,
                max_rounds: int = 5,
                config: SimulationConfig | None = None, *,
-               cache: CacheLike = None) -> SearchResult:
+               cache: CacheLike = None,
+               workers: int = 1,
+               engine: "ExecutionEngine | None" = None) -> SearchResult:
     """Greedy coordinate descent over the discrete space.
 
     Each round tries every candidate value of every axis (one axis at a
@@ -133,28 +151,30 @@ def hill_climb(factory: Callable[..., Predictor], space: SearchSpace,
     changes nothing or ``max_rounds`` is exhausted.  ``cache`` persists
     evaluations across runs (see :func:`_objective`), which makes
     restarting a climb from a different seed point nearly free on the
-    already-visited part of the space.
+    already-visited part of the space.  ``workers`` / ``engine`` behave
+    as in :func:`random_search`.
     """
-    evaluate = _objective(factory, traces, config, cache)
     current = dict(start) if start is not None else {
         name: values[len(values) // 2] for name, values in space.axes.items()
     }
     history: list[tuple[dict[str, Any], float]] = []
-    current_mpki = evaluate(current)
-    history.append((dict(current), current_mpki))
-    for _ in range(max_rounds):
-        improved = False
-        for name, values in space.axes.items():
-            for value in values:
-                if value == current[name]:
-                    continue
-                candidate = {**current, name: value}
-                mpki = evaluate(candidate)
-                history.append((candidate, mpki))
-                if mpki < current_mpki:
-                    current, current_mpki = candidate, mpki
-                    improved = True
-        if not improved:
-            break
+    with engine_scope(engine, workers) as scoped:
+        evaluate = _objective(factory, traces, config, cache, scoped)
+        current_mpki = evaluate(current)
+        history.append((dict(current), current_mpki))
+        for _ in range(max_rounds):
+            improved = False
+            for name, values in space.axes.items():
+                for value in values:
+                    if value == current[name]:
+                        continue
+                    candidate = {**current, name: value}
+                    mpki = evaluate(candidate)
+                    history.append((candidate, mpki))
+                    if mpki < current_mpki:
+                        current, current_mpki = candidate, mpki
+                        improved = True
+            if not improved:
+                break
     return SearchResult(best_parameters=current, best_mpki=current_mpki,
                         evaluations=history)

@@ -5,13 +5,22 @@ length, and watch the MPKI.  In C++ MBPlib this is a CMake for-loop over
 template parameters (Listing 3); in Python the same idea is a plain loop
 over constructor arguments — the library design (user code owns the run)
 is what makes both one-liners.
+
+Parallel sweeps run through one persistent
+:class:`~repro.core.engine.ExecutionEngine`: pool startup is paid once
+for the whole sweep (not once per grid point) and every trace is decoded
+and shipped to the workers once, as a shared-memory segment, instead of
+being re-pickled for every (configuration, trace) task.  Pass your own
+``engine=`` to amortize across *several* sweeps and searches; with only
+``workers=`` the sweep creates and closes a private engine.
 """
 
 from __future__ import annotations
 
 import functools
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Sequence, Union
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence, Union
 
 from pathlib import Path
 
@@ -20,9 +29,33 @@ from ..core.predictor import Predictor
 from ..core.simulator import SimulationConfig
 from ..sbbt.trace import TraceData
 
-__all__ = ["SweepPoint", "SweepResult", "sweep_parameter", "sweep_grid"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.engine import ExecutionEngine
+
+__all__ = ["SweepPoint", "SweepResult", "sweep_parameter", "sweep_grid",
+           "engine_scope"]
 
 TraceLike = Union[TraceData, str, Path]
+
+
+@contextmanager
+def engine_scope(engine: "ExecutionEngine | None",
+                 workers: int) -> "Iterator[ExecutionEngine | None]":
+    """Yield the engine a multi-point driver should dispatch through.
+
+    A caller-provided ``engine`` is yielded as-is (the caller owns its
+    lifecycle).  Otherwise, ``workers > 1`` opens a *private*
+    :class:`~repro.core.engine.ExecutionEngine` that lives exactly as
+    long as the ``with`` block — one pool and one trace shipment for the
+    whole sweep/search instead of per point — and ``workers == 1``
+    yields ``None`` (serial in-process execution).
+    """
+    if engine is not None or workers <= 1:
+        yield engine
+        return
+    from ..core.engine import ExecutionEngine
+    with ExecutionEngine(workers=workers) as own:
+        yield own
 
 
 @dataclass(frozen=True, slots=True)
@@ -68,11 +101,12 @@ def _evaluate_point(factory: Callable[..., Predictor],
                     parameters: dict[str, Any],
                     traces: Sequence[TraceLike],
                     config: SimulationConfig | None,
-                    cache: CacheLike, workers: int) -> SweepPoint:
+                    cache: CacheLike,
+                    engine: "ExecutionEngine | None") -> SweepPoint:
     """One grid point.  ``functools.partial`` (not a lambda) keeps the
     configured factory picklable, so sweeps can fan out across processes."""
     batch = run_suite(functools.partial(factory, **parameters), traces,
-                      config, cache=cache, workers=workers)
+                      config, cache=cache, engine=engine)
     return SweepPoint(
         parameters=parameters,
         mean_mpki=batch.mean_mpki(),
@@ -86,24 +120,29 @@ def sweep_parameter(factory: Callable[..., Predictor], parameter: str,
                     config: SimulationConfig | None = None,
                     fixed: dict[str, Any] | None = None, *,
                     cache: CacheLike = None,
-                    workers: int = 1) -> SweepResult:
+                    workers: int = 1,
+                    engine: "ExecutionEngine | None" = None) -> SweepResult:
     """Sweep one constructor parameter of a predictor over a trace set.
 
     With ``cache=`` (a :class:`repro.cache.SimulationCache` or directory
     path), every (configuration, trace) result is remembered, so a
     refined or re-run sweep only simulates grid points it has never seen
-    — overlapping values cost nothing.  ``workers`` forwards to
-    :func:`repro.core.batch.run_suite` for process-parallel traces.
+    — overlapping values cost nothing.  ``workers > 1`` runs the whole
+    sweep through one private :class:`~repro.core.engine.\
+ExecutionEngine` (one worker pool and one shared-memory trace shipment
+    for every point); pass ``engine=`` instead to reuse a pool you
+    already pay for across several sweeps and searches.
 
     >>> # sweep = sweep_parameter(GShare, "history_length", range(6, 31),
     >>> #                         traces)   # the paper's Listing 3 sweep
     """
     fixed = dict(fixed or {})
-    points = [
-        _evaluate_point(factory, {**fixed, parameter: value}, traces,
-                        config, cache, workers)
-        for value in values
-    ]
+    with engine_scope(engine, workers) as scoped:
+        points = [
+            _evaluate_point(factory, {**fixed, parameter: value}, traces,
+                            config, cache, scoped)
+            for value in values
+        ]
     return SweepResult(points=points)
 
 
@@ -112,21 +151,24 @@ def sweep_grid(factory: Callable[..., Predictor],
                traces: Sequence[TraceLike],
                config: SimulationConfig | None = None, *,
                cache: CacheLike = None,
-               workers: int = 1) -> SweepResult:
+               workers: int = 1,
+               engine: "ExecutionEngine | None" = None) -> SweepResult:
     """Full-factorial sweep over a small parameter grid.
 
     The number of configurations is the product of the grid's axis sizes
     — exactly the exponential blow-up Section VI-B warns about, which is
-    why :mod:`repro.analysis.search` exists for large spaces.  ``cache``
-    and ``workers`` behave as in :func:`sweep_parameter`; a grid refined
-    with extra axis values re-simulates only the new combinations.
+    why :mod:`repro.analysis.search` exists for large spaces.  ``cache``,
+    ``workers`` and ``engine`` behave as in :func:`sweep_parameter`; a
+    grid refined with extra axis values re-simulates only the new
+    combinations.
     """
     import itertools
 
     names = list(grid)
-    points = [
-        _evaluate_point(factory, dict(zip(names, combo)), traces,
-                        config, cache, workers)
-        for combo in itertools.product(*(grid[name] for name in names))
-    ]
+    with engine_scope(engine, workers) as scoped:
+        points = [
+            _evaluate_point(factory, dict(zip(names, combo)), traces,
+                            config, cache, scoped)
+            for combo in itertools.product(*(grid[name] for name in names))
+        ]
     return SweepResult(points=points)

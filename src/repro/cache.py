@@ -45,7 +45,7 @@ from typing import Any, Callable, Union
 
 from .core.errors import CacheError
 from .core.output import SIMULATOR_NAME, SIMULATOR_VERSION, SimulationResult
-from .core.predictor import Predictor, canonical_spec
+from .core.predictor import Predictor, canonical_spec, derive_spec
 from .core.simulator import SimulationConfig, simulate
 from .sbbt.digest import payload_digest, trace_digest
 from .sbbt.trace import TraceData
@@ -247,10 +247,14 @@ class SimulationCache:
                         probe: Any = None) -> SimulationResult:
         """Serve from cache, or simulate once and remember the result.
 
-        ``factory`` is only called when the spec (one cheap construction)
-        or a fresh simulation is needed; a hit never simulates.  The
-        trace name is display-only and deliberately not part of the key,
-        so a hit is renamed to the caller's current spelling.
+        ``factory`` is called **at most once**: when it exposes no
+        cheap-spec hook (see :func:`repro.core.predictor.derive_spec`)
+        the instance built for key derivation is cold and is the one
+        simulated on a miss — table-heavy predictors (TAGE, BATAGE) no
+        longer allocate their tables twice, and a hit with a cheap-spec
+        factory allocates nothing at all.  The trace name is
+        display-only and deliberately not part of the key, so a hit is
+        renamed to the caller's current spelling.
 
         ``instrumentation`` / ``telemetry`` are the standard simulator's
         observability hooks (:mod:`repro.telemetry`): the key derivation
@@ -268,7 +272,8 @@ class SimulationCache:
         config = config or SimulationConfig()
         instr = instrumentation
         lookup_start = time.perf_counter() if instr is not None else 0.0
-        key = self.key_for(trace, factory(), config)
+        spec, prebuilt = derive_spec(factory)
+        key = self.make_key(trace_digest(trace), spec, config)
         cached = self.get(key)
         if instr is not None:
             instr.add_phase("cache_lookup",
@@ -280,7 +285,8 @@ class SimulationCache:
             elif not isinstance(trace, TraceData):
                 cached.trace_name = str(trace)
             return cached
-        result = simulate(factory(), trace, config, trace_name=trace_name,
+        predictor = prebuilt if prebuilt is not None else factory()
+        result = simulate(predictor, trace, config, trace_name=trace_name,
                           instrumentation=instrumentation,
                           telemetry=telemetry, probe=probe)
         self.put(key, result)

@@ -8,6 +8,11 @@ command away:
   (``--cache-dir`` serves repeats from the simulation cache;
   ``--telemetry`` writes a run manifest, phase timings and an interval
   timeseries; ``--probe`` adds component attribution to it).
+* ``mbp suite``     — run one predictor over a whole trace suite,
+  optionally through a persistent multi-worker execution engine
+  (``--workers``, ``--engine-stats``).
+* ``mbp sweep``     — sweep one constructor parameter over a trace
+  suite (paper Listing 3), sharing one engine across all points.
 * ``mbp explain``   — attribute a run's predictions to predictor
   components and profile the worst-predicted branches (repro.probe).
 * ``mbp compare``   — run two predictors in parallel (Section VI-C).
@@ -102,6 +107,72 @@ def build_parser() -> argparse.ArgumentParser:
         help="attach a prediction probe (component attribution, branch "
              "profile, table statistics) and record its report in the "
              "telemetry document; requires --telemetry")
+
+    suite_parser = sub.add_parser(
+        "suite",
+        help="run one predictor over a whole suite of SBBT traces")
+    suite_parser.add_argument("traces", nargs="+",
+                              help="paths to SBBT traces")
+    suite_parser.add_argument(
+        "--predictor", default="gshare", choices=sorted(PREDICTOR_CHOICES))
+    suite_parser.add_argument("--warmup", type=int, default=0,
+                              metavar="INSTRUCTIONS")
+    suite_parser.add_argument("--max-instructions", type=int, default=None)
+    suite_parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes; > 1 dispatches through a persistent "
+             "execution engine with the traces resident in shared memory")
+    suite_parser.add_argument(
+        "--start-method", default=None,
+        choices=["fork", "spawn", "forkserver"],
+        help="multiprocessing start method for the engine workers "
+             "(default: platform default)")
+    suite_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed result cache; hits skip dispatch entirely")
+    suite_parser.add_argument(
+        "--engine-stats", action="store_true",
+        help="print engine counters (traces published / shipped / reused, "
+             "tasks dispatched, phases) to stderr; requires --workers > 1")
+    suite_parser.add_argument("--compact", action="store_true",
+                              help="per-trace summary lines instead of JSON")
+
+    sweep_parser = sub.add_parser(
+        "sweep",
+        help="sweep one predictor constructor parameter over a trace suite")
+    sweep_parser.add_argument("traces", nargs="+",
+                              help="paths to SBBT traces")
+    sweep_parser.add_argument(
+        "--predictor", default="gshare", choices=sorted(PREDICTOR_CHOICES))
+    sweep_parser.add_argument(
+        "--parameter", required=True, metavar="NAME",
+        help="constructor parameter to sweep (e.g. history_length)")
+    sweep_parser.add_argument(
+        "--values", required=True, metavar="SPEC",
+        help="comma-separated values and/or lo:hi[:step] ranges, "
+             "e.g. '4,8,16' or '6:31' or '6:31:4'")
+    sweep_parser.add_argument(
+        "--fixed", action="append", default=[], metavar="NAME=VALUE",
+        help="fix another constructor parameter (repeatable)")
+    sweep_parser.add_argument("--warmup", type=int, default=0,
+                              metavar="INSTRUCTIONS")
+    sweep_parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes; the whole sweep shares one engine, so the "
+             "pool is forked once and each trace is shipped once")
+    sweep_parser.add_argument(
+        "--start-method", default=None,
+        choices=["fork", "spawn", "forkserver"],
+        help="multiprocessing start method for the engine workers")
+    sweep_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed result cache shared by every sweep point")
+    sweep_parser.add_argument(
+        "--engine-stats", action="store_true",
+        help="print engine counters to stderr; requires --workers > 1")
+    sweep_parser.add_argument(
+        "--json", action="store_true",
+        help="print the sweep points as JSON instead of a table")
 
     explain_parser = sub.add_parser(
         "explain",
@@ -254,6 +325,174 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(result.summary())
     else:
         print(result.to_json_string())
+    return 0
+
+
+def _scalar(token: str):
+    """Parse a CLI scalar: int, then float, then bare string."""
+    for parse in (int, float):
+        try:
+            return parse(token)
+        except ValueError:
+            continue
+    return token
+
+
+def _parse_values(spec: str) -> list:
+    """Parse ``--values``: comma-separated scalars and lo:hi[:step] ranges.
+
+    Ranges follow Python ``range`` semantics (``hi`` exclusive), matching
+    the paper's Listing 3 ``for`` loop.
+    """
+    values: list = []
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if ":" in token:
+            parts = token.split(":")
+            if len(parts) not in (2, 3) or not all(parts):
+                raise SystemExit(f"bad range {token!r}; expected lo:hi[:step]")
+            try:
+                bounds = [int(part) for part in parts]
+            except ValueError:
+                raise SystemExit(
+                    f"bad range {token!r}; bounds must be integers") from None
+            values.extend(range(*bounds))
+        else:
+            values.append(_scalar(token))
+    if not values:
+        raise SystemExit(f"--values {spec!r} names no values")
+    return values
+
+
+def _parse_fixed(pairs: Sequence[str]) -> dict:
+    """Parse repeated ``--fixed NAME=VALUE`` arguments."""
+    fixed = {}
+    for pair in pairs:
+        name, separator, value = pair.partition("=")
+        if not separator or not name:
+            raise SystemExit(f"bad --fixed {pair!r}; expected NAME=VALUE")
+        fixed[name] = _scalar(value)
+    return fixed
+
+
+def _make_engine(args: argparse.Namespace):
+    """The ExecutionEngine for ``--workers``, or ``None`` when serial."""
+    if args.engine_stats and args.workers <= 1:
+        raise SystemExit("--engine-stats requires --workers > 1")
+    if args.workers <= 1:
+        if args.start_method is not None:
+            raise SystemExit("--start-method requires --workers > 1")
+        return None
+    from .core.engine import ExecutionEngine
+
+    return ExecutionEngine(workers=args.workers,
+                           start_method=args.start_method)
+
+
+def _emit_engine_stats(args: argparse.Namespace, engine) -> None:
+    if args.engine_stats and engine is not None:
+        print("engine stats: " + json.dumps(engine.stats.to_json()),
+              file=sys.stderr)
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+
+    from .core.batch import run_suite
+
+    config = SimulationConfig(warmup_instructions=args.warmup,
+                              max_instructions=args.max_instructions)
+    factory = PREDICTOR_CHOICES[args.predictor]
+    engine = _make_engine(args)
+    with engine if engine is not None else nullcontext():
+        batch = run_suite(factory, args.traces, config, engine=engine,
+                          cache=args.cache_dir, on_error="collect")
+        _emit_engine_stats(args, engine)
+    timing = batch.timing
+    if args.compact:
+        for result in batch.results:
+            print(result.summary())
+        for failure in batch.failures:
+            print(f"FAILED {failure}")
+        if batch.results:
+            print(f"suite: {len(batch.results)} traces, "
+                  f"mean MPKI {batch.mean_mpki():.4f}, "
+                  f"total time {timing.total:.3f}s, "
+                  f"{batch.cache_hits} cache hits")
+    else:
+        document = {
+            "predictor": args.predictor,
+            "traces": [
+                {
+                    "trace": result.trace_name,
+                    "mpki": result.mpki,
+                    "mispredictions": result.mispredictions,
+                    "accuracy": result.accuracy,
+                    "simulation_time": result.simulation_time,
+                    "from_cache": result.from_cache,
+                }
+                for result in batch.results
+            ],
+            "failures": [
+                {"trace": failure.trace_name, "error": failure.error}
+                for failure in batch.failures
+            ],
+            "aggregate": {
+                "mean_mpki": batch.mean_mpki() if batch.results else None,
+                "aggregate_mpki": batch.aggregate_mpki(),
+                "cache_hits": batch.cache_hits,
+                "timing": {
+                    "slowest": timing.slowest,
+                    "average": timing.average,
+                    "fastest": timing.fastest,
+                    "total": timing.total,
+                },
+            },
+        }
+        print(json.dumps(document, indent=2))
+    return 1 if batch.failures else 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+
+    from .analysis.sweep import sweep_parameter
+
+    config = SimulationConfig(warmup_instructions=args.warmup)
+    factory = PREDICTOR_CHOICES[args.predictor]
+    values = _parse_values(args.values)
+    fixed = _parse_fixed(args.fixed)
+    engine = _make_engine(args)
+    with engine if engine is not None else nullcontext():
+        sweep = sweep_parameter(factory, args.parameter, values, args.traces,
+                                config, fixed, cache=args.cache_dir,
+                                engine=engine)
+        _emit_engine_stats(args, engine)
+    best = sweep.best()
+    if args.json:
+        print(json.dumps({
+            "predictor": args.predictor,
+            "parameter": args.parameter,
+            "fixed": fixed,
+            "points": [
+                {
+                    "parameters": point.parameters,
+                    "mean_mpki": point.mean_mpki,
+                    "aggregate_mpki": point.aggregate_mpki,
+                    "total_mispredictions": point.total_mispredictions,
+                }
+                for point in sweep.points
+            ],
+            "best": {
+                "parameters": best.parameters,
+                "mean_mpki": best.mean_mpki,
+            },
+        }, indent=2))
+    else:
+        print(sweep.table())
+        print(f"best: {best}")
     return 0
 
 
@@ -469,6 +708,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "simulate": _cmd_simulate,
+    "suite": _cmd_suite,
+    "sweep": _cmd_sweep,
     "explain": _cmd_explain,
     "compare": _cmd_compare,
     "info": _cmd_info,

@@ -19,6 +19,7 @@ from .branch import (
 )
 from .batch import BatchResult, SuiteError, TraceFailure, TraceSimulationError, run_suite
 from .batch import TimingSummary
+from .engine import EngineStats, ExecutionEngine, SharedTrace
 from .comparison import (
     ComparisonEntry,
     ComparisonResult,
@@ -38,7 +39,7 @@ from .errors import (
 )
 from .metrics import BranchStats, MostFailedEntry, accuracy, most_failed_branches, mpki
 from .output import SIMULATOR_NAME, SIMULATOR_VERSION, SimulationResult
-from .predictor import MetadataMixin, Predictor, canonical_spec
+from .predictor import MetadataMixin, Predictor, canonical_spec, derive_spec
 from .simulator import SimulationConfig, simulate, simulate_file
 
 __all__ = [
@@ -46,6 +47,7 @@ __all__ = [
     "OPCODE_CALL", "OPCODE_COND_JUMP", "OPCODE_IND_CALL", "OPCODE_IND_JUMP",
     "OPCODE_JUMP", "OPCODE_RET",
     "BatchResult", "TimingSummary", "TraceFailure", "run_suite",
+    "EngineStats", "ExecutionEngine", "SharedTrace",
     "ComparisonEntry", "ComparisonResult", "MultiComparisonResult",
     "compare", "compare_many",
     "CacheError", "ConfigurationError", "ReproError",
@@ -55,6 +57,6 @@ __all__ = [
     "BranchStats", "MostFailedEntry", "accuracy", "most_failed_branches",
     "mpki",
     "SIMULATOR_NAME", "SIMULATOR_VERSION", "SimulationResult",
-    "MetadataMixin", "Predictor", "canonical_spec",
+    "MetadataMixin", "Predictor", "canonical_spec", "derive_spec",
     "SimulationConfig", "simulate", "simulate_file",
 ]

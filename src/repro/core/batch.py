@@ -35,7 +35,7 @@ from __future__ import annotations
 import statistics
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Sequence, Union
@@ -43,12 +43,13 @@ from typing import TYPE_CHECKING, Callable, Sequence, Union
 from ..sbbt.trace import TraceData
 from .errors import SimulationError
 from .output import SimulationResult
-from .predictor import Predictor
+from .predictor import Predictor, derive_spec
 from .simulator import SimulationConfig, simulate
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..cache import SimulationCache
     from ..telemetry.instrumentation import Instrumentation
+    from .engine import ExecutionEngine
 
 __all__ = [
     "TimingSummary",
@@ -193,7 +194,8 @@ class BatchResult:
 
 def _run_one(factory: PredictorFactory, trace: TraceLike,
              config: SimulationConfig, name: str | None,
-             probe: bool = False
+             probe: bool = False,
+             predictor: Predictor | None = None
              ) -> SimulationResult | TraceFailure:
     """Simulate one trace with a freshly constructed predictor.
 
@@ -207,14 +209,19 @@ def _run_one(factory: PredictorFactory, trace: TraceLike,
     in the worker — one per trace, so process-pool runs never share
     accumulators — and the report travels back on the (picklable)
     result's ``probe_report``.
+
+    ``predictor`` optionally supplies a pre-built **cold** instance to
+    use instead of calling ``factory()`` — the spec-derivation instance
+    :func:`repro.core.predictor.derive_spec` had to construct anyway.
+    Callers must never pass a trained predictor here.
     """
     try:
         run_probe = None
         if probe:
             from ..probe import PredictionProbe
             run_probe = PredictionProbe()
-        return simulate(factory(), trace, config, trace_name=name,
-                        probe=run_probe)
+        return simulate(predictor if predictor is not None else factory(),
+                        trace, config, trace_name=name, probe=run_probe)
     except Exception as exc:  # noqa: BLE001 - deliberate fault barrier
         return TraceFailure(
             trace_name=name if name is not None else str(trace),
@@ -239,6 +246,7 @@ def run_suite(factory: PredictorFactory, traces: Sequence[TraceLike],
               config: SimulationConfig | None = None, *,
               names: Sequence[str] | None = None,
               workers: int = 1,
+              engine: "ExecutionEngine | None" = None,
               cache: CacheLike = None,
               on_error: str = "raise",
               instrumentation: "Instrumentation | None" = None,
@@ -259,6 +267,14 @@ def run_suite(factory: PredictorFactory, traces: Sequence[TraceLike],
         Process count.  ``1`` (default) runs inline, which is also the
         right mode for timing measurements — parallel workers contend for
         cores and distort per-trace times.
+    engine:
+        A :class:`repro.core.engine.ExecutionEngine` to dispatch through
+        instead of a throwaway pool.  The engine's persistent workers
+        and resident shared-memory traces amortize pool startup and
+        trace shipping across *many* ``run_suite`` calls (whole sweeps
+        and searches); when given, it takes precedence over ``workers``
+        (the engine was built with its own worker count).  The caller
+        owns the engine's lifecycle.
     cache:
         A :class:`repro.cache.SimulationCache`, a directory path to open
         one in, or ``None`` (default, no caching).  Cached traces are
@@ -300,10 +316,13 @@ def run_suite(factory: PredictorFactory, traces: Sequence[TraceLike],
     slots: list[SimulationResult | TraceFailure | None] = [None] * len(traces)
     pending: list[int] = []
     keys: list[str | None] = [None] * len(traces)
+    # Cold instance left over from spec derivation (see derive_spec);
+    # reused for the first inline simulation, never constructed twice.
+    prebuilt: Predictor | None = None
 
     if store is not None:
         lookup_start = time.perf_counter() if instr is not None else 0.0
-        spec = factory().spec()
+        spec, prebuilt = derive_spec(factory)
         for i, (trace, name) in enumerate(zip(traces, resolved_names)):
             try:
                 key = store.key_for(trace, spec, config)
@@ -332,18 +351,30 @@ def run_suite(factory: PredictorFactory, traces: Sequence[TraceLike],
 
     simulate_start = time.perf_counter() if instr is not None else 0.0
     if pending:
-        if workers == 1 or len(pending) <= 1:
+        if engine is not None:
+            tasks = [(traces[i], resolved_names[i]) for i in pending]
+            for position, outcome in engine.run_tasks(
+                    factory, tasks, config, probe=probe,
+                    instrumentation=instr):
+                slots[pending[position]] = outcome
+        elif workers == 1 or len(pending) <= 1:
             for i in pending:
                 slots[i] = _run_one(factory, traces[i], config,
-                                    resolved_names[i], probe)
+                                    resolved_names[i], probe,
+                                    predictor=prebuilt)
+                prebuilt = None
         else:
+            # Results are consumed in completion order so one slow trace
+            # never delays the recording of the others; slot indexing
+            # keeps BatchResult ordered by submission regardless.
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = {
-                    i: pool.submit(_run_one, factory, traces[i], config,
-                                   resolved_names[i], probe)
+                    pool.submit(_run_one, factory, traces[i], config,
+                                resolved_names[i], probe): i
                     for i in pending
                 }
-                for i, future in futures.items():
+                for future in as_completed(futures):
+                    i = futures[future]
                     try:
                         slots[i] = future.result()
                     except Exception as exc:  # noqa: BLE001 - broken pool

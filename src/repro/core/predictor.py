@@ -33,7 +33,7 @@ from typing import Any
 
 from .branch import Branch
 
-__all__ = ["Predictor", "MetadataMixin", "canonical_spec"]
+__all__ = ["Predictor", "MetadataMixin", "canonical_spec", "derive_spec"]
 
 
 def canonical_spec(value: Any) -> Any:
@@ -58,6 +58,33 @@ def canonical_spec(value: Any) -> Any:
         f"spec value {value!r} of type {type(value).__name__} is not "
         "canonically JSON-representable"
     )
+
+
+def derive_spec(factory: Any) -> tuple[dict[str, Any], "Predictor | None"]:
+    """Derive a factory's predictor spec as cheaply as possible.
+
+    Content-addressed cache keys need the :meth:`Predictor.spec` of the
+    configuration a factory builds, but constructing a table-heavy
+    predictor (TAGE, BATAGE) just to read its parameters allocates every
+    prediction table.  This helper supports a **cheap-spec path**: when
+    the factory itself exposes a zero-argument ``spec`` callable (for
+    example a small wrapper class, or a ``functools.partial`` whose
+    ``spec`` attribute was assigned), that is used and **no predictor is
+    constructed**.
+
+    Returns ``(spec, instance)`` where ``instance`` is the predictor
+    that had to be built to obtain the spec — or ``None`` on the cheap
+    path.  The instance is cold (never trained), so callers may reuse it
+    for the first real simulation instead of constructing again; it must
+    be used for nothing else.
+    """
+    # A predictor *class* used directly as the factory exposes the
+    # unbound ``Predictor.spec`` method — not a cheap-spec hook.
+    hook = None if isinstance(factory, type) else getattr(factory, "spec", None)
+    if callable(hook):
+        return canonical_spec(hook()), None
+    instance = factory()
+    return instance.spec(), instance
 
 
 class Predictor(abc.ABC):

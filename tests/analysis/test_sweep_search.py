@@ -3,7 +3,8 @@
 import pytest
 
 from repro.analysis.search import SearchSpace, hill_climb, random_search
-from repro.analysis.sweep import sweep_grid, sweep_parameter
+from repro.analysis.sweep import engine_scope, sweep_grid, sweep_parameter
+from repro.core.engine import ExecutionEngine
 from repro.predictors import Bimodal, GShare
 from tests.conftest import make_trace
 
@@ -102,6 +103,79 @@ class TestRandomSearch:
         space = SearchSpace({"history_length": (1,)})
         with pytest.raises(ValueError):
             random_search(GShare, space, [_pattern_trace()], budget=0)
+
+
+class TestEngineScope:
+    def test_caller_engine_passes_through_unclosed(self):
+        with ExecutionEngine(workers=1) as engine:
+            with engine_scope(engine, workers=4) as scoped:
+                assert scoped is engine
+            assert not engine.closed
+
+    def test_serial_yields_none(self):
+        with engine_scope(None, workers=1) as scoped:
+            assert scoped is None
+
+    def test_private_engine_opened_and_closed(self):
+        with engine_scope(None, workers=2) as scoped:
+            assert isinstance(scoped, ExecutionEngine)
+            assert scoped.workers == 2
+        assert scoped.closed
+
+
+class TestParallelDrivers:
+    """workers= / engine= give identical numbers to serial runs."""
+
+    def test_sweep_workers_matches_serial(self):
+        traces = [_pattern_trace(period=7), _pattern_trace(period=3)]
+        serial = sweep_parameter(GShare, "history_length", [1, 4, 8],
+                                 traces, fixed={"log_table_size": 10})
+        threaded = sweep_parameter(GShare, "history_length", [1, 4, 8],
+                                   traces, fixed={"log_table_size": 10},
+                                   workers=2)
+        assert ([(p.parameters, p.mean_mpki, p.total_mispredictions)
+                 for p in threaded.points]
+                == [(p.parameters, p.mean_mpki, p.total_mispredictions)
+                    for p in serial.points])
+
+    def test_sweep_amortizes_one_shared_engine(self):
+        traces = [_pattern_trace(period=7), _pattern_trace(period=3)]
+        with ExecutionEngine(workers=2) as engine:
+            sweep_parameter(GShare, "history_length", [1, 4, 8], traces,
+                            fixed={"log_table_size": 10}, engine=engine)
+            stats = engine.stats
+            # Two traces shipped once for all three grid points.
+            assert stats.traces_published == 2
+            assert stats.tasks_dispatched == 6
+            assert stats.trace_reuses > 0
+
+    def test_grid_workers_matches_serial(self):
+        traces = [_pattern_trace()]
+        grid = {"history_length": [2, 6], "log_table_size": [8, 10]}
+        serial = sweep_grid(GShare, grid, traces)
+        threaded = sweep_grid(GShare, grid, traces, workers=2)
+        assert ([p.mean_mpki for p in threaded.points]
+                == [p.mean_mpki for p in serial.points])
+
+    def test_random_search_workers_matches_serial(self):
+        space = SearchSpace({"history_length": (1, 4, 8)})
+        traces = [_pattern_trace(period=7)]
+        serial = random_search(GShare, space, traces, budget=4, seed=3)
+        threaded = random_search(GShare, space, traces, budget=4, seed=3,
+                                 workers=2)
+        assert threaded.best_parameters == serial.best_parameters
+        assert threaded.best_mpki == serial.best_mpki
+        assert threaded.evaluations == serial.evaluations
+
+    def test_hill_climb_engine_matches_serial(self):
+        space = SearchSpace({"history_length": (1, 4, 8)})
+        traces = [_pattern_trace(period=7)]
+        serial = hill_climb(GShare, space, traces, max_rounds=2)
+        with ExecutionEngine(workers=2) as engine:
+            engined = hill_climb(GShare, space, traces, max_rounds=2,
+                                 engine=engine)
+        assert engined.best_parameters == serial.best_parameters
+        assert engined.best_mpki == serial.best_mpki
 
 
 class TestHillClimb:

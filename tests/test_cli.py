@@ -102,6 +102,114 @@ class TestTranslateCommand:
         assert "branches" in capsys.readouterr().out
 
 
+class TestSuiteCommand:
+    def test_json_output(self, tmp_path, small_trace, server_trace, capsys):
+        a, b = tmp_path / "a.sbbt", tmp_path / "b.sbbt"
+        write_trace(a, small_trace)
+        write_trace(b, server_trace)
+        assert main(["suite", str(a), str(b),
+                     "--predictor", "bimodal"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert [t["trace"] for t in document["traces"]] == [str(a), str(b)]
+        assert document["failures"] == []
+        assert document["aggregate"]["mean_mpki"] > 0
+
+    def test_compact_output(self, trace_file, capsys):
+        assert main(["suite", str(trace_file), "--compact"]) == 0
+        output = capsys.readouterr().out
+        assert "mpki=" in output
+        assert "mean MPKI" in output
+
+    def test_engine_workers_match_serial(self, tmp_path, small_trace,
+                                         server_trace, capsys):
+        a, b = tmp_path / "a.sbbt", tmp_path / "b.sbbt"
+        write_trace(a, small_trace)
+        write_trace(b, server_trace)
+        main(["suite", str(a), str(b)])
+        serial = json.loads(capsys.readouterr().out)
+        assert main(["suite", str(a), str(b), "--workers", "2",
+                     "--engine-stats"]) == 0
+        captured = capsys.readouterr()
+        threaded = json.loads(captured.out)
+        for doc in (serial, threaded):
+            for entry in doc["traces"]:
+                entry.pop("simulation_time")
+            doc["aggregate"].pop("timing")
+        assert threaded == serial
+        stats = json.loads(captured.err.split("engine stats: ", 1)[1])
+        assert stats["traces_published"] == 2
+        assert stats["tasks_dispatched"] == 2
+
+    def test_cache_hits_reported(self, tmp_path, trace_file, capsys):
+        cache = tmp_path / "cache"
+        main(["suite", str(trace_file), "--cache-dir", str(cache)])
+        capsys.readouterr()
+        main(["suite", str(trace_file), "--cache-dir", str(cache)])
+        document = json.loads(capsys.readouterr().out)
+        assert document["aggregate"]["cache_hits"] == 1
+        assert document["traces"][0]["from_cache"] is True
+
+    def test_missing_trace_collected(self, tmp_path, trace_file, capsys):
+        missing = tmp_path / "missing.sbbt"
+        assert main(["suite", str(trace_file), str(missing)]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert len(document["traces"]) == 1
+        assert document["failures"][0]["trace"] == str(missing)
+
+    def test_engine_stats_requires_workers(self, trace_file):
+        with pytest.raises(SystemExit):
+            main(["suite", str(trace_file), "--engine-stats"])
+
+    def test_start_method_requires_workers(self, trace_file):
+        with pytest.raises(SystemExit):
+            main(["suite", str(trace_file), "--start-method", "fork"])
+
+
+class TestSweepCommand:
+    def test_table_output(self, trace_file, capsys):
+        assert main(["sweep", str(trace_file),
+                     "--parameter", "history_length",
+                     "--values", "2,8",
+                     "--fixed", "log_table_size=10"]) == 0
+        output = capsys.readouterr().out
+        assert "history_length=2" in output
+        assert "best:" in output
+
+    def test_json_range_values(self, trace_file, capsys):
+        assert main(["sweep", str(trace_file),
+                     "--parameter", "history_length",
+                     "--values", "2:9:3", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        swept = [p["parameters"]["history_length"]
+                 for p in document["points"]]
+        assert swept == [2, 5, 8]
+        assert document["best"]["parameters"]["history_length"] in swept
+
+    def test_workers_match_serial(self, trace_file, capsys):
+        argv = ["sweep", str(trace_file), "--parameter", "history_length",
+                "--values", "2,4,8", "--json"]
+        main(argv)
+        serial = json.loads(capsys.readouterr().out)
+        assert main(argv + ["--workers", "2", "--engine-stats"]) == 0
+        captured = capsys.readouterr()
+        assert json.loads(captured.out) == serial
+        stats = json.loads(captured.err.split("engine stats: ", 1)[1])
+        # One trace shipped once, then reused for the other grid points.
+        assert stats["traces_published"] == 1
+        assert stats["tasks_dispatched"] == 3
+        assert stats["trace_reuses"] >= 1
+
+    def test_bad_values_spec(self, trace_file):
+        with pytest.raises(SystemExit):
+            main(["sweep", str(trace_file), "--parameter", "history_length",
+                  "--values", "2:8:1:1"])
+
+    def test_bad_fixed_spec(self, trace_file):
+        with pytest.raises(SystemExit):
+            main(["sweep", str(trace_file), "--parameter", "history_length",
+                  "--values", "2,4", "--fixed", "log_table_size"])
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
