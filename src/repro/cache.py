@@ -244,7 +244,8 @@ class SimulationCache:
                         trace_name: str | None = None,
                         instrumentation: Any = None,
                         telemetry: Any = None,
-                        probe: Any = None) -> SimulationResult:
+                        probe: Any = None,
+                        engine: str = "scalar") -> SimulationResult:
         """Serve from cache, or simulate once and remember the result.
 
         ``factory`` is called **at most once**: when it exposes no
@@ -268,6 +269,11 @@ class SimulationCache:
         forwarded only on a miss: attribution is observed *during*
         simulation, so a hit returns with ``probe_report=None`` — the
         entry format (and the key) never carry probe data.
+
+        ``engine`` selects the simulation engine used on a miss
+        (``"scalar"``, ``"vectorized"`` or ``"auto"``).  It is *not*
+        part of the cache key: both engines produce identical results,
+        so runs with different engines share entries.
         """
         config = config or SimulationConfig()
         instr = instrumentation
@@ -288,7 +294,7 @@ class SimulationCache:
         predictor = prebuilt if prebuilt is not None else factory()
         result = simulate(predictor, trace, config, trace_name=trace_name,
                           instrumentation=instrumentation,
-                          telemetry=telemetry, probe=probe)
+                          telemetry=telemetry, probe=probe, engine=engine)
         self.put(key, result)
         return result
 

@@ -35,9 +35,10 @@ import sys
 from typing import Callable, Sequence
 
 from .core.comparison import compare
+from .core.errors import EngineNotSupportedError
 from .core.predictor import Predictor
 from .core.simulator import SimulationConfig, simulate
-from .predictors import TABLE2_PREDICTORS
+from .predictors import LocalPredictor, TABLE2_PREDICTORS, Yags
 from .sbbt.reader import read_trace
 from .sbbt.writer import write_trace
 from .traces.inspect import analyze_trace
@@ -54,10 +55,15 @@ PREDICTOR_CHOICES: dict[str, Callable[[], Predictor]] = {
     "gshare": TABLE2_PREDICTORS["GShare"],
     "tournament": TABLE2_PREDICTORS["Tournament"],
     "gskew": TABLE2_PREDICTORS["2bc-gskew"],
+    "local": LocalPredictor,
+    "yags": Yags,
     "perceptron": TABLE2_PREDICTORS["Hashed Perc."],
     "tage": TABLE2_PREDICTORS["TAGE"],
     "batage": TABLE2_PREDICTORS["BATAGE"],
 }
+
+#: Simulation-engine choices accepted by ``--engine``.
+ENGINE_CHOICES = ("scalar", "vectorized", "auto")
 
 
 def make_predictor(name: str) -> Predictor:
@@ -87,6 +93,12 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_parser.add_argument("--warmup", type=int, default=0,
                                  metavar="INSTRUCTIONS")
     simulate_parser.add_argument("--max-instructions", type=int, default=None)
+    simulate_parser.add_argument(
+        "--engine", default="scalar", choices=list(ENGINE_CHOICES),
+        help="simulation engine: 'scalar' (default) is the per-branch "
+             "loop, 'vectorized' evaluates the predictor's numpy vector "
+             "kernel (bit-identical results; errors out for predictors "
+             "without one), 'auto' picks vectorized when available")
     simulate_parser.add_argument("--compact", action="store_true",
                                  help="one-line summary instead of JSON")
     simulate_parser.add_argument(
@@ -118,6 +130,10 @@ def build_parser() -> argparse.ArgumentParser:
     suite_parser.add_argument("--warmup", type=int, default=0,
                               metavar="INSTRUCTIONS")
     suite_parser.add_argument("--max-instructions", type=int, default=None)
+    suite_parser.add_argument(
+        "--engine", default="scalar", choices=list(ENGINE_CHOICES),
+        help="simulation engine used for every trace of the suite "
+             "(see 'mbp simulate --engine')")
     suite_parser.add_argument(
         "--workers", type=int, default=1, metavar="N",
         help="worker processes; > 1 dispatches through a persistent "
@@ -289,18 +305,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
         probe = PredictionProbe()
     cache_used = args.cache_dir is not None
-    if cache_used:
-        from .cache import SimulationCache
+    try:
+        if cache_used:
+            from .cache import SimulationCache
 
-        cache = SimulationCache(args.cache_dir)
-        result = cache.get_or_simulate(
-            lambda: make_predictor(args.predictor), args.trace, config,
-            instrumentation=instrumentation, telemetry=recorder,
-            probe=probe)
-    else:
-        result = simulate(make_predictor(args.predictor), args.trace, config,
-                          instrumentation=instrumentation,
-                          telemetry=recorder, probe=probe)
+            cache = SimulationCache(args.cache_dir)
+            result = cache.get_or_simulate(
+                lambda: make_predictor(args.predictor), args.trace, config,
+                engine=args.engine, instrumentation=instrumentation,
+                telemetry=recorder, probe=probe)
+        else:
+            result = simulate(make_predictor(args.predictor), args.trace,
+                              config, engine=args.engine,
+                              instrumentation=instrumentation,
+                              telemetry=recorder, probe=probe)
+    except EngineNotSupportedError as exc:
+        raise SystemExit(str(exc)) from None
     if args.telemetry is not None:
         from .telemetry import build_manifest, write_telemetry
 
@@ -408,7 +428,8 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     engine = _make_engine(args)
     with engine if engine is not None else nullcontext():
         batch = run_suite(factory, args.traces, config, engine=engine,
-                          cache=args.cache_dir, on_error="collect")
+                          cache=args.cache_dir, on_error="collect",
+                          sim_engine=args.engine)
         _emit_engine_stats(args, engine)
     timing = batch.timing
     if args.compact:

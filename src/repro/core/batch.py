@@ -152,10 +152,11 @@ class BatchResult:
 
         Cache hits are excluded — their stored times describe the run
         that populated the cache, not this one.  A suite answered
-        entirely from cache reports :meth:`TimingSummary.zero`.
+        entirely from cache — or one with no successful results at all
+        (every trace failed) — reports :meth:`TimingSummary.zero`.
         """
         times = [r.simulation_time for r in self.results if not r.from_cache]
-        if not times and self.results:
+        if not times:
             return TimingSummary.zero()
         return TimingSummary.from_times(times)
 
@@ -195,7 +196,8 @@ class BatchResult:
 def _run_one(factory: PredictorFactory, trace: TraceLike,
              config: SimulationConfig, name: str | None,
              probe: bool = False,
-             predictor: Predictor | None = None
+             predictor: Predictor | None = None,
+             sim_engine: str = "scalar"
              ) -> SimulationResult | TraceFailure:
     """Simulate one trace with a freshly constructed predictor.
 
@@ -221,7 +223,8 @@ def _run_one(factory: PredictorFactory, trace: TraceLike,
             from ..probe import PredictionProbe
             run_probe = PredictionProbe()
         return simulate(predictor if predictor is not None else factory(),
-                        trace, config, trace_name=name, probe=run_probe)
+                        trace, config, trace_name=name, probe=run_probe,
+                        engine=sim_engine)
     except Exception as exc:  # noqa: BLE001 - deliberate fault barrier
         return TraceFailure(
             trace_name=name if name is not None else str(trace),
@@ -250,7 +253,8 @@ def run_suite(factory: PredictorFactory, traces: Sequence[TraceLike],
               cache: CacheLike = None,
               on_error: str = "raise",
               instrumentation: "Instrumentation | None" = None,
-              probe: bool = False
+              probe: bool = False,
+              sim_engine: str = "scalar"
               ) -> BatchResult:
     """Run a fresh predictor over every trace of a suite.
 
@@ -298,6 +302,13 @@ def run_suite(factory: PredictorFactory, traces: Sequence[TraceLike],
         leaves each report on its result's ``probe_report``.  Off by
         default; it perturbs simulation time, so leave it off for
         Table III-style timing runs.
+    sim_engine:
+        Per-trace simulation engine, forwarded to
+        :func:`repro.core.simulator.simulate`'s ``engine`` parameter
+        (``"scalar"``, ``"vectorized"`` or ``"auto"``).  Named
+        ``sim_engine`` because ``engine`` already selects the execution
+        engine above.  Cache keys are engine-independent — both engines
+        produce identical results, so they share entries.
     """
     config = config or SimulationConfig()
     instr = instrumentation
@@ -355,13 +366,14 @@ def run_suite(factory: PredictorFactory, traces: Sequence[TraceLike],
             tasks = [(traces[i], resolved_names[i]) for i in pending]
             for position, outcome in engine.run_tasks(
                     factory, tasks, config, probe=probe,
-                    instrumentation=instr):
+                    instrumentation=instr, sim_engine=sim_engine):
                 slots[pending[position]] = outcome
         elif workers == 1 or len(pending) <= 1:
             for i in pending:
                 slots[i] = _run_one(factory, traces[i], config,
                                     resolved_names[i], probe,
-                                    predictor=prebuilt)
+                                    predictor=prebuilt,
+                                    sim_engine=sim_engine)
                 prebuilt = None
         else:
             # Results are consumed in completion order so one slow trace
@@ -370,7 +382,8 @@ def run_suite(factory: PredictorFactory, traces: Sequence[TraceLike],
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = {
                     pool.submit(_run_one, factory, traces[i], config,
-                                resolved_names[i], probe): i
+                                resolved_names[i], probe,
+                                sim_engine=sim_engine): i
                     for i in pending
                 }
                 for future in as_completed(futures):

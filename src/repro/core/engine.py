@@ -181,7 +181,8 @@ def _attach_resident(ref: SharedTrace) -> tuple[TraceData, bool]:
 
 def _engine_run_one(factory: PredictorFactory, ref: SharedTrace,
                     config: SimulationConfig, name: str,
-                    probe: bool) -> tuple[Any, bool]:
+                    probe: bool,
+                    sim_engine: str = "scalar") -> tuple[Any, bool]:
     """Worker task: simulate one resident trace.
 
     Returns ``(outcome, attached)`` — the outcome is a
@@ -200,7 +201,8 @@ def _engine_run_one(factory: PredictorFactory, ref: SharedTrace,
             error=f"{type(exc).__name__}: {exc}",
             details=traceback.format_exc(),
         ), False
-    return _run_one(factory, data, config, name, probe), attached
+    return _run_one(factory, data, config, name, probe,
+                    sim_engine=sim_engine), attached
 
 
 # ----------------------------------------------------------------------
@@ -457,13 +459,16 @@ class ExecutionEngine:
 
     def submit(self, factory: PredictorFactory, trace: TraceLike,
                config: SimulationConfig | None = None, *,
-               name: str | None = None, probe: bool = False) -> Future:
+               name: str | None = None, probe: bool = False,
+               sim_engine: str = "scalar") -> Future:
         """Publish ``trace`` if needed and schedule one simulation.
 
         The future resolves to a :class:`~repro.core.output.\
 SimulationResult` or a :class:`~repro.core.batch.TraceFailure` (worker
-        exceptions are wrapped, never raised).  Most callers want
-        :meth:`run_tasks` or ``run_suite(engine=...)`` instead.
+        exceptions are wrapped, never raised).  ``sim_engine`` selects
+        the worker-side simulation engine (``"scalar"``, ``"vectorized"``
+        or ``"auto"``).  Most callers want :meth:`run_tasks` or
+        ``run_suite(engine=...)`` instead.
         """
         self._check_open()
         ref = self.publish(trace)
@@ -471,7 +476,7 @@ SimulationResult` or a :class:`~repro.core.batch.TraceFailure` (worker
             "trace[shared]" if isinstance(trace, TraceData) else str(trace))
         future = self._ensure_pool().submit(
             _engine_run_one, factory, ref, config or SimulationConfig(),
-            resolved, probe)
+            resolved, probe, sim_engine)
         self.stats.tasks_dispatched += 1
         return self._unwrap(future)
 
@@ -502,6 +507,7 @@ SimulationResult` or a :class:`~repro.core.batch.TraceFailure` (worker
                   config: SimulationConfig | None = None, *,
                   probe: bool = False,
                   instrumentation: Any = None,
+                  sim_engine: str = "scalar",
                   ) -> Iterator[tuple[int, Any]]:
         """Run ``(trace, name)`` tasks; yield ``(index, outcome)`` pairs
         in **completion order** (``as_completed`` semantics).
@@ -552,7 +558,7 @@ SimulationResult` or a :class:`~repro.core.batch.TraceFailure` (worker
             while next_task < len(pending) and len(in_flight) < self._window:
                 index, (ref, name) = pending[next_task]
                 future = pool.submit(_engine_run_one, factory, ref, config,
-                                     name, probe)
+                                     name, probe, sim_engine)
                 self.stats.tasks_dispatched += 1
                 in_flight[future] = index
                 next_task += 1

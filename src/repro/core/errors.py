@@ -13,6 +13,7 @@ __all__ = [
     "TraceFormatError",
     "TraceValidationError",
     "SimulationError",
+    "EngineNotSupportedError",
     "CacheError",
     "ConfigurationError",
     "TelemetryError",
@@ -42,6 +43,15 @@ class TraceValidationError(TraceError):
 
 class SimulationError(ReproError):
     """A simulation could not be carried out as requested."""
+
+
+class EngineNotSupportedError(SimulationError):
+    """The vectorized engine was requested for a predictor without a
+    vector kernel (``Predictor.vector_kernel()`` returned ``None``).
+
+    Only raised for an *explicit* ``engine="vectorized"`` request; the
+    ``"auto"`` engine falls back to the scalar loop instead.
+    """
 
 
 class CacheError(ReproError):

@@ -166,6 +166,22 @@ class Predictor(abc.ABC):
         """
         return {}
 
+    def vector_kernel(self) -> Any:
+        """The predictor's vectorized evaluation kernel, or ``None``.
+
+        Table-indexed predictors whose update rules are expressible as
+        the batched passes of :mod:`repro.core.vectorized` return a
+        kernel object (an instance with a ``run(ctx)`` method, e.g.
+        :class:`~repro.core.vectorized.SaturatingTableKernel`) built
+        from their *configuration* — the live tables are never read, so
+        a kernel can be requested from a cold instance.  Predictors
+        without a kernel return ``None``: the ``"auto"`` engine then
+        falls back to the scalar loop silently, while an explicit
+        ``engine="vectorized"`` request raises
+        :class:`~repro.core.errors.EngineNotSupportedError`.
+        """
+        return None
+
     def spec(self) -> dict[str, Any]:
         """Canonical (name + parameters) identity of this configuration.
 

@@ -103,6 +103,7 @@ def _resolve_trace(trace: TraceLike) -> tuple[TraceData, str]:
 def simulate(predictor: Predictor, trace: TraceLike,
              config: SimulationConfig | None = None, *,
              trace_name: str | None = None,
+             engine: str = "scalar",
              instrumentation: "Instrumentation | None" = None,
              telemetry: "IntervalRecorder | None" = None,
              probe: "PredictionProbe | None" = None
@@ -112,6 +113,15 @@ def simulate(predictor: Predictor, trace: TraceLike,
     This is the library's main entry point — the user code calls it (the
     library never owns ``main``), which is the design inversion the paper
     argues for against framework-style simulators.
+
+    ``engine`` selects the evaluation strategy: ``"scalar"`` (default)
+    is the per-branch predict/train/track loop below; ``"vectorized"``
+    evaluates the predictor's vector kernel
+    (:func:`repro.core.vectorized.simulate_vectorized`, bit-identical
+    results, raising
+    :class:`~repro.core.errors.EngineNotSupportedError` when
+    ``predictor.vector_kernel()`` is ``None``); ``"auto"`` uses the
+    vectorized engine when a kernel exists and this loop otherwise.
 
     ``instrumentation`` (phase timers / counters), ``telemetry`` (an
     :class:`~repro.telemetry.interval.IntervalRecorder`) and ``probe``
@@ -123,6 +133,25 @@ def simulate(predictor: Predictor, trace: TraceLike,
     field.  None of them changes the metrics: a run with hooks produces
     the same :class:`SimulationResult` as one without.
     """
+    if engine not in ("scalar", "vectorized", "auto"):
+        raise SimulationError(
+            f"unknown engine {engine!r}; expected 'scalar', 'vectorized' "
+            "or 'auto'")
+    if engine != "scalar":
+        from .vectorized import simulate_vectorized
+
+        if predictor.vector_kernel() is not None:
+            return simulate_vectorized(
+                predictor, trace, config, trace_name=trace_name,
+                instrumentation=instrumentation, telemetry=telemetry,
+                probe=probe)
+        if engine == "vectorized":
+            from .errors import EngineNotSupportedError
+
+            raise EngineNotSupportedError(
+                f"predictor {predictor.name()!r} does not provide a "
+                "vector kernel; run it with --engine scalar (or auto to "
+                "fall back automatically)")
     config = config or SimulationConfig()
     instr = instrumentation
 

@@ -1,17 +1,18 @@
 """Vectorized simulation engines for table-indexed predictors.
 
 A pure-Python per-branch loop is orders of magnitude too slow to sweep
-hundreds of traces, so this module provides numpy engines for the two
-classic table predictors (bimodal, GShare) that are **bit-exact**
-equivalents of their scalar counterparts — property-tested against them —
-while running the whole trace in a handful of array passes.
+hundreds of traces, so this module evaluates table-indexed predictors
+with numpy array passes that are **bit-exact** equivalents of their
+scalar counterparts — property-tested against them — while running the
+whole trace in a handful of vector operations.
 
-The key observation is that both predictors' *inputs* are derivable from
-the trace alone: the global history at branch ``t`` is just the packed
-outcomes of the previous branches, and the table index is a pure hash of
-(ip, history).  What remains sequential is each table entry's saturating
-counter — a ±1 random walk clamped to ``[lo, hi]`` — and clamped walks
-have an associative structure:
+The key observation is that these predictors' *inputs* are derivable
+from the trace alone: the global history at branch ``t`` is just the
+packed outcomes of the previous branches (and a per-address history is
+the packed outcomes of the previous *same-key* branches), and the table
+index is a pure hash of (ip, history).  What remains sequential is each
+table entry's saturating counter — a ±1 random walk clamped to
+``[lo, hi]`` — and clamped walks have an associative structure:
 
 every update is the map ``s -> min(hi, max(lo, s + x))``, and the class
 of maps ``s -> min(B, max(A, s + C))`` is **closed under composition**::
@@ -25,42 +26,74 @@ so the counter state *before* every update is an exclusive prefix
 composition — computable with a segmented Hillis-Steele scan in
 ``O(n log n)`` vector operations, with segments delimited by table index.
 
-This is the reproduction's analogue of MBPlib's C++-level speed work and
-the subject of the ``benchmarks/test_ablation_vectorized.py`` ablation.
+Those reusable passes — history/index derivation
+(:func:`global_history_windows`, :func:`segmented_history_windows`,
+:func:`xor_fold_array`, :func:`skew_hash_array`), the segmented
+clamped-walk scan (:func:`clamped_walk_states`), per-table finish/count,
+and a two-stream chooser combinator (:class:`TournamentKernel`) —
+compose into *kernels* covering the whole table-indexed catalog:
+bimodal, GShare, two-level, local, tournament, 2bc-gskew and YAGS.
+Predictors advertise their kernel through
+``Predictor.vector_kernel()``; :func:`simulate_vectorized` (or
+``simulate(..., engine="vectorized")``) drives the kernel and produces
+a :class:`~repro.core.output.SimulationResult` byte-identical to the
+scalar engine's.  Predictors whose update rules read *other* tables'
+current state (gskew's partial-update vote, YAGS's tag caches) use
+hybrid kernels: every index/hash/history stream is precomputed with
+array passes and only the irreducible cross-table update loop stays
+scalar — over plain machine integers, far from the full per-branch
+protocol cost.
 
-Observability: both engines accept an optional ``instrumentation``
-object (:mod:`repro.telemetry`) and bracket their array passes as
-phases — "index" (history/index derivation), "scan" (the segmented
-clamped-walk scan) and "finish" (misprediction counting).  The default
-is off and adds no calls, matching the standard simulator's contract.
-They likewise accept an optional ``probe``
-(:class:`repro.probe.PredictionProbe`), filled post-hoc from the
-prediction arrays via the bulk hooks: a single-component attribution
-row (these predictors have one table and no arbitration), the full
-per-branch profile, and the final table's structural statistics
-reconstructed from the scan.
+This is the reproduction's analogue of MBPlib's C++-level speed work and
+the subject of the ``benchmarks/test_vectorized_catalog.py`` benchmark.
+
+Observability: the engines accept an optional ``instrumentation``
+object (:mod:`repro.telemetry`).  The two standalone engines
+(:func:`simulate_bimodal_vectorized`, :func:`simulate_gshare_vectorized`)
+bracket their array passes as phases — "index", "scan" and "finish" —
+while :func:`simulate_vectorized` reports the standard simulator's
+phase set ("trace_read", "simulate_loop", "finalize") so manifests and
+phase timers are engine-independent.  The default is off and adds no
+calls, matching the standard simulator's contract.  They likewise
+accept an optional ``probe`` (:class:`repro.probe.PredictionProbe`),
+filled post-hoc from the prediction arrays via the bulk hooks —
+per-component attribution (including override accounting for arbitrated
+predictors), the full per-branch profile, and the final tables'
+structural statistics reconstructed from the scans.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any, Callable
 
 import numpy as np
 
 from ..sbbt.trace import TraceData
-from .errors import SimulationError
+from .errors import EngineNotSupportedError, SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..probe import PredictionProbe
     from ..telemetry.instrumentation import Instrumentation
+    from ..telemetry.interval import IntervalRecorder
+    from .output import SimulationResult
+    from .predictor import Predictor
+    from .simulator import SimulationConfig
 
 __all__ = [
     "VectorizedResult",
     "clamped_walk_states",
     "global_history_windows",
+    "segmented_history_windows",
     "xor_fold_array",
+    "skew_hash_array",
+    "KernelRun",
+    "SaturatingTableKernel",
+    "TournamentKernel",
+    "GskewKernel",
+    "YagsKernel",
+    "simulate_vectorized",
     "simulate_bimodal_vectorized",
     "simulate_gshare_vectorized",
 ]
@@ -120,43 +153,57 @@ def clamped_walk_states(segments: np.ndarray, steps: np.ndarray,
     n = len(segments)
     if len(steps) != n:
         raise SimulationError("segments and steps must have equal length")
+    if lo > hi:
+        raise SimulationError(f"empty clamp range [{lo}, {hi}]")
     if n == 0:
         return np.zeros(0, dtype=np.int64)
 
-    # Inclusive element maps: s -> min(hi, max(lo, s + x)).
-    A = np.full(n, lo, dtype=np.int64)
-    B = np.full(n, hi, dtype=np.int64)
-    C = steps.astype(np.int64)
+    # ±1 steps and bounds from narrow counters: every A/B/C value stays
+    # within ±(n + |lo| + |hi|), so int32 holds any realistic trace and
+    # halves the scan's memory traffic against int64.
+    dtype = np.int32 if n + abs(lo) + abs(hi) < 2 ** 31 else np.int64
 
-    positions = np.arange(n, dtype=np.int64)
+    # Inclusive element maps: s -> min(hi, max(lo, s + x)).
+    A = np.full(n, lo, dtype=dtype)
+    B = np.full(n, hi, dtype=dtype)
+    C = steps.astype(dtype)
+
+    positions = np.arange(n, dtype=dtype)
     is_start = np.empty(n, dtype=bool)
     is_start[0] = True
     np.not_equal(segments[1:], segments[:-1], out=is_start[1:])
     segment_start = np.maximum.accumulate(np.where(is_start, positions, 0))
+    # Passes beyond the longest segment cannot change anything.
+    longest = int((positions - segment_start).max()) + 1
 
     shift = 1
-    while shift < n:
-        can = positions >= segment_start + shift
-        src = positions - shift
-        a_prev = A[src[can]]
-        b_prev = B[src[can]]
-        c_prev = C[src[can]]
-        a_cur = A[can]
-        b_cur = B[can]
-        c_cur = C[can]
-        new_a = np.maximum(a_cur, a_prev + c_cur)
-        new_b = np.minimum(b_cur, np.maximum(a_cur, b_prev + c_cur))
-        new_c = c_prev + c_cur
-        A[can] = new_a
-        B[can] = new_b
-        C[can] = new_c
+    while shift < longest:
+        # Element i composes with element i - shift when both are in the
+        # same segment: i - shift >= segment_start[i].  Expressed over
+        # the aligned slices [shift:] / [:-shift] this is contiguous
+        # arithmetic — no index arrays, no gather/scatter.
+        valid = positions[:-shift] >= segment_start[shift:]
+        a_prev = A[:-shift]
+        b_prev = B[:-shift]
+        c_prev = C[:-shift]
+        a_cur = A[shift:]
+        b_cur = B[shift:]
+        c_cur = C[shift:]
+        new_a = np.where(valid, np.maximum(a_cur, a_prev + c_cur), a_cur)
+        new_b = np.where(
+            valid, np.minimum(b_cur, np.maximum(a_cur, b_prev + c_cur)),
+            b_cur)
+        new_c = np.where(valid, c_prev + c_cur, c_cur)
+        A[shift:] = new_a
+        B[shift:] = new_b
+        C[shift:] = new_c
         shift *= 2
 
     # Exclusive prefix: the state before element i is the inclusive map
     # of element i-1 applied to the initial state (identity at starts).
     before = np.full(n, initial, dtype=np.int64)
     tail = ~is_start
-    prev = positions[tail] - 1
+    prev = positions[tail].astype(np.int64) - 1
     before[tail] = np.minimum(
         B[prev], np.maximum(A[prev], initial + C[prev])
     )
@@ -195,6 +242,79 @@ def xor_fold_array(values: np.ndarray, width: int) -> np.ndarray:
     return result
 
 
+def segmented_history_windows(keys: np.ndarray, outcomes: np.ndarray,
+                              history_length: int) -> np.ndarray:
+    """Packed *per-key* history seen before each branch.
+
+    The vector analogue of a
+    :class:`repro.utils.history.LocalHistoryTable`: ``result[t]`` has bit
+    ``k`` equal to the outcome of the ``(k+1)``-th most recent earlier
+    branch with the same ``keys[t]`` (0 bits where fewer exist, matching
+    the table's all-zero reset).  Elements are grouped by key with a
+    stable argsort, each group's packed windows are built in
+    ``history_length`` shifted OR passes, and the result is scattered
+    back to trace order.
+    """
+    if not 1 <= history_length <= 63:
+        raise SimulationError("history_length must be in [1, 63]")
+    n = len(outcomes)
+    if len(keys) != n:
+        raise SimulationError("keys and outcomes must have equal length")
+    if n == 0:
+        return np.zeros(0, dtype=np.uint64)
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    bits = outcomes[order].astype(np.uint64)
+    positions = np.arange(n, dtype=np.int64)
+    is_start = np.empty(n, dtype=bool)
+    is_start[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=is_start[1:])
+    segment_start = np.maximum.accumulate(np.where(is_start, positions, 0))
+    history_sorted = np.zeros(n, dtype=np.uint64)
+    for age in range(1, history_length + 1):
+        valid = positions >= segment_start + age
+        history_sorted[valid] |= bits[positions[valid] - age] \
+            << np.uint64(age - 1)
+    result = np.empty(n, dtype=np.uint64)
+    result[order] = history_sorted
+    return result
+
+
+def _skew_h_array(values: np.ndarray, width: int) -> np.ndarray:
+    """Vectorized :func:`repro.utils.hashing.skew_h` (inputs pre-masked)."""
+    top = np.uint64(width - 1)
+    one = np.uint64(1)
+    msb = (values >> top) & one
+    lsb = values & one
+    return (values >> one) | ((msb ^ lsb) << top)
+
+
+def _skew_h_inverse_array(values: np.ndarray, width: int) -> np.ndarray:
+    """Vectorized :func:`repro.utils.hashing.skew_h_inverse`."""
+    mask = np.uint64((1 << width) - 1)
+    one = np.uint64(1)
+    msb = (values >> np.uint64(width - 1)) & one
+    next_msb = (values >> np.uint64(width - 2)) & one
+    return ((values << one) & mask) | (msb ^ next_msb)
+
+
+def skew_hash_array(v1: np.ndarray, v2: np.ndarray, bank: int,
+                    width: int) -> np.ndarray:
+    """Vectorized :func:`repro.utils.hashing.skew_hash` over uint64s."""
+    if width <= 1:
+        raise SimulationError("width must be > 1")
+    if bank < 0:
+        raise SimulationError("bank must be non-negative")
+    mask = np.uint64((1 << width) - 1)
+    a = v1.astype(np.uint64) & mask
+    b = v2.astype(np.uint64) & mask
+    keep = a.copy()
+    for _ in range(bank + 1):
+        a = _skew_h_array(a, width)
+        b = _skew_h_inverse_array(b, width)
+    return (a ^ b ^ keep) & mask
+
+
 def _finish(trace: TraceData, conditional: np.ndarray,
             predictions: np.ndarray,
             warmup_instructions: int) -> VectorizedResult:
@@ -218,17 +338,15 @@ def _finish(trace: TraceData, conditional: np.ndarray,
     )
 
 
-def _final_table_stats(indices_sorted: np.ndarray, before: np.ndarray,
-                       steps: np.ndarray, lo: int, hi: int,
-                       size: int) -> dict:
-    """Structural statistics of the table *after* the whole run.
+def _final_table_values(indices_sorted: np.ndarray, before: np.ndarray,
+                        steps: np.ndarray, lo: int, hi: int,
+                        size: int) -> np.ndarray:
+    """Table contents *after* the whole run, reconstructed from the scan.
 
     ``before`` is the scan output (state seen by each element);
     applying each segment's last step to its own ``before`` yields the
     entry's final state.  Untouched entries stay at the reset value 0.
     """
-    from ..utils.tables import distribution_stats
-
     values = np.zeros(size, dtype=np.int64)
     if len(indices_sorted):
         is_last = np.empty(len(indices_sorted), dtype=bool)
@@ -237,7 +355,18 @@ def _final_table_stats(indices_sorted: np.ndarray, before: np.ndarray,
                      out=is_last[:-1])
         final = np.clip(before[is_last] + steps[is_last], lo, hi)
         values[indices_sorted[is_last].astype(np.int64)] = final
-    return distribution_stats(values, lo, hi)
+    return values
+
+
+def _final_table_stats(indices_sorted: np.ndarray, before: np.ndarray,
+                       steps: np.ndarray, lo: int, hi: int,
+                       size: int) -> dict:
+    """Structural statistics of the table *after* the whole run."""
+    from ..utils.tables import distribution_stats
+
+    return distribution_stats(
+        _final_table_values(indices_sorted, before, steps, lo, hi, size),
+        lo, hi)
 
 
 def _fill_probe(probe: "PredictionProbe", trace: TraceData,
@@ -379,3 +508,624 @@ def simulate_gshare_vectorized(trace: TraceData, history_length: int = 15,
     if instr is not None:
         _phase_end(instr, "finish", start)
     return result
+
+
+# ----------------------------------------------------------------------
+# The batched table-op evaluator: per-predictor kernels and the driver.
+# ----------------------------------------------------------------------
+
+
+class _VectorContext:
+    """Per-run inputs shared by every kernel.
+
+    Exposes the conditional-branch streams (``ips``/``taken``), the
+    *tracked* streams feeding history registers (all branches, or only
+    the conditional ones under ``track_only_conditional``), and lazily
+    cached history windows so composed kernels sharing a history length
+    pay for the derivation once.
+    """
+
+    __slots__ = ("trace", "conditional", "ips", "taken", "n", "track_all",
+                 "tracked_ips", "tracked_taken", "cond_positions",
+                 "_global_cache")
+
+    def __init__(self, data: TraceData, track_all: bool):
+        self.trace = data
+        self.conditional = data.conditional_mask()
+        self.ips = data.ips[self.conditional]
+        self.taken = data.taken[self.conditional]
+        self.n = len(self.ips)
+        self.track_all = track_all
+        if track_all:
+            self.tracked_ips = data.ips
+            self.tracked_taken = data.taken
+            self.cond_positions = np.flatnonzero(self.conditional)
+        else:
+            self.tracked_ips = self.ips
+            self.tracked_taken = self.taken
+            self.cond_positions = np.arange(self.n, dtype=np.int64)
+        self._global_cache: dict[int, np.ndarray] = {}
+
+    def global_history(self, history_length: int) -> np.ndarray:
+        """Packed global history seen before each *conditional* branch."""
+        cached = self._global_cache.get(history_length)
+        if cached is None:
+            windows = global_history_windows(self.tracked_taken,
+                                             history_length)
+            cached = windows[self.cond_positions]
+            self._global_cache[history_length] = cached
+        return cached
+
+    def keyed_history(self, keys: np.ndarray,
+                      history_length: int) -> np.ndarray:
+        """Packed per-key history before each conditional branch.
+
+        ``keys`` selects the history register per *tracked* branch
+        (same length as ``tracked_ips``).
+        """
+        windows = segmented_history_windows(keys, self.tracked_taken,
+                                            history_length)
+        return windows[self.cond_positions]
+
+
+@dataclass(slots=True)
+class KernelRun:
+    """One kernel evaluation over a :class:`_VectorContext`.
+
+    ``predictions`` is per conditional branch in trace order.
+    ``fill_attribution(probe_like, measured)`` replays the predictor's
+    measured-region ``probe.record`` accounting through the bulk hooks
+    (``probe_like`` is the root probe or a scoped view).
+    ``structure()`` rebuilds the end-of-run ``probe_stats()`` snapshot
+    from the kernel's final table states.
+    """
+
+    predictions: np.ndarray
+    fill_attribution: Callable[[Any, np.ndarray], None]
+    structure: Callable[[], dict[str, Any]]
+
+
+def _fill_component(probe_like: Any, ctx: _VectorContext, component: str,
+                    provided_mask: np.ndarray, correct: np.ndarray,
+                    overrides_mask: np.ndarray | None = None,
+                    overridden: int = 0) -> None:
+    """Replay one component's scalar ``record`` stream as bulk counts."""
+    provided = int(provided_mask.sum())
+    if overrides_mask is None:
+        overrides = override_correct = 0
+    else:
+        overrides = int(overrides_mask.sum())
+        override_correct = int((overrides_mask & correct).sum())
+    probe_like.record_component_bulk(
+        component, provided, int((provided_mask & correct).sum()),
+        overrides=overrides, override_correct=override_correct,
+        overridden=overridden)
+    histogram = getattr(probe_like, "record_histogram_bulk", None)
+    if histogram is not None and provided:
+        unique_ips, counts = np.unique(ctx.ips[provided_mask],
+                                       return_counts=True)
+        for ip, count in zip(unique_ips.tolist(), counts.tolist()):
+            histogram(int(ip), component, int(count))
+
+
+class SaturatingTableKernel:
+    """A single saturating-counter table with trace-derivable indices.
+
+    Covers every predictor whose ``predict`` is ``counter >= 0`` and
+    whose ``train`` is a clamped ±1 walk toward the outcome: bimodal,
+    GShare and the whole two-level/local family (multiple pattern
+    tables collapse into one index space).  ``index_fn(ctx)`` returns
+    the per-conditional-branch index stream; because histories come
+    from the *tracked* outcome stream, the same kernel also serves as a
+    tournament's chooser via :meth:`run_masked` (trained only on
+    disagreement branches, toward a synthetic outcome).
+
+    ``component`` names the probe component recorded during ``train``
+    (``None`` for predictors that record nothing); ``table_size`` sizes
+    the structural snapshot (``None`` for predictors whose
+    ``probe_stats`` is empty).
+    """
+
+    __slots__ = ("index_fn", "lo", "hi", "component", "table_size")
+
+    def __init__(self, index_fn: Callable[[_VectorContext], np.ndarray],
+                 counter_width: int, *, component: str | None = None,
+                 table_size: int | None = None):
+        if counter_width < 1:
+            raise SimulationError("counter_width must be >= 1")
+        self.index_fn = index_fn
+        self.lo = -(1 << (counter_width - 1))
+        self.hi = (1 << (counter_width - 1)) - 1
+        self.component = component
+        self.table_size = table_size
+
+    def run(self, ctx: _VectorContext) -> KernelRun:
+        return self.run_masked(ctx, ctx.taken, None)
+
+    def run_masked(self, ctx: _VectorContext, outcomes: np.ndarray,
+                   train_mask: np.ndarray | None) -> KernelRun:
+        """Evaluate with training restricted to ``train_mask`` branches.
+
+        Every branch still *reads* its counter (step 0 outside the
+        mask), which is exactly a chooser's protocol: predict always,
+        train only on disagreement.
+        """
+        indices = np.asarray(self.index_fn(ctx)).astype(np.int64)
+        steps = np.where(outcomes, 1, -1).astype(np.int64)
+        if train_mask is not None:
+            steps = np.where(train_mask, steps, 0)
+        order = np.argsort(indices, kind="stable")
+        sorted_indices = indices[order]
+        sorted_steps = steps[order]
+        before = clamped_walk_states(sorted_indices, sorted_steps,
+                                     self.lo, self.hi)
+        predictions = np.empty(ctx.n, dtype=bool)
+        predictions[order] = before >= 0
+
+        def fill_attribution(probe_like: Any, measured: np.ndarray) -> None:
+            if self.component is None:
+                return
+            trained = (measured if train_mask is None
+                       else measured & train_mask)
+            _fill_component(probe_like, ctx, self.component, trained,
+                            predictions == outcomes)
+
+        def structure() -> dict[str, Any]:
+            if self.table_size is None:
+                return {}
+            from ..utils.tables import distribution_stats
+
+            values = _final_table_values(sorted_indices, before,
+                                         sorted_steps, self.lo, self.hi,
+                                         self.table_size)
+            return {self.component or "table":
+                    distribution_stats(values, self.lo, self.hi)}
+
+        return KernelRun(predictions, fill_attribution, structure)
+
+
+class TournamentKernel:
+    """The two-stream chooser combinator.
+
+    Both base kernels run standalone (a tournament trains its bases
+    unconditionally with the real outcome, so their streams are exact);
+    the chooser is a :class:`SaturatingTableKernel` scanned with steps
+    only on disagreement branches toward the synthetic outcome
+    "predictor 1 was correct" — the partial-update policy of
+    :class:`repro.predictors.Tournament`.
+    """
+
+    __slots__ = ("meta", "bp0", "bp1")
+
+    def __init__(self, meta: SaturatingTableKernel, bp0: Any, bp1: Any):
+        self.meta = meta
+        self.bp0 = bp0
+        self.bp1 = bp1
+
+    def run(self, ctx: _VectorContext) -> KernelRun:
+        run0 = self.bp0.run(ctx)
+        run1 = self.bp1.run(ctx)
+        p0 = run0.predictions
+        p1 = run1.predictions
+        disagreed = p0 != p1
+        synthetic = p1 == ctx.taken
+        meta_run = self.meta.run_masked(ctx, synthetic, disagreed)
+        chooser = meta_run.predictions
+        final = np.where(chooser, p1, p0)
+
+        def fill_attribution(probe_like: Any, measured: np.ndarray) -> None:
+            correct = final == ctx.taken
+            for name, chose in (("predictor_0", ~chooser),
+                                ("predictor_1", chooser)):
+                provided_mask = measured & chose
+                _fill_component(
+                    probe_like, ctx, name, provided_mask, correct,
+                    overrides_mask=provided_mask & disagreed,
+                    overridden=int((measured & ~chose & disagreed).sum()))
+            meta_run.fill_attribution(probe_like.scoped("metapredictor"),
+                                      measured)
+            run0.fill_attribution(probe_like.scoped("predictor_0"),
+                                  measured)
+            run1.fill_attribution(probe_like.scoped("predictor_1"),
+                                  measured)
+
+        def structure() -> dict[str, Any]:
+            stats: dict[str, Any] = {}
+            for role, sub in (("metapredictor", meta_run),
+                              ("predictor_0", run0),
+                              ("predictor_1", run1)):
+                sub_stats = sub.structure()
+                if sub_stats:
+                    stats[role] = sub_stats
+            return stats
+
+        return KernelRun(final, fill_attribution, structure)
+
+
+class GskewKernel:
+    """Hybrid kernel for :class:`repro.predictors.TwoBcGskew`.
+
+    All four bank index streams are precomputed with array passes
+    (history windows, xor folds, skewed hashes); the cross-bank
+    partial-update policy reads the other banks' current signs, which
+    is irreducibly sequential, so the per-branch update runs as a tight
+    scalar loop over plain integer lists.
+    """
+
+    __slots__ = ("log_bank_size", "history_length_g0", "history_length_g1")
+
+    def __init__(self, log_bank_size: int, history_length_g0: int,
+                 history_length_g1: int):
+        self.log_bank_size = log_bank_size
+        self.history_length_g0 = history_length_g0
+        self.history_length_g1 = history_length_g1
+
+    def run(self, ctx: _VectorContext) -> KernelRun:
+        w = self.log_bank_size
+        one = np.uint64(1)
+        ghist = ctx.global_history(max(self.history_length_g0,
+                                       self.history_length_g1))
+        mask0 = np.uint64((1 << self.history_length_g0) - 1)
+        mask1 = np.uint64((1 << self.history_length_g1) - 1)
+        folded_ip = xor_fold_array(ctx.ips, w)
+        v0 = xor_fold_array(ctx.ips ^ ((ghist & mask0) << one), w)
+        v1 = xor_fold_array(ctx.ips ^ ((ghist & mask1) << one), w)
+        bim_idx = folded_ip.astype(np.int64).tolist()
+        g0_idx = skew_hash_array(v0, folded_ip, 0, w).astype(
+            np.int64).tolist()
+        g1_idx = skew_hash_array(v1, folded_ip, 1, w).astype(
+            np.int64).tolist()
+        outcomes = ctx.taken.tolist()
+
+        size = 1 << w
+        bim = [0] * size
+        g0 = [0] * size
+        g1 = [0] * size
+        meta = [0] * size
+        finals = []
+        used_gskew = []
+        disagreements = []
+        for i in range(ctx.n):
+            bi = bim_idx[i]
+            i0 = g0_idx[i]
+            i1 = g1_idx[i]
+            taken = outcomes[i]
+            bim_pred = bim[bi] >= 0
+            g0_pred = g0[i0] >= 0
+            g1_pred = g1[i1] >= 0
+            majority = (bim_pred + g0_pred + g1_pred) >= 2
+            use_gskew = meta[bi] >= 0
+            final = majority if use_gskew else bim_pred
+            finals.append(final)
+            used_gskew.append(use_gskew)
+            disagreed = bim_pred != majority
+            disagreements.append(disagreed)
+            if disagreed:
+                v = meta[bi]
+                if majority == taken:
+                    if v < 1:
+                        meta[bi] = v + 1
+                elif v > -2:
+                    meta[bi] = v - 1
+            if final == taken:
+                if use_gskew:
+                    if bim_pred == taken:
+                        v = bim[bi]
+                        if taken:
+                            if v < 1:
+                                bim[bi] = v + 1
+                        elif v > -2:
+                            bim[bi] = v - 1
+                    if g0_pred == taken:
+                        v = g0[i0]
+                        if taken:
+                            if v < 1:
+                                g0[i0] = v + 1
+                        elif v > -2:
+                            g0[i0] = v - 1
+                    if g1_pred == taken:
+                        v = g1[i1]
+                        if taken:
+                            if v < 1:
+                                g1[i1] = v + 1
+                        elif v > -2:
+                            g1[i1] = v - 1
+                else:
+                    v = bim[bi]
+                    if taken:
+                        if v < 1:
+                            bim[bi] = v + 1
+                    elif v > -2:
+                        bim[bi] = v - 1
+            else:
+                for table, index in ((bim, bi), (g0, i0), (g1, i1)):
+                    v = table[index]
+                    if taken:
+                        if v < 1:
+                            table[index] = v + 1
+                    elif v > -2:
+                        table[index] = v - 1
+        predictions = np.array(finals, dtype=bool)
+        gskew_provided = np.array(used_gskew, dtype=bool)
+        disagreed = np.array(disagreements, dtype=bool)
+
+        def fill_attribution(probe_like: Any, measured: np.ndarray) -> None:
+            correct = predictions == ctx.taken
+            for name, provided in (("gskew", gskew_provided),
+                                   ("bimodal", ~gskew_provided)):
+                provided_mask = measured & provided
+                _fill_component(
+                    probe_like, ctx, name, provided_mask, correct,
+                    overrides_mask=provided_mask & disagreed,
+                    overridden=int((measured & ~provided
+                                    & disagreed).sum()))
+
+        def structure() -> dict[str, Any]:
+            from ..utils.tables import distribution_stats
+
+            return {
+                "bimodal": distribution_stats(bim, -2, 1),
+                "g0": distribution_stats(g0, -2, 1),
+                "g1": distribution_stats(g1, -2, 1),
+                "meta": distribution_stats(meta, -2, 1),
+            }
+
+        return KernelRun(predictions, fill_attribution, structure)
+
+
+class YagsKernel:
+    """Hybrid kernel for :class:`repro.predictors.Yags`.
+
+    Choice indices, cache indices and partial tags are precomputed with
+    array passes; the exception caches' install/refine policy depends
+    on each entry's current tag, so the update loop stays scalar over
+    plain integer lists.
+    """
+
+    __slots__ = ("log_choice_size", "log_cache_size", "tag_width",
+                 "history_length")
+
+    def __init__(self, log_choice_size: int, log_cache_size: int,
+                 tag_width: int, history_length: int):
+        self.log_choice_size = log_choice_size
+        self.log_cache_size = log_cache_size
+        self.tag_width = tag_width
+        self.history_length = history_length
+
+    def run(self, ctx: _VectorContext) -> KernelRun:
+        ghist = ctx.global_history(self.history_length)
+        choice_mask = np.uint64((1 << self.log_choice_size) - 1)
+        choice_idx = (ctx.ips & choice_mask).astype(np.int64).tolist()
+        cache_idx = xor_fold_array(ctx.ips ^ ghist,
+                                   self.log_cache_size).astype(
+            np.int64).tolist()
+        tags = xor_fold_array(ctx.ips >> np.uint64(1),
+                              self.tag_width).astype(np.int64).tolist()
+        outcomes = ctx.taken.tolist()
+
+        choice = [0] * (1 << self.log_choice_size)
+        cache_size = 1 << self.log_cache_size
+        taken_tags = [-1] * cache_size
+        taken_ctrs = [0] * cache_size
+        not_taken_tags = [-1] * cache_size
+        not_taken_ctrs = [0] * cache_size
+        finals = []
+        # 0 = choice provided, 1 = taken_cache, 2 = not_taken_cache.
+        providers = []
+        overrode_choice = []
+        for i in range(ctx.n):
+            ci = choice_idx[i]
+            ki = cache_idx[i]
+            tag = tags[i]
+            taken = outcomes[i]
+            bias_taken = choice[ci] >= 0
+            if bias_taken:
+                entry_tags, entry_ctrs = not_taken_tags, not_taken_ctrs
+            else:
+                entry_tags, entry_ctrs = taken_tags, taken_ctrs
+            hit = entry_tags[ki] == tag
+            final = (entry_ctrs[ki] >= 0) if hit else bias_taken
+            finals.append(final)
+            providers.append((2 if bias_taken else 1) if hit else 0)
+            overrode_choice.append(hit and final != bias_taken)
+            if not (bias_taken != taken and hit and final == taken):
+                value = choice[ci] + (1 if taken else -1)
+                choice[ci] = min(1, max(-2, value))
+            if taken != bias_taken or hit:
+                if entry_tags[ki] != tag:
+                    entry_tags[ki] = tag
+                    entry_ctrs[ki] = 0 if taken else -1
+                else:
+                    value = entry_ctrs[ki] + (1 if taken else -1)
+                    entry_ctrs[ki] = min(1, max(-2, value))
+        predictions = np.array(finals, dtype=bool)
+        provider_codes = np.array(providers, dtype=np.int8)
+        overrides = np.array(overrode_choice, dtype=bool)
+
+        def fill_attribution(probe_like: Any, measured: np.ndarray) -> None:
+            correct = predictions == ctx.taken
+            _fill_component(probe_like, ctx, "choice",
+                            measured & (provider_codes == 0), correct,
+                            overridden=int((measured & overrides).sum()))
+            for name, code in (("taken_cache", 1), ("not_taken_cache", 2)):
+                provided_mask = measured & (provider_codes == code)
+                _fill_component(probe_like, ctx, name, provided_mask,
+                                correct,
+                                overrides_mask=provided_mask & overrides)
+
+        def structure() -> dict[str, Any]:
+            from ..utils.tables import distribution_stats
+
+            def cache_stats(entry_tags: list[int],
+                            entry_ctrs: list[int]) -> dict[str, Any]:
+                stats = distribution_stats(entry_ctrs, -2, 1)
+                live = sum(1 for tag in entry_tags if tag != -1)
+                stats["live_fraction"] = live / len(entry_tags)
+                return stats
+
+            return {
+                "choice": distribution_stats(choice, -2, 1),
+                "taken_cache": cache_stats(taken_tags, taken_ctrs),
+                "not_taken_cache": cache_stats(not_taken_tags,
+                                               not_taken_ctrs),
+            }
+
+        return KernelRun(predictions, fill_attribution, structure)
+
+
+def simulate_vectorized(predictor: "Predictor", trace: Any,
+                        config: "SimulationConfig | None" = None, *,
+                        trace_name: str | None = None,
+                        instrumentation: "Instrumentation | None" = None,
+                        telemetry: "IntervalRecorder | None" = None,
+                        probe: "PredictionProbe | None" = None
+                        ) -> "SimulationResult":
+    """Vectorized counterpart of :func:`repro.core.simulator.simulate`.
+
+    Evaluates ``predictor``'s vector kernel over the whole trace and
+    returns a :class:`~repro.core.output.SimulationResult` byte-identical
+    (up to wall-clock ``simulation_time``) to the scalar engine's —
+    including warmup/``max_instructions`` accounting, ``most_failed``,
+    interval telemetry records and the probe report.  Raises
+    :class:`~repro.core.errors.EngineNotSupportedError` when the
+    predictor has no kernel.  The predictor instance itself is never
+    trained — only its configuration is read.
+    """
+    from .metrics import BranchStats, most_failed_branches
+    from .output import SimulationResult
+    from .simulator import SimulationConfig, _resolve_trace
+
+    config = config or SimulationConfig()
+    kernel = predictor.vector_kernel()
+    if kernel is None:
+        raise EngineNotSupportedError(
+            f"predictor {predictor.name()!r} does not provide a vector "
+            "kernel; run it with engine='scalar' (or 'auto' to fall back "
+            "automatically)")
+    instr = instrumentation
+
+    read_start = time.perf_counter() if instr is not None else 0.0
+    data, default_name = _resolve_trace(trace)
+    if instr is not None:
+        instr.add_phase("trace_read", time.perf_counter() - read_start)
+    name = trace_name if trace_name is not None else default_name
+
+    start = time.perf_counter()
+    warmup = config.warmup_instructions
+    limit = config.max_instructions
+
+    # Replicate the scalar loop's instruction accounting: a branch is
+    # simulated iff its cumulative instruction count stays within the
+    # limit; trailing non-branch instructions count only while they fit.
+    numbers = data.instruction_numbers()
+    num_branches = len(numbers)
+    if limit is not None:
+        included = int(np.searchsorted(numbers, limit, side="right"))
+    else:
+        included = num_branches
+    truncated = included < num_branches
+    if truncated:
+        work = data.slice(0, included)
+        numbers = numbers[:included]
+    else:
+        work = data
+    instructions = int(numbers[included - 1]) if included else 0
+    exhausted = not truncated
+    if exhausted and data.num_instructions > instructions:
+        trailing = data.num_instructions - instructions
+        if limit is not None and instructions + trailing > limit:
+            instructions = limit
+            exhausted = False
+        else:
+            instructions += trailing
+
+    ctx = _VectorContext(work, track_all=not config.track_only_conditional)
+    run = kernel.run(ctx)
+    cond_numbers = numbers[ctx.conditional]
+    measured = cond_numbers > warmup
+    wrong = run.predictions != ctx.taken
+    conditional_branches = int(measured.sum())
+    mispredictions = int((wrong & measured).sum())
+
+    recorder = telemetry
+    if recorder is not None:
+        # Replay the scalar loop's interval protocol: a record fires at
+        # the first branch whose cumulative count reaches the next mark,
+        # then sampling realigns to the grid.
+        recorder.start(warmup)
+        mark_step = recorder.interval
+        contributes = np.zeros(included, dtype=np.int64)
+        cond_positions = np.flatnonzero(ctx.conditional)
+        contributes[cond_positions[measured]] = 1
+        cum_cond = np.cumsum(contributes)
+        contributes[:] = 0
+        contributes[cond_positions[measured & wrong]] = 1
+        cum_misp = np.cumsum(contributes)
+        index = int(np.searchsorted(numbers, mark_step, side="left"))
+        while index < included:
+            at = int(numbers[index])
+            recorder.record(at, int(cum_cond[index]), int(cum_misp[index]))
+            next_mark = (at // mark_step + 1) * mark_step
+            index = int(np.searchsorted(numbers, next_mark, side="left"))
+
+    elapsed = time.perf_counter() - start
+
+    if recorder is not None:
+        recorder.finish(instructions, conditional_branches, mispredictions)
+
+    final_start = time.perf_counter() if instr is not None else 0.0
+    measured_instructions = max(0, instructions - warmup)
+
+    per_branch = None
+    if (probe is not None or config.collect_most_failed) and measured.any():
+        unique_ips, inverse = np.unique(ctx.ips[measured],
+                                        return_inverse=True)
+        occurrences = np.bincount(inverse, minlength=len(unique_ips))
+        taken_counts = np.bincount(inverse, weights=ctx.taken[measured],
+                                   minlength=len(unique_ips))
+        wrong_counts = np.bincount(inverse, weights=wrong[measured],
+                                   minlength=len(unique_ips))
+        per_branch = (unique_ips.tolist(), occurrences.tolist(),
+                      taken_counts.tolist(), wrong_counts.tolist())
+
+    probe_report = None
+    if probe is not None:
+        probe.start()
+        run.fill_attribution(probe, measured)
+        if per_branch is not None:
+            for ip, occ, taken_count, wrong_count in zip(*per_branch):
+                probe.record_branch_bulk(int(ip), int(occ),
+                                         int(taken_count),
+                                         int(wrong_count))
+        probe.set_structure(run.structure())
+        probe_report = probe.report()
+
+    most_failed = []
+    if config.collect_most_failed and per_branch is not None:
+        stats = {int(ip): BranchStats(int(occ), int(wrong_count))
+                 for ip, occ, _taken, wrong_count in zip(*per_branch)}
+        most_failed = most_failed_branches(stats, mispredictions,
+                                           measured_instructions)
+
+    phases_snapshot = None
+    if instr is not None:
+        instr.add_phase("simulate_loop", elapsed)
+        instr.add_phase("finalize", time.perf_counter() - final_start)
+        recorded = getattr(instr, "phases", None)
+        if recorded is not None:
+            phases_snapshot = dict(recorded)
+    return SimulationResult(
+        trace_name=name,
+        warmup_instructions=warmup,
+        simulation_instructions=measured_instructions,
+        exhausted_trace=exhausted,
+        num_branch_instructions=included,
+        num_conditional_branches=conditional_branches,
+        mispredictions=mispredictions,
+        simulation_time=elapsed,
+        predictor_metadata=predictor.metadata_stats(),
+        predictor_statistics=predictor.execution_stats(),
+        most_failed=most_failed,
+        phases=phases_snapshot,
+        probe_report=probe_report,
+    )

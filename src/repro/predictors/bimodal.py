@@ -97,3 +97,16 @@ class Bimodal(Predictor):
 
         return {"table": distribution_stats(self._table, self._min,
                                             self._max)}
+
+    def vector_kernel(self) -> Any:
+        """Single saturating table indexed by address bits."""
+        import numpy as np
+
+        from ..core.vectorized import SaturatingTableKernel
+
+        shift = np.uint64(self.instruction_shift)
+        index_mask = np.uint64(self._index_mask)
+        return SaturatingTableKernel(
+            lambda ctx: (ctx.ips >> shift) & index_mask,
+            self.counter_width, component="table",
+            table_size=1 << self.log_table_size)

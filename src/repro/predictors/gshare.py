@@ -107,3 +107,22 @@ class GShare(Predictor):
 
         return {"table": distribution_stats(self._table, self._min,
                                             self._max)}
+
+    def vector_kernel(self) -> Any:
+        """Single table indexed by ``xor_fold(ip ^ ghist)``.
+
+        Histories longer than 63 bits do not fit the packed uint64
+        windows, so such configurations stay on the scalar engine.
+        """
+        if self.history_length > 63:
+            return None
+        from ..core.vectorized import SaturatingTableKernel, xor_fold_array
+
+        history_length = self.history_length
+        log_table_size = self.log_table_size
+        return SaturatingTableKernel(
+            lambda ctx: xor_fold_array(
+                ctx.ips ^ ctx.global_history(history_length),
+                log_table_size),
+            self.counter_width, component="table",
+            table_size=1 << log_table_size)

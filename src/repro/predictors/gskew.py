@@ -180,3 +180,16 @@ class TwoBcGskew(Predictor):
     def storage_bits(self) -> int:
         """Hardware budget of the configuration, in bits."""
         return 4 * (1 << self.log_bank_size) * 2
+
+    def vector_kernel(self) -> Any:
+        """Hybrid kernel: vectorized bank indexing, scalar bank updates.
+
+        Histories longer than 63 bits do not fit the packed uint64
+        windows, so such configurations stay on the scalar engine.
+        """
+        if max(self.history_length_g0, self.history_length_g1) > 63:
+            return None
+        from ..core.vectorized import GskewKernel
+
+        return GskewKernel(self.log_bank_size, self.history_length_g0,
+                           self.history_length_g1)

@@ -98,6 +98,19 @@ class LocalPredictor(Predictor):
         return ((1 << self.log_histories) * self.history_length
                 + (1 << self.history_length) * self.counter_width)
 
+    def vector_kernel(self) -> Any:
+        """Shared pattern table indexed by per-address history windows."""
+        import numpy as np
+
+        from ..core.vectorized import SaturatingTableKernel
+
+        history_length = self.history_length
+        index_mask = np.uint64(self._index_mask)
+        return SaturatingTableKernel(
+            lambda ctx: ctx.keyed_history(ctx.tracked_ips & index_mask,
+                                          history_length),
+            self.counter_width)
+
 
 def alpha21264() -> Tournament:
     """The Alpha 21264 hybrid: local vs global with a global chooser.

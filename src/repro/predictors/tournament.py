@@ -142,6 +142,27 @@ class Tournament(Predictor):
                 stats[role] = component_stats
         return stats
 
+    def vector_kernel(self) -> Any:
+        """The chooser combinator over the components' kernels.
+
+        The bases are trained unconditionally, so any kernels serve
+        (tournaments nest); the chooser's disagreement-only partial
+        update requires the masked-scan protocol, which only the
+        saturating-table kernel implements — a chooser without one (or
+        any component without a kernel) keeps the whole composition on
+        the scalar engine.
+        """
+        from ..core.vectorized import SaturatingTableKernel, TournamentKernel
+
+        meta_kernel = self.meta.vector_kernel()
+        if not isinstance(meta_kernel, SaturatingTableKernel):
+            return None
+        bp0_kernel = self.bp0.vector_kernel()
+        bp1_kernel = self.bp1.vector_kernel()
+        if bp0_kernel is None or bp1_kernel is None:
+            return None
+        return TournamentKernel(meta_kernel, bp0_kernel, bp1_kernel)
+
 
 def mcfarling_tournament(log_table_size: int = 14,
                          history_length: int = 12) -> Tournament:

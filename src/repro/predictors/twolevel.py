@@ -195,6 +195,47 @@ class TwoLevel(Predictor):
             first = (1 << self.log_histories) * self.history_length
         return pattern + first
 
+    def vector_kernel(self) -> Any:
+        """All nine schemes as one saturating table.
+
+        The pattern tables are independent counter arrays, so table
+        selection and the history pattern combine into a single flat
+        index ``(table << history_length) | pattern`` over one table of
+        ``num_pattern_tables * 2**history_length`` counters — the same
+        saturating-walk kernel as bimodal, with scheme-specific history
+        derivation (one global window, or per-key windows keyed the way
+        ``track`` keys the first-level table).
+        """
+        import numpy as np
+
+        from ..core.vectorized import SaturatingTableKernel
+
+        history_length = self.history_length
+        history_scope = self.history_scope
+        pattern_scope = self.pattern_scope
+        history_key_mask = np.uint64(mask(self.log_histories))
+        table_mask = np.uint64(self._table_mask)
+        set_shift = np.uint64(self.set_shift)
+
+        def indices(ctx: Any) -> Any:
+            if history_scope is Scope.GLOBAL:
+                patterns = ctx.global_history(history_length)
+            else:
+                keys = ctx.tracked_ips
+                if history_scope is Scope.PER_SET:
+                    keys = keys >> set_shift
+                patterns = ctx.keyed_history(keys & history_key_mask,
+                                             history_length)
+            if pattern_scope is Scope.GLOBAL:
+                selects = np.zeros(ctx.n, dtype=np.uint64)
+            elif pattern_scope is Scope.PER_SET:
+                selects = (ctx.ips >> set_shift) & table_mask
+            else:
+                selects = ctx.ips & table_mask
+            return (selects << np.uint64(history_length)) | patterns
+
+        return SaturatingTableKernel(indices, self.counter_width)
+
 
 def GAg(history_length: int = 16, **kwargs: Any) -> TwoLevel:
     """Global history register, global pattern table."""

@@ -182,3 +182,16 @@ class Yags(Predictor):
         choice = (1 << self.log_choice_size) * 2
         caches = 2 * (1 << self.log_cache_size) * (2 + self.tag_width)
         return choice + caches + self.history_length
+
+    def vector_kernel(self) -> Any:
+        """Hybrid kernel: vectorized index/tag streams, scalar caches.
+
+        Histories longer than 63 bits do not fit the packed uint64
+        windows, so such configurations stay on the scalar engine.
+        """
+        if self.history_length > 63:
+            return None
+        from ..core.vectorized import YagsKernel
+
+        return YagsKernel(self.log_choice_size, self.log_cache_size,
+                          self.tag_width, self.history_length)

@@ -126,3 +126,16 @@ def test_partial_results_are_cached(tmp_path, good_traces, bad_trace):
 def test_on_error_validation(good_traces):
     with pytest.raises(ValueError):
         run_suite(bimodal_factory, good_traces, on_error="ignore")
+
+
+def test_all_failed_suite_reports_zero_timing(bad_trace):
+    # Regression: a suite where *every* trace failed used to raise
+    # ValueError from TimingSummary.from_times([]) when reading
+    # batch.timing, crashing `mbp suite` after the failures were
+    # already collected cleanly.
+    batch = run_suite(bimodal_factory, [bad_trace], on_error="collect")
+    assert batch.results == []
+    assert len(batch.failures) == 1
+    timing = batch.timing
+    assert (timing.slowest, timing.average, timing.fastest,
+            timing.total) == (0.0, 0.0, 0.0, 0.0)

@@ -57,6 +57,28 @@ class TestClampedWalkScan:
             clamped_walk_states(np.zeros(2, np.int64),
                                 np.zeros(3, np.int64), -2, 1)
 
+    @given(st.lists(st.booleans(), min_size=1, max_size=60),
+           st.integers(min_value=-3, max_value=3))
+    def test_degenerate_lo_equals_hi(self, outcomes, bound):
+        # A one-value codomain: every update clamps to the single state.
+        # The closure algebra must survive B' = min(Bg, max(Ag, Bf + Cg))
+        # collapsing to a constant, not just the common lo < hi case.
+        segments = np.zeros(len(outcomes), dtype=np.int64)
+        steps = np.array([1 if t else -1 for t in outcomes], dtype=np.int64)
+        result = clamped_walk_states(segments, steps, bound, bound,
+                                     initial=0)
+        expected = self._reference(segments, steps, bound, bound)
+        assert result.tolist() == expected
+        # After the first update the state is pinned at the bound.
+        assert result[1:].tolist() == [bound] * (len(outcomes) - 1)
+
+    def test_lo_above_hi_rejected(self):
+        from repro.core.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            clamped_walk_states(np.zeros(2, np.int64),
+                                np.array([1, -1], np.int64), 1, -1)
+
     @given(st.integers(min_value=1, max_value=4),
            st.lists(st.booleans(), min_size=1, max_size=120))
     def test_single_segment_various_widths(self, width, outcomes):

@@ -26,9 +26,10 @@ class TestPredictorRegistry:
             make_predictor("oracle")
 
     def test_registry_covers_table2(self):
+        # The Table II set plus the vectorized-catalog additions.
         assert set(PREDICTOR_CHOICES) == {
             "bimodal", "two-level", "gshare", "tournament", "gskew",
-            "perceptron", "tage", "batage",
+            "local", "yags", "perceptron", "tage", "batage",
         }
 
 
@@ -54,6 +55,37 @@ class TestSimulateCommand:
         main(["simulate", str(trace_file), "--max-instructions", "500"])
         output = json.loads(capsys.readouterr().out)
         assert output["metadata"]["exhausted_trace"] is False
+
+    def test_engine_vectorized(self, trace_file, capsys):
+        assert main(["simulate", str(trace_file), "--predictor", "gshare",
+                     "--engine", "vectorized"]) == 0
+        output = json.loads(capsys.readouterr().out)
+        assert output["metrics"]["mispredictions"] > 0
+
+    def test_engine_vectorized_unsupported_predictor_clean_error(
+            self, trace_file):
+        # No traceback: the engine mismatch must surface as a one-line
+        # SystemExit message naming the predictor and the way out.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["simulate", str(trace_file), "--predictor", "tage",
+                  "--engine", "vectorized"])
+        message = str(excinfo.value)
+        assert "vector kernel" in message
+        assert "--engine scalar" in message
+
+    def test_engine_vectorized_unsupported_with_cache_clean_error(
+            self, trace_file, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["simulate", str(trace_file), "--predictor", "perceptron",
+                  "--engine", "vectorized",
+                  "--cache-dir", str(tmp_path / "cache")])
+        assert "vector kernel" in str(excinfo.value)
+
+    def test_engine_auto_falls_back(self, trace_file, capsys):
+        assert main(["simulate", str(trace_file), "--predictor", "tage",
+                     "--engine", "auto"]) == 0
+        output = json.loads(capsys.readouterr().out)
+        assert output["metrics"]["mispredictions"] > 0
 
 
 class TestCompareCommand:
@@ -155,6 +187,29 @@ class TestSuiteCommand:
         document = json.loads(capsys.readouterr().out)
         assert len(document["traces"]) == 1
         assert document["failures"][0]["trace"] == str(missing)
+
+    def test_sim_engine_vectorized_matches_scalar(self, tmp_path,
+                                                  small_trace, capsys):
+        path = tmp_path / "a.sbbt"
+        write_trace(path, small_trace)
+        main(["suite", str(path), "--predictor", "gshare"])
+        scalar = json.loads(capsys.readouterr().out)
+        assert main(["suite", str(path), "--predictor", "gshare",
+                     "--engine", "vectorized"]) == 0
+        vectorized = json.loads(capsys.readouterr().out)
+        for doc in (scalar, vectorized):
+            for entry in doc["traces"]:
+                entry.pop("simulation_time")
+            doc["aggregate"].pop("timing")
+        assert vectorized == scalar
+
+    def test_sim_engine_unsupported_collected_as_failure(
+            self, trace_file, capsys):
+        assert main(["suite", str(trace_file), "--predictor", "tage",
+                     "--engine", "vectorized"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["traces"] == []
+        assert "vector kernel" in document["failures"][0]["error"]
 
     def test_engine_stats_requires_workers(self, trace_file):
         with pytest.raises(SystemExit):

@@ -92,6 +92,41 @@ class TestSimulateGolden:
         check_golden("simulate_bimodal_warmup.json", out, trace_file.parent)
 
 
+class TestEngineGolden:
+    """``--engine vectorized`` / ``--engine auto`` pin the bit-exactness
+    claim at the CLI boundary: their normalized JSON must match a golden
+    file *and* the scalar engine's output for the same run."""
+
+    def test_simulate_vectorized(self, trace_file, capsys):
+        out = run(["simulate", str(trace_file), "--predictor", "gshare",
+                   "--engine", "vectorized"], capsys)
+        check_golden("simulate_gshare_vectorized.json", out,
+                     trace_file.parent)
+        scalar = run(["simulate", str(trace_file), "--predictor", "gshare"],
+                     capsys)
+        assert (normalize(out, trace_file.parent)
+                == normalize(scalar, trace_file.parent))
+
+    def test_simulate_auto(self, trace_file, capsys):
+        out = run(["simulate", str(trace_file), "--predictor", "tournament",
+                   "--engine", "auto"], capsys)
+        check_golden("simulate_tournament_auto.json", out,
+                     trace_file.parent)
+        scalar = run(["simulate", str(trace_file),
+                      "--predictor", "tournament"], capsys)
+        assert (normalize(out, trace_file.parent)
+                == normalize(scalar, trace_file.parent))
+
+    def test_simulate_auto_scalar_fallback(self, trace_file, capsys):
+        # No vector kernel for the perceptron: auto silently falls back.
+        out = run(["simulate", str(trace_file), "--predictor", "perceptron",
+                   "--engine", "auto"], capsys)
+        scalar = run(["simulate", str(trace_file),
+                      "--predictor", "perceptron"], capsys)
+        assert (normalize(out, trace_file.parent)
+                == normalize(scalar, trace_file.parent))
+
+
 class TestInfoGolden:
     def test_info_json(self, trace_file, capsys):
         out = run(["info", str(trace_file), "--json"], capsys)

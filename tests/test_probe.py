@@ -345,3 +345,48 @@ class TestProbeThroughTelemetry:
         path = tmp_path / "telemetry.json"
         write_telemetry(path)
         assert "probe" not in json.loads(path.read_text())
+
+
+class TestVectorizedCatalogProbe:
+    """``simulate(engine="vectorized")`` probe parity for every predictor
+    with a vector kernel: attribution, branch profile and structural
+    snapshot must serialize identically to the scalar engine's report."""
+
+    VECTORIZABLE = ["bimodal", "gshare", "tournament", "gskew", "yags"]
+
+    @pytest.mark.parametrize("name", VECTORIZABLE)
+    def test_report_matches_scalar(self, name, server_trace):
+        scalar = PredictionProbe(top_branches=10 ** 9)
+        scalar_result = simulate(PREDICTOR_FACTORIES[name](), server_trace,
+                                 SimulationConfig(), probe=scalar)
+        vectorized = PredictionProbe(top_branches=10 ** 9)
+        vec_result = simulate(PREDICTOR_FACTORIES[name](), server_trace,
+                              SimulationConfig(), engine="vectorized",
+                              probe=vectorized)
+        assert json.dumps(scalar.report()) == json.dumps(vectorized.report())
+        assert probe_consistent_with(vec_result.probe_report, vec_result)
+        assert scalar_result.mispredictions == vec_result.mispredictions
+
+    @pytest.mark.parametrize("name", VECTORIZABLE)
+    def test_report_matches_scalar_under_warmup(self, name, server_trace):
+        config = SimulationConfig(warmup_instructions=5000)
+        scalar = PredictionProbe(top_branches=10 ** 9)
+        simulate(PREDICTOR_FACTORIES[name](), server_trace, config,
+                 probe=scalar)
+        vectorized = PredictionProbe(top_branches=10 ** 9)
+        simulate(PREDICTOR_FACTORIES[name](), server_trace, config,
+                 engine="vectorized", probe=vectorized)
+        assert scalar.report() == vectorized.report()
+
+    def test_structure_snapshot_matches(self, server_trace):
+        # Component tables (chooser + both bases for the tournament)
+        # must land under the same roles with the same statistics.
+        scalar = PredictionProbe()
+        simulate(PREDICTOR_FACTORIES["tournament"](), server_trace,
+                 SimulationConfig(), probe=scalar)
+        vectorized = PredictionProbe()
+        simulate(PREDICTOR_FACTORIES["tournament"](), server_trace,
+                 SimulationConfig(), engine="vectorized", probe=vectorized)
+        a, b = scalar.report(), vectorized.report()
+        assert list(a["structure"]) == list(b["structure"])
+        assert a["structure"] == b["structure"]

@@ -487,3 +487,54 @@ class TestMonotonicTiming:
                           telemetry=recorder)
         assert result.simulation_time >= 0.0
         assert recorder.series.consistent_with(result)
+
+
+class TestVectorizedEngineTelemetry:
+    """``simulate(engine="vectorized")`` keeps the scalar engine's
+    telemetry contract: same phase names, identical interval series."""
+
+    def test_phase_names_match_scalar(self, small_trace):
+        scalar_timers, vector_timers = PhaseTimers(), PhaseTimers()
+        simulate(GShare(log_table_size=10, history_length=8), small_trace,
+                 instrumentation=scalar_timers)
+        simulate(GShare(log_table_size=10, history_length=8), small_trace,
+                 engine="vectorized", instrumentation=vector_timers)
+        assert set(scalar_timers.phases) == set(vector_timers.phases) == {
+            "trace_read", "simulate_loop", "finalize"}
+
+    def test_interval_series_identical(self, small_trace):
+        scalar_rec = IntervalRecorder(interval=1000)
+        vector_rec = IntervalRecorder(interval=1000)
+        a = simulate(Bimodal(log_table_size=10), small_trace,
+                     telemetry=scalar_rec)
+        b = simulate(Bimodal(log_table_size=10), small_trace,
+                     engine="vectorized", telemetry=vector_rec)
+        assert scalar_rec.series.to_json() == vector_rec.series.to_json()
+        assert vector_rec.series.consistent_with(b)
+        assert a.mispredictions == b.mispredictions
+
+    def test_interval_series_identical_under_warmup_and_limit(
+            self, server_trace):
+        config = SimulationConfig(warmup_instructions=4000,
+                                  max_instructions=15000)
+        scalar_rec = IntervalRecorder(interval=700)
+        vector_rec = IntervalRecorder(interval=700)
+        simulate(Bimodal(log_table_size=10), server_trace, config,
+                 telemetry=scalar_rec)
+        b = simulate(Bimodal(log_table_size=10), server_trace, config,
+                     engine="vectorized", telemetry=vector_rec)
+        assert scalar_rec.series.to_json() == vector_rec.series.to_json()
+        assert vector_rec.series.consistent_with(b)
+
+    def test_result_unchanged_by_instrumentation(self, small_trace):
+        plain = simulate(GShare(log_table_size=10, history_length=8),
+                         small_trace, engine="vectorized")
+        timers = PhaseTimers()
+        recorder = IntervalRecorder(interval=2000)
+        instrumented = simulate(GShare(log_table_size=10, history_length=8),
+                                small_trace, engine="vectorized",
+                                instrumentation=timers, telemetry=recorder)
+        a, b = plain.to_json(), instrumented.to_json()
+        del a["metrics"]["simulation_time"]
+        del b["metrics"]["simulation_time"]
+        assert a == b
