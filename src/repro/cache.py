@@ -52,12 +52,44 @@ from .sbbt.trace import TraceData
 
 __all__ = [
     "SCHEMA_VERSION",
+    "CACHE_DIR_ENV",
+    "resolve_cache_dir",
     "CacheStats",
     "VerifyReport",
     "SimulationCache",
 ]
 
 TraceLike = Union[TraceData, str, os.PathLike]
+
+#: Environment variable naming a default cache directory.
+CACHE_DIR_ENV = "MBP_CACHE_DIR"
+
+
+def resolve_cache_dir(explicit: str | os.PathLike | None = None, *,
+                      default: str | os.PathLike | None = None,
+                      environ: dict[str, str] | None = None) -> str | None:
+    """The cache directory every entry point agrees on.
+
+    Precedence: an ``explicit`` value (a ``--cache-dir`` flag) wins,
+    then the :data:`CACHE_DIR_ENV` environment variable, then
+    ``default`` (usually ``None`` = caching off, or a service-private
+    directory).  Empty strings at any level mean "unset" — so
+    ``MBP_CACHE_DIR=""`` disables the env layer rather than naming the
+    current directory.  ``environ`` is injectable for tests.
+
+    Every consumer — ``mbp simulate/suite/sweep``, ``mbp cache``, the
+    serve daemon — resolves through this one function, so they cannot
+    drift apart on which cache they talk to.
+    """
+    if explicit is not None and str(explicit):
+        return str(explicit)
+    env = os.environ if environ is None else environ
+    from_env = env.get(CACHE_DIR_ENV, "")
+    if from_env:
+        return from_env
+    if default is not None and str(default):
+        return str(default)
+    return None
 
 #: Version of the on-disk entry format *and* of the key derivation.
 #: Bumping it orphans every existing entry (old entries read as misses

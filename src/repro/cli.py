@@ -22,6 +22,13 @@ command away:
 * ``mbp championship`` — rank predictors CBP-style over trace suites.
 * ``mbp cache``     — stats / clear / verify of a result cache directory.
 * ``mbp report``    — render telemetry documents / manifests as tables.
+* ``mbp serve``     — long-running simulation daemon (unix socket or
+  TCP, newline-delimited JSON protocol, shared engine + cache).
+* ``mbp client``    — talk to a running ``mbp serve`` daemon.
+
+Cache directories resolve uniformly everywhere (``--cache-dir`` flag,
+then the ``MBP_CACHE_DIR`` environment variable, then off) via
+:func:`repro.cache.resolve_cache_dir`.
 
 Every subcommand is documented in ``docs/cli.md``; a CI check
 (``tools/check_docs.py``) keeps that page in sync with this parser.
@@ -34,6 +41,7 @@ import json
 import sys
 from typing import Callable, Sequence
 
+from .cache import resolve_cache_dir
 from .core.comparison import compare
 from .core.errors import EngineNotSupportedError
 from .core.predictor import Predictor
@@ -254,7 +262,9 @@ def build_parser() -> argparse.ArgumentParser:
         "action", choices=["stats", "clear", "verify"],
         help="stats: entry count and size as JSON; clear: delete every "
              "entry; verify: decode every entry and report corrupt ones")
-    cache_parser.add_argument("--cache-dir", required=True, metavar="DIR")
+    cache_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache directory (default: $MBP_CACHE_DIR)")
     cache_parser.add_argument(
         "--delete-invalid", action="store_true",
         help="with 'verify': also delete the entries that fail to decode")
@@ -278,6 +288,97 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", default=None, choices=["text", "json", "csv"],
         help="output format: text tables (default), merged JSON, or "
              "sectioned CSV")
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run a long-lived simulation daemon (newline-delimited JSON "
+             "over a unix socket or TCP)")
+    serve_parser.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="unix socket path to listen on (default mbp-serve.sock in "
+             "the current directory; mutually exclusive with --host)")
+    serve_parser.add_argument(
+        "--host", default=None, metavar="HOST",
+        help="listen on TCP instead of a unix socket")
+    serve_parser.add_argument(
+        "--port", type=int, default=0, metavar="PORT",
+        help="TCP port with --host (default 0 = pick a free port, "
+             "printed on startup)")
+    serve_parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="execution-engine worker processes shared by every client "
+             "(0 = simulate on in-process threads, no multiprocessing)")
+    serve_parser.add_argument(
+        "--start-method", default=None,
+        choices=["fork", "spawn", "forkserver"],
+        help="multiprocessing start method for the engine workers")
+    serve_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="shared result cache (default: $MBP_CACHE_DIR, else a "
+             "private temporary directory for the daemon's lifetime)")
+    serve_parser.add_argument(
+        "--engine", default="auto", choices=list(ENGINE_CHOICES),
+        help="default simulation engine for requests that don't name one "
+             "(default auto)")
+    serve_parser.add_argument(
+        "--max-queue", type=int, default=64, metavar="N",
+        help="per-client pending-request bound; a full queue answers "
+             "'overloaded' (default 64)")
+    serve_parser.add_argument(
+        "--timeout", type=float, default=60.0, metavar="SECONDS",
+        help="per-request time budget; exceeding it answers 'timeout' "
+             "while the computation still finishes into the cache "
+             "(default 60; 0 = unlimited)")
+    serve_parser.add_argument(
+        "--max-request-bytes", type=int, default=None, metavar="BYTES",
+        help="frame size limit; larger requests answer 'too_large' "
+             "(default 4 MiB)")
+
+    client_parser = sub.add_parser(
+        "client", help="talk to a running 'mbp serve' daemon")
+    client_parser.add_argument(
+        "action",
+        choices=["ping", "stats", "simulate", "suite", "sweep", "shutdown"],
+        help="operation to request from the daemon")
+    client_parser.add_argument(
+        "traces", nargs="*",
+        help="trace path(s): exactly one for simulate, one or more for "
+             "suite/sweep")
+    client_parser.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="unix socket the daemon listens on")
+    client_parser.add_argument(
+        "--host", default=None, metavar="HOST",
+        help="connect over TCP instead of a unix socket")
+    client_parser.add_argument("--port", type=int, default=0, metavar="PORT",
+                               help="TCP port with --host")
+    client_parser.add_argument(
+        "--predictor", default="gshare", choices=sorted(PREDICTOR_CHOICES))
+    client_parser.add_argument(
+        "--parameter", default=None, metavar="NAME",
+        help="constructor parameter to sweep (sweep action only)")
+    client_parser.add_argument(
+        "--values", default=None, metavar="SPEC",
+        help="sweep values: comma-separated and/or lo:hi[:step] ranges "
+             "(sweep action only)")
+    client_parser.add_argument(
+        "--fixed", action="append", default=[], metavar="NAME=VALUE",
+        help="fix a constructor parameter (repeatable; simulate/suite/"
+             "sweep)")
+    client_parser.add_argument("--warmup", type=int, default=0,
+                               metavar="INSTRUCTIONS")
+    client_parser.add_argument("--max-instructions", type=int, default=None)
+    client_parser.add_argument(
+        "--engine", default=None, choices=list(ENGINE_CHOICES),
+        help="simulation engine for this request (default: the "
+             "daemon's --engine setting)")
+    client_parser.add_argument(
+        "--timeout", type=float, default=120.0, metavar="SECONDS",
+        help="client-side socket timeout (default 120)")
+    client_parser.add_argument(
+        "--result-only", action="store_true",
+        help="with 'simulate': print only the SimulationResult JSON, "
+             "byte-identical to 'mbp simulate' output")
     return parser
 
 
@@ -304,12 +405,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         from .probe import PredictionProbe
 
         probe = PredictionProbe()
-    cache_used = args.cache_dir is not None
+    cache_dir = resolve_cache_dir(args.cache_dir)
+    cache_used = cache_dir is not None
     try:
         if cache_used:
             from .cache import SimulationCache
 
-            cache = SimulationCache(args.cache_dir)
+            cache = SimulationCache(cache_dir)
             result = cache.get_or_simulate(
                 lambda: make_predictor(args.predictor), args.trace, config,
                 engine=args.engine, instrumentation=instrumentation,
@@ -428,8 +530,8 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     engine = _make_engine(args)
     with engine if engine is not None else nullcontext():
         batch = run_suite(factory, args.traces, config, engine=engine,
-                          cache=args.cache_dir, on_error="collect",
-                          sim_engine=args.engine)
+                          cache=resolve_cache_dir(args.cache_dir),
+                          on_error="collect", sim_engine=args.engine)
         _emit_engine_stats(args, engine)
     timing = batch.timing
     if args.compact:
@@ -488,7 +590,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     engine = _make_engine(args)
     with engine if engine is not None else nullcontext():
         sweep = sweep_parameter(factory, args.parameter, values, args.traces,
-                                config, fixed, cache=args.cache_dir,
+                                config, fixed,
+                                cache=resolve_cache_dir(args.cache_dir),
                                 engine=engine)
         _emit_engine_stats(args, engine)
     best = sweep.best()
@@ -613,7 +716,11 @@ def _cmd_championship(args: argparse.Namespace) -> int:
 def _cmd_cache(args: argparse.Namespace) -> int:
     from .cache import SimulationCache
 
-    cache = SimulationCache(args.cache_dir)
+    cache_dir = resolve_cache_dir(args.cache_dir)
+    if cache_dir is None:
+        raise SystemExit(
+            "no cache directory: pass --cache-dir or set MBP_CACHE_DIR")
+    cache = SimulationCache(cache_dir)
     if args.action == "stats":
         print(json.dumps(cache.stats().to_json(), indent=2))
         return 0
@@ -727,6 +834,103 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return status
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from .serve import MbpServer, ServeConfig
+
+    if args.socket is not None and args.host is not None:
+        raise SystemExit("pass --socket or --host, not both")
+    config = ServeConfig(
+        socket_path=args.socket if args.host is None else None,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        start_method=args.start_method,
+        cache_dir=resolve_cache_dir(args.cache_dir),
+        sim_engine=args.engine,
+        max_queue=args.max_queue,
+        request_timeout=args.timeout if args.timeout > 0 else None,
+        **({} if args.max_request_bytes is None
+           else {"max_request_bytes": args.max_request_bytes}),
+    )
+    server = MbpServer(config)
+
+    class _Announce:
+        """Duck-typed `ready` for MbpServer.run: prints the address."""
+
+        @staticmethod
+        def set() -> None:
+            kind, *where = server.bound
+            address = where[0] if kind == "unix" else f"{where[0]}:{where[1]}"
+            print(f"mbp serve: listening on {kind} {address} "
+                  f"(workers={config.workers}, cache={server.cache.directory})",
+                  file=sys.stderr, flush=True)
+
+    # SIGINT/SIGTERM drain gracefully: request_shutdown is threadsafe,
+    # so plain signal handlers are enough (and work on every platform).
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: server.request_shutdown())
+    asyncio.run(server.run(ready=_Announce()))
+    print("mbp serve: stopped", file=sys.stderr)
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from .serve.client import MbpClient, ServeError
+
+    if (args.socket is None) == (args.host is None):
+        raise SystemExit("pass exactly one of --socket or --host")
+    try:
+        if args.socket is not None:
+            client = MbpClient(socket_path=args.socket, timeout=args.timeout)
+        else:
+            client = MbpClient(host=args.host, port=args.port,
+                               timeout=args.timeout)
+    except OSError as exc:
+        raise SystemExit(f"cannot connect to mbp serve: {exc}") from None
+    parameters = _parse_fixed(args.fixed)
+    common = {"parameters": parameters, "warmup": args.warmup,
+              "max_instructions": args.max_instructions,
+              "engine": args.engine}
+    try:
+        with client:
+            if args.action in ("ping", "stats", "shutdown"):
+                if args.traces:
+                    raise SystemExit(f"'{args.action}' takes no trace paths")
+                reply = getattr(client, args.action)()
+            elif args.action == "simulate":
+                if len(args.traces) != 1:
+                    raise SystemExit("'simulate' takes exactly one trace")
+                reply = client.simulate(args.traces[0], args.predictor,
+                                        **common)
+            elif args.action == "suite":
+                if not args.traces:
+                    raise SystemExit("'suite' takes one or more traces")
+                reply = client.suite(args.traces, args.predictor, **common)
+            else:  # sweep
+                if not args.traces:
+                    raise SystemExit("'sweep' takes one or more traces")
+                if args.parameter is None or args.values is None:
+                    raise SystemExit("'sweep' needs --parameter and --values")
+                reply = client.sweep(args.traces, args.predictor,
+                                     args.parameter,
+                                     _parse_values(args.values), **common)
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except (OSError, ConnectionError) as exc:
+        raise SystemExit(f"connection to mbp serve failed: {exc}") from None
+    if args.result_only:
+        if "result" not in reply:
+            raise SystemExit("--result-only needs the 'simulate' action")
+        print(json.dumps(reply["result"], indent=2))
+    else:
+        print(json.dumps(reply, indent=2))
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "suite": _cmd_suite,
@@ -739,6 +943,8 @@ _COMMANDS = {
     "championship": _cmd_championship,
     "cache": _cmd_cache,
     "report": _cmd_report,
+    "serve": _cmd_serve,
+    "client": _cmd_client,
 }
 
 

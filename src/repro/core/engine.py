@@ -371,6 +371,19 @@ class ExecutionEngine:
             pool.shutdown(wait=False, cancel_futures=True)
         self.stats.pool_restarts += 1
 
+    def recover(self) -> None:
+        """Replace the worker pool after a crash; resident traces survive.
+
+        :meth:`run_tasks` restarts the pool automatically when it
+        observes a :class:`BrokenProcessPool`; callers driving
+        :meth:`submit` directly (the serve daemon, custom schedulers)
+        use this to do the same.  No-op on a closed engine.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._restart_pool()
+
     # ------------------------------------------------------------------
     # Trace publication.
     # ------------------------------------------------------------------

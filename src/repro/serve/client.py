@@ -1,0 +1,216 @@
+"""A small synchronous client for the ``mbp serve`` daemon.
+
+:class:`MbpClient` is the reference implementation of the protocol's
+client side — stdlib sockets, blocking calls, one connection — used by
+``mbp client``, the test suite and the load benchmark.  The protocol is
+plain newline-delimited JSON, so any language with sockets and a JSON
+parser can do what this module does in ~40 lines; ``docs/serve.md``
+shows the equivalent raw exchange.
+
+    >>> from repro.serve import MbpClient          # doctest: +SKIP
+    >>> with MbpClient(socket_path="mbp.sock") as client:
+    ...     client.ping()["version"]               # doctest: +SKIP
+    'v1.0.0'
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Iterable
+
+from .protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+)
+
+__all__ = ["ServeError", "MbpClient"]
+
+
+class ServeError(Exception):
+    """The server answered with an error frame.
+
+    ``code`` is one of :data:`repro.serve.protocol.ERROR_CODES`;
+    ``message`` is the server's human-readable detail.
+    """
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+
+class MbpClient:
+    """One blocking connection to an ``mbp serve`` daemon.
+
+    Connects over the unix socket at ``socket_path`` (the default
+    transport) or over TCP when ``host`` is given.  Each high-level
+    method sends one request frame and blocks for its reply; the
+    ``id`` field is assigned from a per-connection counter.  Error
+    frames raise :class:`ServeError`.  Not thread-safe — use one
+    client per thread (the server happily accepts many connections).
+    """
+
+    def __init__(self, socket_path: str | None = None, *,
+                 host: str | None = None, port: int = 0,
+                 timeout: float | None = 120.0,
+                 max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES):
+        if (socket_path is None) == (host is None):
+            raise ValueError("pass exactly one of socket_path or host")
+        if socket_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(str(socket_path))
+        else:
+            self._sock = socket.create_connection((host, port),
+                                                  timeout=timeout)
+        self._max_frame_bytes = max_frame_bytes
+        self._buffer = b""
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Wire plumbing.
+    # ------------------------------------------------------------------
+
+    def _read_line(self) -> bytes:
+        while b"\n" not in self._buffer:
+            if len(self._buffer) > self._max_frame_bytes:
+                raise ProtocolError(
+                    "too_large",
+                    f"response frame exceeds {self._max_frame_bytes} bytes")
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ConnectionError(
+                    "server closed the connection mid-response")
+            self._buffer += chunk
+        line, self._buffer = self._buffer.split(b"\n", 1)
+        return line + b"\n"
+
+    def request(self, frame: dict[str, Any]) -> dict[str, Any]:
+        """Send one raw request frame, block for its reply.
+
+        Assigns ``id`` if the frame lacks one, raises
+        :class:`ServeError` on an error reply, returns the success
+        frame otherwise.  The escape hatch for operations the
+        convenience methods don't cover.
+        """
+        frame = dict(frame)
+        frame.setdefault("id", self._take_id())
+        self._sock.sendall(encode_frame(frame))
+        while True:
+            reply = decode_frame(self._read_line(),
+                                 max_bytes=self._max_frame_bytes)
+            # Replies can interleave when requests are pipelined by
+            # ``request_many``; a plain request just matches its id.
+            if reply.get("id") == frame["id"] or reply.get("id") is None:
+                break
+        if not reply.get("ok"):
+            error = reply.get("error") or {}
+            raise ServeError(error.get("code", "internal"),
+                             error.get("message", "unspecified error"))
+        return reply
+
+    def request_many(self,
+                     frames: Iterable[dict[str, Any]]) -> list[dict[str, Any]]:
+        """Pipeline several requests, return replies in request order.
+
+        All frames are written before any reply is read, so the server
+        can overlap and coalesce the work.  Error replies come back as
+        :class:`ServeError` *instances* in the list (not raised), so
+        one failed request doesn't hide the others' results.
+        """
+        frames = [dict(frame) for frame in frames]
+        for frame in frames:
+            frame.setdefault("id", self._take_id())
+            self._sock.sendall(encode_frame(frame))
+        pending = {frame["id"]: index for index, frame in enumerate(frames)}
+        replies: list[Any] = [None] * len(frames)
+        while pending:
+            reply = decode_frame(self._read_line(),
+                                 max_bytes=self._max_frame_bytes)
+            index = pending.pop(reply.get("id"), None)
+            if index is None:
+                continue
+            if reply.get("ok"):
+                replies[index] = reply
+            else:
+                error = reply.get("error") or {}
+                replies[index] = ServeError(
+                    error.get("code", "internal"),
+                    error.get("message", "unspecified error"))
+        return replies
+
+    def _take_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "MbpClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Operations.
+    # ------------------------------------------------------------------
+
+    def ping(self) -> dict[str, Any]:
+        """Round-trip liveness check; returns server name + version."""
+        return self.request({"op": "ping"})
+
+    def stats(self) -> dict[str, Any]:
+        """The server's counters, queue gauges, engine + cache stats."""
+        return self.request({"op": "stats"})
+
+    def shutdown(self) -> dict[str, Any]:
+        """Ask the server to drain and stop."""
+        return self.request({"op": "shutdown"})
+
+    def simulate(self, trace: str, predictor: str = "gshare", *,
+                 parameters: dict[str, Any] | None = None,
+                 warmup: int = 0, max_instructions: int | None = None,
+                 engine: str | None = None) -> dict[str, Any]:
+        """Simulate one trace; the reply's ``result`` field is the full
+        Listing-1 ``SimulationResult`` JSON."""
+        return self.request({
+            "op": "simulate", "trace": str(trace), "predictor": predictor,
+            "parameters": parameters or {}, "warmup": warmup,
+            "max_instructions": max_instructions, "engine": engine})
+
+    def suite(self, traces: list[str], predictor: str = "gshare", *,
+              parameters: dict[str, Any] | None = None,
+              warmup: int = 0, max_instructions: int | None = None,
+              engine: str | None = None) -> dict[str, Any]:
+        """Simulate a predictor over several traces in one request."""
+        return self.request({
+            "op": "suite", "traces": [str(t) for t in traces],
+            "predictor": predictor, "parameters": parameters or {},
+            "warmup": warmup, "max_instructions": max_instructions,
+            "engine": engine})
+
+    def sweep(self, traces: list[str], predictor: str, parameter: str,
+              values: list[Any], *,
+              parameters: dict[str, Any] | None = None,
+              warmup: int = 0, max_instructions: int | None = None,
+              engine: str | None = None) -> dict[str, Any]:
+        """Sweep one constructor parameter over a suite of traces."""
+        return self.request({
+            "op": "sweep", "traces": [str(t) for t in traces],
+            "predictor": predictor, "parameter": parameter,
+            "values": list(values), "parameters": parameters or {},
+            "warmup": warmup, "max_instructions": max_instructions,
+            "engine": engine})
+
+
+def _protocol_version() -> int:
+    """The protocol version this client speaks (for ``mbp client``)."""
+    return PROTOCOL_VERSION

@@ -20,7 +20,8 @@ from pathlib import Path
 
 import pytest
 
-from repro.cache import SCHEMA_VERSION, SimulationCache
+from repro.cache import (CACHE_DIR_ENV, SCHEMA_VERSION, SimulationCache,
+                         resolve_cache_dir)
 from repro.analysis.sweep import sweep_parameter
 from repro.core.batch import run_suite
 from repro.core.errors import CacheError
@@ -359,3 +360,52 @@ class TestMaintenance:
         rebuilt = SimulationResult.from_json(result.to_json())
         assert rebuilt.to_json() == result.to_json()
         assert rebuilt.mpki == result.mpki
+
+
+class TestResolveCacheDir:
+    """Regression tests for the single flag > env > default rule."""
+
+    def test_explicit_beats_environment(self):
+        assert resolve_cache_dir(
+            "flag", environ={CACHE_DIR_ENV: "env"}) == "flag"
+
+    def test_environment_beats_default(self):
+        assert resolve_cache_dir(
+            None, default="dflt", environ={CACHE_DIR_ENV: "env"}) == "env"
+
+    def test_default_when_nothing_else(self):
+        assert resolve_cache_dir(None, default="dflt", environ={}) == "dflt"
+
+    def test_all_unset_is_none(self):
+        assert resolve_cache_dir(None, environ={}) is None
+
+    def test_empty_strings_mean_unset_at_every_level(self):
+        assert resolve_cache_dir(
+            "", default="dflt", environ={CACHE_DIR_ENV: ""}) == "dflt"
+        assert resolve_cache_dir("", environ={}) is None
+
+    def test_pathlike_explicit_is_stringified(self):
+        assert resolve_cache_dir(Path("p") / "q", environ={}) == os.path.join(
+            "p", "q")
+
+    def test_reads_real_environment_by_default(self, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, "from-process-env")
+        assert resolve_cache_dir(None) == "from-process-env"
+        monkeypatch.delenv(CACHE_DIR_ENV)
+        assert resolve_cache_dir(None) is None
+
+    def test_cli_simulate_and_cache_stats_agree(self, tmp_path, trace_paths,
+                                                monkeypatch, capsys):
+        """`mbp simulate` (env-resolved cache) fills exactly the store
+        `mbp cache stats` (same env) inspects."""
+        from repro.cli import main
+
+        cache_dir = tmp_path / "env-cache"
+        monkeypatch.setenv(CACHE_DIR_ENV, str(cache_dir))
+        assert main(["simulate", str(trace_paths[0]),
+                     "--predictor", "bimodal"]) == 0
+        capsys.readouterr()  # discard the simulation report
+        assert main(["cache", "stats"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["directory"] == str(cache_dir)
+        assert stats["entries"] == 1

@@ -1,0 +1,174 @@
+"""Codec and validation tests for the serve wire protocol."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    ERROR_CODES,
+    OPERATIONS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_response,
+    ok_response,
+    validate_request,
+)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        frame = {"id": 3, "op": "simulate", "trace": "t.sbbt"}
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_encoded_frame_is_one_line(self):
+        data = encode_frame({"text": "a\nb", "nested": {"x": [1, 2]}})
+        assert data.endswith(b"\n")
+        assert data.count(b"\n") == 1
+
+    def test_encoded_frame_is_ascii(self):
+        data = encode_frame({"name": "trés"})
+        data.decode("ascii")  # must not raise
+
+    def test_oversized_frame_rejected(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_frame(b"x" * 100, max_bytes=50)
+        assert excinfo.value.code == "too_large"
+
+    def test_non_json_rejected(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_frame(b"not json at all\n")
+        assert excinfo.value.code == "bad_request"
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_frame(b"[1, 2, 3]\n")
+        assert excinfo.value.code == "bad_request"
+
+    def test_default_limit_is_4mib(self):
+        assert DEFAULT_MAX_FRAME_BYTES == 4 * 1024 * 1024
+
+
+class TestResponses:
+    def test_ok_response_shape(self):
+        frame = ok_response(7, "ping", {"server": "mbp-serve"})
+        assert frame["id"] == 7
+        assert frame["ok"] is True
+        assert frame["op"] == "ping"
+        assert frame["protocol"] == PROTOCOL_VERSION
+        assert frame["server"] == "mbp-serve"
+
+    def test_error_response_shape(self):
+        frame = error_response(None, "timeout", "too slow")
+        assert frame["ok"] is False
+        assert frame["error"] == {"code": "timeout", "message": "too slow"}
+
+    def test_error_response_maps_unknown_code_to_internal(self):
+        frame = error_response(1, "no-such-code", "boom")
+        assert frame["error"]["code"] == "internal"
+        assert "no-such-code" in frame["error"]["message"]
+
+    def test_protocol_error_rejects_unknown_code(self):
+        with pytest.raises(ValueError):
+            ProtocolError("no-such-code", "boom")
+
+    def test_every_error_code_documented(self):
+        for code, meaning in ERROR_CODES.items():
+            assert code and meaning
+
+
+class TestValidateRequest:
+    def test_control_ops_take_no_fields(self):
+        for op in ("ping", "stats", "shutdown"):
+            assert validate_request({"op": op, "id": 9}) == {
+                "op": op, "id": 9}
+
+    def test_missing_op(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            validate_request({"id": 1})
+        assert excinfo.value.code == "bad_request"
+
+    def test_unknown_op(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            validate_request({"op": "dance"})
+        assert excinfo.value.code == "unknown_op"
+        assert all(op in excinfo.value.message for op in OPERATIONS)
+
+    def test_simulate_defaults(self):
+        out = validate_request({"op": "simulate", "trace": "t.sbbt"})
+        assert out == {
+            "op": "simulate", "id": None, "trace": "t.sbbt",
+            "predictor": "gshare", "parameters": {}, "warmup": 0,
+            "max_instructions": None, "engine": None}
+
+    def test_simulate_requires_trace(self):
+        for bad in ({}, {"trace": ""}, {"trace": 7}, {"trace": ["a"]}):
+            with pytest.raises(ProtocolError):
+                validate_request({"op": "simulate", **bad})
+
+    def test_warmup_validation(self):
+        with pytest.raises(ProtocolError):
+            validate_request({"op": "simulate", "trace": "t", "warmup": -1})
+        with pytest.raises(ProtocolError):
+            validate_request({"op": "simulate", "trace": "t",
+                              "warmup": True})
+
+    def test_engine_validation(self):
+        out = validate_request({"op": "simulate", "trace": "t",
+                                "engine": "vectorized"})
+        assert out["engine"] == "vectorized"
+        with pytest.raises(ProtocolError):
+            validate_request({"op": "simulate", "trace": "t",
+                              "engine": "warp"})
+
+    def test_suite_requires_nonempty_traces(self):
+        out = validate_request({"op": "suite", "traces": ["a", "b"]})
+        assert out["traces"] == ["a", "b"]
+        for bad in ([], ["a", ""], "a", [1]):
+            with pytest.raises(ProtocolError):
+                validate_request({"op": "suite", "traces": bad})
+
+    def test_sweep_fields(self):
+        out = validate_request({
+            "op": "sweep", "traces": ["t"], "parameter": "history_length",
+            "values": [4, 8.5, "x"]})
+        assert out["parameter"] == "history_length"
+        assert out["values"] == [4, 8.5, "x"]
+
+    def test_sweep_rejects_bool_values(self):
+        with pytest.raises(ProtocolError):
+            validate_request({"op": "sweep", "traces": ["t"],
+                              "parameter": "p", "values": [True]})
+
+    def test_sweep_rejects_missing_axis(self):
+        with pytest.raises(ProtocolError):
+            validate_request({"op": "sweep", "traces": ["t"],
+                              "values": [1]})
+        with pytest.raises(ProtocolError):
+            validate_request({"op": "sweep", "traces": ["t"],
+                              "parameter": "p"})
+
+    def test_id_passes_through_any_json_value(self):
+        for request_id in (0, "abc", None, [1, 2]):
+            out = validate_request({"op": "ping", "id": request_id})
+            assert out["id"] == request_id
+
+    def test_parameters_must_be_object(self):
+        with pytest.raises(ProtocolError):
+            validate_request({"op": "simulate", "trace": "t",
+                              "parameters": [1]})
+
+
+def test_validated_request_survives_the_wire():
+    """encode -> decode -> validate is stable (idempotent keying)."""
+    request = {"op": "suite", "id": 5, "traces": ["a.sbbt"],
+               "predictor": "tage", "parameters": {"num_tables": 4},
+               "warmup": 100, "max_instructions": None, "engine": "auto"}
+    validated = validate_request(request)
+    re_validated = validate_request(
+        json.loads(encode_frame(validated).decode()))
+    assert re_validated == validated

@@ -9,8 +9,13 @@ Two guarantees, both enforced in CI (the ``docs`` job):
    free variables, but they must at least parse).
 2. **The CLI reference is complete.**  Every subcommand registered in
    ``repro.cli.build_parser`` must be mentioned in ``docs/cli.md``
-   as ``mbp <subcommand>``, so a new subparser cannot ship
+   as ``mbp <subcommand>``, *and every option flag of every
+   subcommand* (``--engine``, ``--workers``, ...) must appear in that
+   page too — so neither a new subparser nor a new flag can ship
    undocumented.
+3. **The index is complete.**  Every ``docs/*.md`` page must be linked
+   from the ``docs/README.md`` index, so a new document cannot ship
+   unreachable.
 
 Exit status is non-zero on any failure; output lists every problem,
 not just the first.  Run locally with::
@@ -88,7 +93,8 @@ def check_block(path: Path, line: int, body: str) -> list[str]:
 
 
 def check_cli_reference() -> list[str]:
-    """Every registered ``mbp`` subcommand must appear in docs/cli.md."""
+    """Every ``mbp`` subcommand *and every option flag* must appear in
+    docs/cli.md."""
     from repro.cli import build_parser
 
     parser = build_parser()
@@ -104,8 +110,34 @@ def check_cli_reference() -> list[str]:
                 f"docs/cli.md: subcommand {name!r} is registered in "
                 "repro.cli.build_parser but never mentioned as "
                 f"'mbp {name}'")
+        subparser = subparsers.choices[name]
+        for action in subparser._actions:
+            # The longest spelling is the canonical one to document.
+            flags = [s for s in action.option_strings if s.startswith("--")]
+            if not flags or "--help" in flags:
+                continue
+            flag = max(flags, key=len)
+            if flag not in cli_doc:
+                problems.append(
+                    f"docs/cli.md: flag '{flag}' of 'mbp {name}' is "
+                    "registered in repro.cli.build_parser but never "
+                    "documented")
     if not subcommands:
         problems.append("repro.cli.build_parser exposes no subcommands?")
+    return problems
+
+
+def check_docs_index() -> list[str]:
+    """Every docs/*.md page must be linked from the docs/README.md index."""
+    index = (DOCS / "README.md").read_text()
+    problems = []
+    for path in sorted(DOCS.glob("*.md")):
+        if path.name == "README.md":
+            continue
+        if path.name not in index:
+            problems.append(
+                f"docs/README.md: page '{path.name}' exists but is not "
+                "linked from the index")
     return problems
 
 
@@ -123,6 +155,7 @@ def main() -> int:
                 doctested += 1
             problems.extend(check_block(path, line, body))
     problems.extend(check_cli_reference())
+    problems.extend(check_docs_index())
     if problems:
         for problem in problems:
             print(f"FAIL {problem}")
@@ -130,7 +163,7 @@ def main() -> int:
         return 1
     print(f"OK: {len(documents)} documents, {blocks} python blocks "
           f"({doctested} doctested), docs/cli.md covers every mbp "
-          "subcommand")
+          "subcommand and flag, docs/README.md indexes every page")
     return 0
 
 
