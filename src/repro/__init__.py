@@ -37,7 +37,10 @@ from .core import (
     Predictor,
     SimulationConfig,
     SimulationResult,
+    WorkPlan,
+    WorkUnit,
     compare,
+    execute_plan,
     run_suite,
     simulate,
     simulate_file,
@@ -65,7 +68,7 @@ __version__ = "1.0.0"
 __all__ = [
     "Branch", "BranchType", "ComparisonResult", "Opcode", "Predictor",
     "SimulationConfig", "SimulationResult", "compare", "run_suite",
-    "ExecutionEngine",
+    "ExecutionEngine", "WorkPlan", "WorkUnit", "execute_plan",
     "simulate", "simulate_file",
     "SbbtReader", "SbbtWriter", "TraceData", "read_trace", "write_trace",
     "SimulationCache", "trace_digest",

@@ -22,7 +22,7 @@ from ..core.batch import CacheLike, run_suite
 from ..core.predictor import Predictor
 from ..core.simulator import SimulationConfig
 from ..sbbt.trace import TraceData
-from .sweep import engine_scope
+from .sweep import engine_scope, evaluate_param_sets
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.engine import ExecutionEngine
@@ -79,6 +79,7 @@ def _objective(factory: Callable[..., Predictor],
                config: SimulationConfig | None,
                cache: CacheLike = None,
                engine: "ExecutionEngine | None" = None,
+               chunk: int | str = "auto",
                ) -> Callable[[dict[str, Any]], float]:
     """The MPKI objective, memoized twice over.
 
@@ -97,7 +98,8 @@ def _objective(factory: Callable[..., Predictor],
         key = tuple(sorted(parameters.items()))
         if key not in seen:
             batch = run_suite(functools.partial(factory, **parameters),
-                              traces, config, cache=cache, engine=engine)
+                              traces, config, cache=cache, engine=engine,
+                              chunk=chunk)
             seen[key] = batch.mean_mpki()
         return seen[key]
 
@@ -110,27 +112,52 @@ def random_search(factory: Callable[..., Predictor], space: SearchSpace,
                   config: SimulationConfig | None = None, *,
                   cache: CacheLike = None,
                   workers: int = 1,
-                  engine: "ExecutionEngine | None" = None) -> SearchResult:
+                  engine: "ExecutionEngine | None" = None,
+                  chunk: int | str = "auto") -> SearchResult:
     """Evaluate ``budget`` random configurations; keep the best.
 
-    ``workers > 1`` evaluates each configuration's trace suite through a
-    private :class:`~repro.core.engine.ExecutionEngine` spanning the
-    whole search; ``engine=`` reuses a caller-owned one instead.
+    Sampling only consumes the seeded RNG — no evaluation feeds back
+    into it — so all ``budget`` configurations are drawn up front,
+    deduplicated (the memoization the sequential loop applied one call
+    at a time), and lowered into **one**
+    :class:`~repro.core.plan.WorkPlan` spanning the whole search.  The
+    evaluation history is then reconstructed in sample order, so results
+    are identical to the historical one-configuration-at-a-time loop.
+
+    ``workers > 1`` runs that plan through a private
+    :class:`~repro.core.engine.ExecutionEngine` with adaptive chunked
+    dispatch; ``engine=`` reuses a caller-owned one instead; ``chunk``
+    sets the engine's dispatch granularity.
     """
     if budget < 1:
         raise ValueError("budget must be >= 1")
     rng = np.random.default_rng(seed)
-    history = []
+    samples = [space.sample(rng) for _ in range(budget)]
+
+    def _key(parameters: dict[str, Any]) -> tuple:
+        return tuple(sorted(parameters.items()))
+
+    unique: list[dict[str, Any]] = []
+    position: dict[tuple, int] = {}
+    for parameters in samples:
+        key = _key(parameters)
+        if key not in position:
+            position[key] = len(unique)
+            unique.append(parameters)
+
+    with engine_scope(engine, workers) as scoped:
+        batches = evaluate_param_sets(factory, unique, traces, config,
+                                      cache=cache, engine=scoped,
+                                      chunk=chunk)
+    mpkis = [batch.mean_mpki() for batch in batches]
+
+    history = [(parameters, mpkis[position[_key(parameters)]])
+               for parameters in samples]
     best_parameters: dict[str, Any] | None = None
     best_mpki = float("inf")
-    with engine_scope(engine, workers) as scoped:
-        evaluate = _objective(factory, traces, config, cache, scoped)
-        for _ in range(budget):
-            parameters = space.sample(rng)
-            mpki = evaluate(parameters)
-            history.append((parameters, mpki))
-            if mpki < best_mpki:
-                best_parameters, best_mpki = parameters, mpki
+    for parameters, mpki in history:
+        if mpki < best_mpki:
+            best_parameters, best_mpki = parameters, mpki
     assert best_parameters is not None
     return SearchResult(best_parameters=best_parameters,
                         best_mpki=best_mpki, evaluations=history)
@@ -143,7 +170,8 @@ def hill_climb(factory: Callable[..., Predictor], space: SearchSpace,
                config: SimulationConfig | None = None, *,
                cache: CacheLike = None,
                workers: int = 1,
-               engine: "ExecutionEngine | None" = None) -> SearchResult:
+               engine: "ExecutionEngine | None" = None,
+               chunk: int | str = "auto") -> SearchResult:
     """Greedy coordinate descent over the discrete space.
 
     Each round tries every candidate value of every axis (one axis at a
@@ -151,15 +179,18 @@ def hill_climb(factory: Callable[..., Predictor], space: SearchSpace,
     changes nothing or ``max_rounds`` is exhausted.  ``cache`` persists
     evaluations across runs (see :func:`_objective`), which makes
     restarting a climb from a different seed point nearly free on the
-    already-visited part of the space.  ``workers`` / ``engine`` behave
-    as in :func:`random_search`.
+    already-visited part of the space.  ``workers`` / ``engine`` /
+    ``chunk`` behave as in :func:`random_search` — but unlike random
+    search, each candidate depends on the previous accept/reject
+    decision, so evaluations stay sequential; each one still lowers its
+    trace suite into a plan via :func:`~repro.core.batch.run_suite`.
     """
     current = dict(start) if start is not None else {
         name: values[len(values) // 2] for name, values in space.axes.items()
     }
     history: list[tuple[dict[str, Any], float]] = []
     with engine_scope(engine, workers) as scoped:
-        evaluate = _objective(factory, traces, config, cache, scoped)
+        evaluate = _objective(factory, traces, config, cache, scoped, chunk)
         current_mpki = evaluate(current)
         history.append((dict(current), current_mpki))
         for _ in range(max_rounds):

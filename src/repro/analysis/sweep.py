@@ -6,13 +6,17 @@ template parameters (Listing 3); in Python the same idea is a plain loop
 over constructor arguments — the library design (user code owns the run)
 is what makes both one-liners.
 
-Parallel sweeps run through one persistent
-:class:`~repro.core.engine.ExecutionEngine`: pool startup is paid once
-for the whole sweep (not once per grid point) and every trace is decoded
-and shipped to the workers once, as a shared-memory segment, instead of
-being re-pickled for every (configuration, trace) task.  Pass your own
-``engine=`` to amortize across *several* sweeps and searches; with only
-``workers=`` the sweep creates and closes a private engine.
+Sweeps lower into the :class:`~repro.core.plan.WorkPlan` IR: the whole
+grid — every (configuration, trace) pair, grouped by a per-point tag —
+becomes **one** plan handed to :func:`~repro.core.plan.execute_plan`.
+Serially that runs the exact same simulations in the exact same order as
+the historical per-point loop; with an engine the entire sweep streams
+through one persistent worker pool with the traces resident in shared
+memory and several units packed per worker round-trip (adaptive chunked
+dispatch), so pool startup, trace shipping *and* per-task dispatch
+overhead are paid once for the whole sweep, not once per point.  Pass
+your own ``engine=`` to amortize across *several* sweeps and searches;
+with only ``workers=`` the sweep creates and closes a private engine.
 """
 
 from __future__ import annotations
@@ -24,7 +28,9 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence, U
 
 from pathlib import Path
 
-from ..core.batch import CacheLike, run_suite
+from ..core.batch import BatchResult, CacheLike, SuiteError, TraceFailure
+from ..core.output import SimulationResult
+from ..core.plan import WorkPlan, execute_plan
 from ..core.predictor import Predictor
 from ..core.simulator import SimulationConfig
 from ..sbbt.trace import TraceData
@@ -33,7 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.engine import ExecutionEngine
 
 __all__ = ["SweepPoint", "SweepResult", "sweep_parameter", "sweep_grid",
-           "engine_scope"]
+           "engine_scope", "evaluate_param_sets"]
 
 TraceLike = Union[TraceData, str, Path]
 
@@ -97,22 +103,70 @@ class SweepResult:
         return "\n".join(lines)
 
 
-def _evaluate_point(factory: Callable[..., Predictor],
-                    parameters: dict[str, Any],
-                    traces: Sequence[TraceLike],
-                    config: SimulationConfig | None,
-                    cache: CacheLike,
-                    engine: "ExecutionEngine | None") -> SweepPoint:
-    """One grid point.  ``functools.partial`` (not a lambda) keeps the
-    configured factory picklable, so sweeps can fan out across processes."""
-    batch = run_suite(functools.partial(factory, **parameters), traces,
-                      config, cache=cache, engine=engine)
-    return SweepPoint(
-        parameters=parameters,
-        mean_mpki=batch.mean_mpki(),
-        aggregate_mpki=batch.aggregate_mpki(),
-        total_mispredictions=batch.total_mispredictions,
-    )
+def evaluate_param_sets(factory: Callable[..., Predictor],
+                        param_sets: Sequence[dict[str, Any]],
+                        traces: Sequence[TraceLike],
+                        config: SimulationConfig | None = None, *,
+                        cache: CacheLike = None,
+                        engine: "ExecutionEngine | None" = None,
+                        chunk: int | str = "auto",
+                        ) -> list[BatchResult]:
+    """Evaluate many parameter sets of ``factory`` over one trace set.
+
+    The shared lowering step of sweeps and searches: every (parameter
+    set, trace) pair becomes a :class:`~repro.core.plan.WorkUnit` tagged
+    with its parameter-set index, the whole cross product runs as one
+    plan through :func:`~repro.core.plan.execute_plan`, and the outcomes
+    are regrouped into one :class:`~repro.core.batch.BatchResult` per
+    parameter set (trace order preserved).
+
+    ``functools.partial`` (not a lambda) keeps each configured factory
+    picklable, so plans can fan out across processes.  Failure semantics
+    match ``run_suite(on_error="raise")`` applied point by point: if any
+    point has failures, a :class:`~repro.core.batch.SuiteError` is
+    raised for the earliest such point, carrying its partial results.
+    """
+    plan = WorkPlan.for_points(
+        [(tag, functools.partial(factory, **parameters))
+         for tag, parameters in enumerate(param_sets)],
+        traces, config)
+    outcomes = execute_plan(plan, engine=engine, cache=cache, chunk=chunk)
+    grouped = plan.group_outcomes(outcomes)
+    batches: list[BatchResult] = []
+    for tag in range(len(param_sets)):
+        point_outcomes = grouped.get(tag, [])
+        batch = BatchResult(
+            results=[o for o in point_outcomes
+                     if isinstance(o, SimulationResult)],
+            failures=[o for o in point_outcomes
+                      if isinstance(o, TraceFailure)],
+        )
+        if batch.failures:
+            raise SuiteError(batch.failures, batch)
+        batches.append(batch)
+    return batches
+
+
+def _evaluate_points(factory: Callable[..., Predictor],
+                     param_sets: Sequence[dict[str, Any]],
+                     traces: Sequence[TraceLike],
+                     config: SimulationConfig | None,
+                     cache: CacheLike,
+                     engine: "ExecutionEngine | None",
+                     chunk: int | str) -> list[SweepPoint]:
+    """Lower a whole sweep into one plan; one :class:`SweepPoint` per
+    parameter set."""
+    batches = evaluate_param_sets(factory, param_sets, traces, config,
+                                  cache=cache, engine=engine, chunk=chunk)
+    return [
+        SweepPoint(
+            parameters=parameters,
+            mean_mpki=batch.mean_mpki(),
+            aggregate_mpki=batch.aggregate_mpki(),
+            total_mispredictions=batch.total_mispredictions,
+        )
+        for parameters, batch in zip(param_sets, batches)
+    ]
 
 
 def sweep_parameter(factory: Callable[..., Predictor], parameter: str,
@@ -121,7 +175,8 @@ def sweep_parameter(factory: Callable[..., Predictor], parameter: str,
                     fixed: dict[str, Any] | None = None, *,
                     cache: CacheLike = None,
                     workers: int = 1,
-                    engine: "ExecutionEngine | None" = None) -> SweepResult:
+                    engine: "ExecutionEngine | None" = None,
+                    chunk: int | str = "auto") -> SweepResult:
     """Sweep one constructor parameter of a predictor over a trace set.
 
     With ``cache=`` (a :class:`repro.cache.SimulationCache` or directory
@@ -129,20 +184,20 @@ def sweep_parameter(factory: Callable[..., Predictor], parameter: str,
     refined or re-run sweep only simulates grid points it has never seen
     — overlapping values cost nothing.  ``workers > 1`` runs the whole
     sweep through one private :class:`~repro.core.engine.\
-ExecutionEngine` (one worker pool and one shared-memory trace shipment
-    for every point); pass ``engine=`` instead to reuse a pool you
-    already pay for across several sweeps and searches.
+ExecutionEngine` (one worker pool, one shared-memory trace shipment and
+    adaptive chunked dispatch for every point); pass ``engine=`` instead
+    to reuse a pool you already pay for across several sweeps and
+    searches.  ``chunk`` (``"auto"`` or a fixed size) sets the engine's
+    dispatch granularity.
 
     >>> # sweep = sweep_parameter(GShare, "history_length", range(6, 31),
     >>> #                         traces)   # the paper's Listing 3 sweep
     """
     fixed = dict(fixed or {})
+    param_sets = [{**fixed, parameter: value} for value in values]
     with engine_scope(engine, workers) as scoped:
-        points = [
-            _evaluate_point(factory, {**fixed, parameter: value}, traces,
-                            config, cache, scoped)
-            for value in values
-        ]
+        points = _evaluate_points(factory, param_sets, traces, config,
+                                  cache, scoped, chunk)
     return SweepResult(points=points)
 
 
@@ -152,23 +207,25 @@ def sweep_grid(factory: Callable[..., Predictor],
                config: SimulationConfig | None = None, *,
                cache: CacheLike = None,
                workers: int = 1,
-               engine: "ExecutionEngine | None" = None) -> SweepResult:
+               engine: "ExecutionEngine | None" = None,
+               chunk: int | str = "auto") -> SweepResult:
     """Full-factorial sweep over a small parameter grid.
 
     The number of configurations is the product of the grid's axis sizes
     — exactly the exponential blow-up Section VI-B warns about, which is
     why :mod:`repro.analysis.search` exists for large spaces.  ``cache``,
-    ``workers`` and ``engine`` behave as in :func:`sweep_parameter`; a
-    grid refined with extra axis values re-simulates only the new
-    combinations.
+    ``workers``, ``engine`` and ``chunk`` behave as in
+    :func:`sweep_parameter`; a grid refined with extra axis values
+    re-simulates only the new combinations.
     """
     import itertools
 
     names = list(grid)
+    param_sets = [
+        dict(zip(names, combo))
+        for combo in itertools.product(*(grid[name] for name in names))
+    ]
     with engine_scope(engine, workers) as scoped:
-        points = [
-            _evaluate_point(factory, dict(zip(names, combo)), traces,
-                            config, cache, scoped)
-            for combo in itertools.product(*(grid[name] for name in names))
-        ]
+        points = _evaluate_points(factory, param_sets, traces, config,
+                                  cache, scoped, chunk)
     return SweepResult(points=points)

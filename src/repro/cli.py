@@ -39,14 +39,22 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Callable, Sequence
+from typing import Sequence
 
 from .cache import resolve_cache_dir
 from .core.comparison import compare
 from .core.errors import EngineNotSupportedError
 from .core.predictor import Predictor
 from .core.simulator import SimulationConfig, simulate
-from .predictors import LocalPredictor, TABLE2_PREDICTORS, Yags
+# The predictor catalog lives in repro.registry (one table shared with
+# the serve daemon and the championship driver); PREDICTOR_CHOICES and
+# ENGINE_CHOICES are re-exported here for backwards compatibility.
+from .registry import (
+    ENGINE_CHOICES,
+    PREDICTOR_CHOICES,
+    UnknownPredictorError,
+    resolve_predictor,
+)
 from .sbbt.reader import read_trace
 from .sbbt.writer import write_trace
 from .traces.inspect import analyze_trace
@@ -56,33 +64,13 @@ from .traces.workloads import PROFILES
 
 __all__ = ["main", "build_parser", "make_predictor", "PREDICTOR_CHOICES"]
 
-#: CLI name -> zero-argument predictor factory.
-PREDICTOR_CHOICES: dict[str, Callable[[], Predictor]] = {
-    "bimodal": TABLE2_PREDICTORS["Bimodal"],
-    "two-level": TABLE2_PREDICTORS["Two-Level"],
-    "gshare": TABLE2_PREDICTORS["GShare"],
-    "tournament": TABLE2_PREDICTORS["Tournament"],
-    "gskew": TABLE2_PREDICTORS["2bc-gskew"],
-    "local": LocalPredictor,
-    "yags": Yags,
-    "perceptron": TABLE2_PREDICTORS["Hashed Perc."],
-    "tage": TABLE2_PREDICTORS["TAGE"],
-    "batage": TABLE2_PREDICTORS["BATAGE"],
-}
-
-#: Simulation-engine choices accepted by ``--engine``.
-ENGINE_CHOICES = ("scalar", "vectorized", "auto")
-
 
 def make_predictor(name: str) -> Predictor:
     """Instantiate a predictor by its CLI name."""
     try:
-        return PREDICTOR_CHOICES[name]()
-    except KeyError:
-        raise SystemExit(
-            f"unknown predictor {name!r}; choose from "
-            f"{', '.join(sorted(PREDICTOR_CHOICES))}"
-        ) from None
+        return resolve_predictor(name)()
+    except UnknownPredictorError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -147,6 +135,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes; > 1 dispatches through a persistent "
              "execution engine with the traces resident in shared memory")
     suite_parser.add_argument(
+        "--chunk", default="auto", metavar="{auto,N}",
+        help="work units packed per engine round-trip: 'auto' (default) "
+             "adapts to the measured per-trace cost, an integer forces "
+             "that chunk size; only meaningful with --workers > 1")
+    suite_parser.add_argument(
         "--start-method", default=None,
         choices=["fork", "spawn", "forkserver"],
         help="multiprocessing start method for the engine workers "
@@ -184,6 +177,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, metavar="N",
         help="worker processes; the whole sweep shares one engine, so the "
              "pool is forked once and each trace is shipped once")
+    sweep_parser.add_argument(
+        "--chunk", default="auto", metavar="{auto,N}",
+        help="work units packed per engine round-trip ('auto' or a fixed "
+             "size; see 'mbp suite --chunk')")
     sweep_parser.add_argument(
         "--start-method", default=None,
         choices=["fork", "spawn", "forkserver"],
@@ -499,6 +496,17 @@ def _parse_fixed(pairs: Sequence[str]) -> dict:
     return fixed
 
 
+def _parse_chunk(value: str) -> "int | str":
+    """Validate ``--chunk``: 'auto' or a positive integer."""
+    from .core.plan import normalize_chunk
+
+    try:
+        normalize_chunk(value)
+    except ValueError as exc:
+        raise SystemExit(f"bad --chunk: {exc}") from None
+    return value if value == "auto" else int(value)
+
+
 def _make_engine(args: argparse.Namespace):
     """The ExecutionEngine for ``--workers``, or ``None`` when serial."""
     if args.engine_stats and args.workers <= 1:
@@ -531,19 +539,24 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     with engine if engine is not None else nullcontext():
         batch = run_suite(factory, args.traces, config, engine=engine,
                           cache=resolve_cache_dir(args.cache_dir),
-                          on_error="collect", sim_engine=args.engine)
+                          on_error="collect", sim_engine=args.engine,
+                          chunk=_parse_chunk(args.chunk))
         _emit_engine_stats(args, engine)
     timing = batch.timing
+    num_traces = len(batch.results) + len(batch.failures)
     if args.compact:
         for result in batch.results:
             print(result.summary())
         for failure in batch.failures:
             print(f"FAILED {failure}")
-        if batch.results:
-            print(f"suite: {len(batch.results)} traces, "
-                  f"mean MPKI {batch.mean_mpki():.4f}, "
-                  f"total time {timing.total:.3f}s, "
-                  f"{batch.cache_hits} cache hits")
+        # Always printed — an all-failed suite must be distinguishable
+        # from an empty-but-successful one.
+        mean = (f"mean MPKI {batch.mean_mpki():.4f}"
+                if batch.results else "mean MPKI n/a")
+        print(f"suite: {len(batch.results)}/{num_traces} traces ok, "
+              f"{len(batch.failures)} failed, {mean}, "
+              f"total time {timing.total:.3f}s, "
+              f"{batch.cache_hits} cache hits")
     else:
         document = {
             "predictor": args.predictor,
@@ -565,6 +578,8 @@ def _cmd_suite(args: argparse.Namespace) -> int:
             "aggregate": {
                 "mean_mpki": batch.mean_mpki() if batch.results else None,
                 "aggregate_mpki": batch.aggregate_mpki(),
+                "num_traces": num_traces,
+                "num_failures": len(batch.failures),
                 "cache_hits": batch.cache_hits,
                 "timing": {
                     "slowest": timing.slowest,
@@ -592,7 +607,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         sweep = sweep_parameter(factory, args.parameter, values, args.traces,
                                 config, fixed,
                                 cache=resolve_cache_dir(args.cache_dir),
-                                engine=engine)
+                                engine=engine,
+                                chunk=_parse_chunk(args.chunk))
         _emit_engine_stats(args, engine)
     best = sweep.best()
     if args.json:

@@ -39,6 +39,7 @@ from .errors import (
 )
 from .metrics import BranchStats, MostFailedEntry, accuracy, most_failed_branches, mpki
 from .output import SIMULATOR_NAME, SIMULATOR_VERSION, SimulationResult
+from .plan import WorkPlan, WorkUnit, execute_plan
 from .predictor import MetadataMixin, Predictor, canonical_spec, derive_spec
 from .simulator import SimulationConfig, simulate, simulate_file
 
@@ -48,6 +49,7 @@ __all__ = [
     "OPCODE_JUMP", "OPCODE_RET",
     "BatchResult", "TimingSummary", "TraceFailure", "run_suite",
     "EngineStats", "ExecutionEngine", "SharedTrace",
+    "WorkPlan", "WorkUnit", "execute_plan",
     "ComparisonEntry", "ComparisonResult", "MultiComparisonResult",
     "compare", "compare_many",
     "CacheError", "ConfigurationError", "ReproError",

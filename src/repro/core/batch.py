@@ -33,9 +33,7 @@ with :func:`repro.telemetry.suite_manifest`.
 from __future__ import annotations
 
 import statistics
-import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Sequence, Union
@@ -43,7 +41,8 @@ from typing import TYPE_CHECKING, Callable, Sequence, Union
 from ..sbbt.trace import TraceData
 from .errors import SimulationError
 from .output import SimulationResult
-from .predictor import Predictor, derive_spec
+from .plan import WorkPlan, execute_plan
+from .predictor import Predictor
 from .simulator import SimulationConfig, simulate
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -254,7 +253,8 @@ def run_suite(factory: PredictorFactory, traces: Sequence[TraceLike],
               on_error: str = "raise",
               instrumentation: "Instrumentation | None" = None,
               probe: bool = False,
-              sim_engine: str = "scalar"
+              sim_engine: str = "scalar",
+              chunk: int | str = "auto"
               ) -> BatchResult:
     """Run a fresh predictor over every trace of a suite.
 
@@ -309,105 +309,29 @@ def run_suite(factory: PredictorFactory, traces: Sequence[TraceLike],
         ``sim_engine`` because ``engine`` already selects the execution
         engine above.  Cache keys are engine-independent — both engines
         produce identical results, so they share entries.
+    chunk:
+        Engine-path dispatch granularity, forwarded to
+        :meth:`~repro.core.engine.ExecutionEngine.run_plan`: ``"auto"``
+        (default) packs several traces per worker round-trip sized by
+        the measured per-trace cost; an integer forces that chunk size.
+        Ignored by the serial and throwaway-pool paths.
     """
-    config = config or SimulationConfig()
-    instr = instrumentation
-    if names is not None and len(names) != len(traces):
-        raise ValueError("names and traces must have the same length")
     if on_error not in ("raise", "collect"):
         raise ValueError(f"on_error must be 'raise' or 'collect', got {on_error!r}")
-    resolved_names = list(names) if names is not None else [
-        str(t) if not isinstance(t, TraceData) else f"trace[{i}]"
-        for i, t in enumerate(traces)
-    ]
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
 
-    store = _resolve_cache(cache)
-    slots: list[SimulationResult | TraceFailure | None] = [None] * len(traces)
-    pending: list[int] = []
-    keys: list[str | None] = [None] * len(traces)
-    # Cold instance left over from spec derivation (see derive_spec);
-    # reused for the first inline simulation, never constructed twice.
-    prebuilt: Predictor | None = None
+    # Lower into the WorkPlan IR and run it through the shared execution
+    # funnel (cache scan + serial / pool / engine dispatch) — the same
+    # path sweeps, searches, the serve daemon and the CLI use.
+    plan = WorkPlan.for_suite(factory, traces, config, names=names,
+                              probe=probe, sim_engine=sim_engine)
+    outcomes = execute_plan(plan, workers=workers, engine=engine,
+                            cache=cache, instrumentation=instrumentation,
+                            chunk=chunk)
 
-    if store is not None:
-        lookup_start = time.perf_counter() if instr is not None else 0.0
-        spec, prebuilt = derive_spec(factory)
-        for i, (trace, name) in enumerate(zip(traces, resolved_names)):
-            try:
-                key = store.key_for(trace, spec, config)
-            except Exception as exc:  # noqa: BLE001 - unreadable trace file
-                slots[i] = TraceFailure(
-                    trace_name=name, error=f"{type(exc).__name__}: {exc}",
-                    details=traceback.format_exc(),
-                )
-                continue
-            keys[i] = key
-            hit = store.get(key)
-            if hit is not None:
-                hit.trace_name = name
-                slots[i] = hit
-            else:
-                pending.append(i)
-        if instr is not None:
-            instr.add_phase("cache_lookup",
-                            time.perf_counter() - lookup_start)
-            hits = sum(1 for s in slots
-                       if isinstance(s, SimulationResult))
-            instr.count("cache_hit", hits)
-            instr.count("cache_miss", len(pending))
-    else:
-        pending = [i for i in range(len(traces)) if slots[i] is None]
-
-    simulate_start = time.perf_counter() if instr is not None else 0.0
-    if pending:
-        if engine is not None:
-            tasks = [(traces[i], resolved_names[i]) for i in pending]
-            for position, outcome in engine.run_tasks(
-                    factory, tasks, config, probe=probe,
-                    instrumentation=instr, sim_engine=sim_engine):
-                slots[pending[position]] = outcome
-        elif workers == 1 or len(pending) <= 1:
-            for i in pending:
-                slots[i] = _run_one(factory, traces[i], config,
-                                    resolved_names[i], probe,
-                                    predictor=prebuilt,
-                                    sim_engine=sim_engine)
-                prebuilt = None
-        else:
-            # Results are consumed in completion order so one slow trace
-            # never delays the recording of the others; slot indexing
-            # keeps BatchResult ordered by submission regardless.
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    pool.submit(_run_one, factory, traces[i], config,
-                                resolved_names[i], probe,
-                                sim_engine=sim_engine): i
-                    for i in pending
-                }
-                for future in as_completed(futures):
-                    i = futures[future]
-                    try:
-                        slots[i] = future.result()
-                    except Exception as exc:  # noqa: BLE001 - broken pool
-                        slots[i] = TraceFailure(
-                            trace_name=resolved_names[i],
-                            error=f"{type(exc).__name__}: {exc}",
-                            details=traceback.format_exc(),
-                        )
-        if store is not None:
-            for i in pending:
-                outcome = slots[i]
-                if isinstance(outcome, SimulationResult) and keys[i]:
-                    store.put(keys[i], outcome)
-    if instr is not None:
-        instr.add_phase("simulate", time.perf_counter() - simulate_start)
-
-    results = [s for s in slots if isinstance(s, SimulationResult)]
-    failures = [s for s in slots if isinstance(s, TraceFailure)]
-    if instr is not None and failures:
-        instr.count("trace_failure", len(failures))
+    results = [s for s in outcomes if isinstance(s, SimulationResult)]
+    failures = [s for s in outcomes if isinstance(s, TraceFailure)]
     batch = BatchResult(results=results, failures=failures)
     if failures and on_error == "raise":
         raise SuiteError(failures, batch)

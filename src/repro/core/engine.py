@@ -26,7 +26,15 @@ the pool 20 times.
 * **streamed completion** — tasks are submitted in a bounded window and
   results are consumed with ``as_completed`` semantics, so one slow
   trace never delays the recording of the others and memory stays
-  bounded for arbitrarily long task lists.
+  bounded for arbitrarily long task lists;
+* **adaptive chunked dispatch** — :meth:`ExecutionEngine.run_plan`
+  consumes :class:`~repro.core.plan.WorkPlan` batches and packs several
+  work units into each worker round-trip, sized from the measured
+  per-unit cost, so cheap units (small traces, big sweeps) no longer pay
+  one pickle/IPC/future round-trip each — the overhead that used to make
+  a parallel suite slower than a serial one.  Multi-unit chunks
+  checkpoint finished outcomes to a spool, so a worker crash mid-chunk
+  loses exactly one unit.
 
 Lifecycle is context-managed: ``with ExecutionEngine(workers=4) as
 engine: ...`` guarantees the pool is shut down and every shared-memory
@@ -47,10 +55,13 @@ property is measurable, not folklore.
 from __future__ import annotations
 
 import os
+import pickle
+import tempfile
 import threading
 import time
 import traceback
 import weakref
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -63,10 +74,24 @@ import numpy as np
 from ..sbbt.trace import TraceData
 from .errors import SimulationError
 from .output import SimulationResult
+from .plan import WorkPlan, WorkUnit, chunk_cost_size, normalize_chunk
 from .predictor import Predictor
 from .simulator import SimulationConfig
 
 __all__ = ["EngineStats", "ExecutionEngine", "SharedTrace"]
+
+#: Adaptive chunking aims for this much worker time per round-trip: large
+#: enough to amortize the pickle/IPC/future overhead of a dispatch, small
+#: enough that completion streaming and failure latency stay responsive.
+_TARGET_CHUNK_SECONDS = 0.2
+
+#: Never pack more than this many units into one chunk, however cheap
+#: they measure — bounds both result-latency and re-dispatch cost after
+#: a mid-chunk crash.
+_MAX_CHUNK_UNITS = 64
+
+#: Exponential-moving-average weight of the newest per-unit timing.
+_EMA_ALPHA = 0.3
 
 PredictorFactory = Callable[[], Predictor]
 TraceLike = Union[TraceData, str, Path]
@@ -205,6 +230,86 @@ def _engine_run_one(factory: PredictorFactory, ref: SharedTrace,
                     sim_engine=sim_engine), attached
 
 
+#: One unit of a chunk payload, parent -> worker:
+#: (factory, trace ref, config, name, probe, sim_engine).
+_ChunkItem = tuple[Any, SharedTrace, SimulationConfig, str, bool, str]
+
+
+def _spool_file(spool_dir: str, chunk_id: str, position: int) -> str:
+    return os.path.join(spool_dir, f"{chunk_id}-{position}.res")
+
+
+def _spool_write(spool_dir: str, chunk_id: str, position: int,
+                 payload: tuple[Any, bool]) -> None:
+    """Persist one finished unit's (outcome, attached) pair atomically.
+
+    Best-effort: a spool write failure only degrades crash recovery for
+    this chunk (the unit would be re-simulated), it never fails the unit.
+    """
+    final = _spool_file(spool_dir, chunk_id, position)
+    tmp = f"{final}.tmp-{os.getpid()}"
+    try:
+        with open(tmp, "wb") as stream:
+            pickle.dump(payload, stream)
+        os.replace(tmp, final)
+    except Exception:  # noqa: BLE001 - recovery is advisory
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+
+
+def _spool_load(spool_dir: str, chunk_id: str, count: int,
+                ) -> dict[int, tuple[Any, bool]]:
+    """Outcomes a crashed chunk managed to finish, keyed by position.
+
+    Unreadable or half-written entries are treated as missing — the
+    parent then re-runs (or fails) those units, which is always safe.
+    """
+    recovered: dict[int, tuple[Any, bool]] = {}
+    for position in range(count):
+        try:
+            with open(_spool_file(spool_dir, chunk_id, position),
+                      "rb") as stream:
+                recovered[position] = pickle.load(stream)
+        except Exception:  # noqa: BLE001 - missing/corrupt = not finished
+            continue
+    return recovered
+
+
+def _spool_clear(spool_dir: str, chunk_id: str, count: int) -> None:
+    """Drop a chunk's spool entries (after they have been consumed)."""
+    for position in range(count):
+        try:
+            os.unlink(_spool_file(spool_dir, chunk_id, position))
+        except OSError:
+            continue
+
+
+def _engine_run_chunk(items: Sequence[_ChunkItem], spool_dir: str | None,
+                      chunk_id: str,
+                      ) -> list[tuple[Any, bool, float]]:
+    """Worker task: simulate a whole chunk of resident-trace units.
+
+    Returns one ``(outcome, attached, elapsed_seconds)`` triple per unit,
+    in chunk order; the per-unit timings feed the parent's adaptive
+    chunk-size estimate.  When ``spool_dir`` is given (multi-unit
+    chunks), every finished unit is also checkpointed to disk so a crash
+    later in the chunk loses only the unit that was executing.
+    """
+    outcomes: list[tuple[Any, bool, float]] = []
+    for position, (factory, ref, config, name, probe,
+                   sim_engine) in enumerate(items):
+        start = time.perf_counter()
+        outcome, attached = _engine_run_one(factory, ref, config, name,
+                                            probe, sim_engine)
+        elapsed = time.perf_counter() - start
+        if spool_dir is not None:
+            _spool_write(spool_dir, chunk_id, position, (outcome, attached))
+        outcomes.append((outcome, attached, elapsed))
+    return outcomes
+
+
 # ----------------------------------------------------------------------
 # Parent side.
 # ----------------------------------------------------------------------
@@ -243,6 +348,14 @@ class EngineStats:
     ``trace_reuses`` counts tasks served entirely from a worker's
     resident registry.  ``phases`` accumulates parent-side seconds spent
     publishing traces, dispatching tasks and draining results.
+
+    Chunked dispatch adds three counters: ``chunks_dispatched`` is the
+    number of worker round-trips (so the mean chunk size is
+    ``tasks_dispatched / chunks_dispatched``), ``units_recovered`` counts
+    finished units salvaged from the spool after a mid-chunk worker
+    crash, and ``units_retried`` counts unstarted units re-dispatched
+    after such a crash (each retry also re-increments
+    ``tasks_dispatched``).
     """
 
     workers: int = 0
@@ -250,6 +363,9 @@ class EngineStats:
     traces_published: int = 0
     shared_bytes: int = 0
     tasks_dispatched: int = 0
+    chunks_dispatched: int = 0
+    units_recovered: int = 0
+    units_retried: int = 0
     trace_attaches: int = 0
     trace_reuses: int = 0
     pool_restarts: int = 0
@@ -267,6 +383,9 @@ class EngineStats:
             "traces_published": self.traces_published,
             "shared_bytes": self.shared_bytes,
             "tasks_dispatched": self.tasks_dispatched,
+            "chunks_dispatched": self.chunks_dispatched,
+            "units_recovered": self.units_recovered,
+            "units_retried": self.units_retried,
             "trace_attaches": self.trace_attaches,
             "trace_reuses": self.trace_reuses,
             "pool_restarts": self.pool_restarts,
@@ -318,6 +437,13 @@ class ExecutionEngine:
         self._path_index: dict[tuple[str, int, int], str] = {}
         self._closed = False
         self._lock = threading.Lock()
+        #: EMA of worker-measured seconds per unit; engine-lifetime, so
+        #: later plans (sweep points, search rounds) start warm.
+        self._unit_ema: float | None = None
+        self._chunk_seq = 0
+        #: Crash-recovery spool (created on first multi-unit chunk);
+        #: TemporaryDirectory carries its own GC finalizer as a backstop.
+        self._spool: tempfile.TemporaryDirectory | None = None
         self.stats = EngineStats(workers=workers,
                                  start_method=self._context.get_start_method())
         self._finalizer = weakref.finalize(
@@ -346,6 +472,12 @@ class ExecutionEngine:
         if pool is not None:
             pool.shutdown(wait=True, cancel_futures=True)
         _release_segments(self._segments)
+        if self._spool is not None:
+            try:
+                self._spool.cleanup()
+            except OSError:  # pragma: no cover - already gone
+                pass
+            self._spool = None
         self._finalizer.detach()
 
     @property
@@ -515,97 +647,233 @@ SimulationResult` or a :class:`~repro.core.batch.TraceFailure` (worker
         else:
             self.stats.trace_reuses += 1
 
+    def submit_unit(self, unit: WorkUnit) -> Future:
+        """Schedule one :class:`~repro.core.plan.WorkUnit` (the serve
+        daemon's per-request path).  Equivalent to :meth:`submit` with
+        the unit's fields."""
+        return self.submit(unit.factory, unit.trace, unit.config,
+                           name=unit.name, probe=unit.probe,
+                           sim_engine=unit.sim_engine)
+
+    def _spool_path(self) -> str:
+        """The crash-recovery spool directory, created on first use."""
+        if self._spool is None:
+            self._spool = tempfile.TemporaryDirectory(
+                prefix="mbp-engine-spool-")
+        return self._spool.name
+
+    def _observe_unit_seconds(self, seconds: float) -> None:
+        """Fold one worker-measured per-unit timing into the cost EMA."""
+        seconds = max(seconds, 1e-9)
+        if self._unit_ema is None:
+            self._unit_ema = seconds
+        else:
+            self._unit_ema = (_EMA_ALPHA * seconds
+                              + (1.0 - _EMA_ALPHA) * self._unit_ema)
+
     def run_tasks(self, factory: PredictorFactory,
                   tasks: Sequence[tuple[TraceLike, str]],
                   config: SimulationConfig | None = None, *,
                   probe: bool = False,
                   instrumentation: Any = None,
                   sim_engine: str = "scalar",
+                  chunk: int | str = "auto",
                   ) -> Iterator[tuple[int, Any]]:
         """Run ``(trace, name)`` tasks; yield ``(index, outcome)`` pairs
         in **completion order** (``as_completed`` semantics).
 
-        Submission is windowed: at most ``window`` tasks are in flight,
-        and a finished slot is immediately refilled, so arbitrarily long
-        task lists (big sweeps, search budgets) never flood the executor
-        queue.  A worker crash (``BrokenProcessPool``) converts the
-        in-flight tasks into :class:`~repro.core.batch.TraceFailure`
-        outcomes, replaces the pool, and keeps going — the engine (and
-        its resident traces) survive the crash.
+        Compatibility wrapper: lowers the task list into a
+        :class:`~repro.core.plan.WorkPlan` and delegates to
+        :meth:`run_plan`.
+        """
+        plan = WorkPlan.for_suite(factory, [trace for trace, _ in tasks],
+                                  config, names=[name for _, name in tasks],
+                                  probe=probe, sim_engine=sim_engine)
+        return self.run_plan(plan, chunk=chunk,
+                             instrumentation=instrumentation)
+
+    def run_plan(self, plan: WorkPlan, *,
+                 chunk: int | str = "auto",
+                 instrumentation: Any = None,
+                 ) -> Iterator[tuple[int, Any]]:
+        """Execute a :class:`~repro.core.plan.WorkPlan`; yield
+        ``(plan index, outcome)`` pairs in **completion order**.
+
+        Units are packed into *chunks* — several units per worker
+        round-trip — so the per-dispatch overhead (pickling, IPC, future
+        bookkeeping) is paid once per chunk instead of once per unit.
+        With ``chunk="auto"`` the size adapts to the measured per-unit
+        cost: the first wave runs as singleton probe chunks, their
+        worker-side timings seed an exponential moving average, and
+        subsequent chunks target ~0.2 s of worker time each (never more
+        than 64 units, never starving idle workers on the plan's tail).
+        An integer ``chunk`` forces that size.  The cost estimate
+        persists across plans, so sweeps and searches start warm after
+        their first call.
+
+        Submission stays windowed: at most ``window`` *units* are in
+        flight, and finished chunks are immediately refilled, so
+        arbitrarily long plans never flood the executor queue.
+
+        A worker crash (``BrokenProcessPool``) loses as little as
+        possible: multi-unit chunks checkpoint every finished unit's
+        outcome to a parent-owned spool, so the parent recovers those
+        results, records one :class:`~repro.core.batch.TraceFailure` for
+        the unit that was executing, re-dispatches only the unstarted
+        units, and replaces the pool — the engine (and its resident
+        traces) survive the crash.
 
         ``instrumentation`` (a :mod:`repro.telemetry` object) receives
-        ``task_dispatch`` / ``trace_ship`` / ``trace_reuse`` counters and
-        an ``engine_dispatch`` phase for this call.
+        ``task_dispatch`` / ``trace_ship`` / ``trace_attach`` /
+        ``trace_reuse`` / ``task_chunk`` / ``chunk_size`` counters plus
+        ``engine_dispatch`` and ``chunk_dispatch`` phases for this call
+        (mean chunk size = ``chunk_size / task_chunk``).
         """
         self._check_open()
-        config = config or SimulationConfig()
+        fixed = normalize_chunk(chunk)
         instr = instrumentation
         start = time.perf_counter()
         published_before = self.stats.traces_published
         attaches_before = self.stats.trace_attaches
         reuses_before = self.stats.trace_reuses
+        chunks_before = self.stats.chunks_dispatched
 
         from .batch import TraceFailure
 
-        # Publish per task, not en masse: one unreadable trace becomes
-        # that task's TraceFailure (matching the serial and ad-hoc pool
-        # paths' isolation contract) instead of aborting the whole call.
-        refs: dict[int, tuple[SharedTrace, str]] = {}
+        # Publish per unit, not en masse: one unreadable trace becomes
+        # that unit's TraceFailure (matching the serial and ad-hoc pool
+        # paths' isolation contract) instead of aborting the whole plan.
+        refs: dict[int, SharedTrace] = {}
         publish_failures: list[tuple[int, TraceFailure]] = []
-        for index, (trace, name) in enumerate(tasks):
+        for index, unit in enumerate(plan):
             try:
-                refs[index] = (self.publish(trace), name)
+                refs[index] = self.publish(unit.trace)
             except Exception as exc:  # noqa: BLE001 - caller-facing record
                 publish_failures.append((index, TraceFailure(
-                    trace_name=name,
+                    trace_name=unit.name,
                     error=f"{type(exc).__name__}: {exc}",
                     details=traceback.format_exc(),
                 )))
-        pending = list(refs.items())
-        next_task = 0
-        in_flight: dict[Future, int] = {}
+        queue: deque[int] = deque(i for i in range(len(plan)) if i in refs)
+        planned_units = len(queue)
+        #: future -> (chunk id, plan indices in chunk order, spool dir).
+        in_flight: dict[Future, tuple[str, list[int], str | None]] = {}
+        units_in_flight = 0
+        chunk_phase = 0.0
+        chunk_units_dispatched = 0
 
-        def _submit_upto() -> None:
-            nonlocal next_task
+        def _submit_chunks() -> None:
+            nonlocal units_in_flight, chunk_phase, chunk_units_dispatched
+            submit_start = time.perf_counter()
             pool = self._ensure_pool()
-            while next_task < len(pending) and len(in_flight) < self._window:
-                index, (ref, name) = pending[next_task]
-                future = pool.submit(_engine_run_one, factory, ref, config,
-                                     name, probe, sim_engine)
-                self.stats.tasks_dispatched += 1
-                in_flight[future] = index
-                next_task += 1
+            while queue and units_in_flight < self._window:
+                if (fixed is None and self._unit_ema is None
+                        and len(in_flight) >= self.workers):
+                    break  # cold start: wait for a probe measurement
+                if fixed is not None:
+                    size = fixed
+                else:
+                    size = chunk_cost_size(
+                        self._unit_ema, len(queue), self.workers,
+                        target_seconds=_TARGET_CHUNK_SECONDS,
+                        max_chunk=_MAX_CHUNK_UNITS)
+                size = max(1, min(size, len(queue),
+                                  self._window - units_in_flight))
+                indices = [queue.popleft() for _ in range(size)]
+                self._chunk_seq += 1
+                chunk_id = f"c{self._chunk_seq}"
+                spool = self._spool_path() if size > 1 else None
+                items = [
+                    (plan[i].factory, refs[i], plan[i].config, plan[i].name,
+                     plan[i].probe, plan[i].sim_engine)
+                    for i in indices
+                ]
+                future = pool.submit(_engine_run_chunk, items, spool,
+                                     chunk_id)
+                self.stats.tasks_dispatched += size
+                self.stats.chunks_dispatched += 1
+                chunk_units_dispatched += size
+                in_flight[future] = (chunk_id, indices, spool)
+                units_in_flight += size
+            chunk_phase += time.perf_counter() - submit_start
 
         try:
             for index, failure in publish_failures:
                 yield index, failure
-            _submit_upto()
+            _submit_chunks()
             while in_flight:
                 done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
                 broke = False
                 for future in done:
-                    index = in_flight.pop(future)
-                    name = refs[index][1]
+                    chunk_id, indices, spool = in_flight.pop(future)
+                    units_in_flight -= len(indices)
                     try:
-                        outcome, attached = future.result()
-                        self._count_attach(attached)
+                        payloads = future.result()
                     except Exception as exc:  # noqa: BLE001 - broken pool
-                        broke = isinstance(exc, BrokenProcessPool) or broke
-                        outcome = TraceFailure(
-                            trace_name=name,
-                            error=f"{type(exc).__name__}: {exc}",
-                            details=traceback.format_exc(),
-                        )
-                    yield index, outcome
+                        crashed = isinstance(exc, BrokenProcessPool)
+                        broke = broke or crashed
+                        recovered = (_spool_load(spool, chunk_id,
+                                                 len(indices))
+                                     if spool is not None else {})
+                        poisoned = False
+                        retry: list[int] = []
+                        for position, index in enumerate(indices):
+                            if position in recovered:
+                                # Finished before the crash; the spooled
+                                # outcome is as good as a returned one.
+                                outcome, attached = recovered[position]
+                                self._count_attach(attached)
+                                self.stats.units_recovered += 1
+                                yield index, outcome
+                            elif not poisoned:
+                                # The unit that was (presumably) running
+                                # when the worker died takes the blame.
+                                poisoned = True
+                                yield index, TraceFailure(
+                                    trace_name=plan[index].name,
+                                    error=f"{type(exc).__name__}: {exc}",
+                                    details=traceback.format_exc(),
+                                )
+                            elif crashed:
+                                retry.append(index)
+                            else:
+                                # Non-crash chunk failure (e.g. a result
+                                # that cannot travel back): re-running
+                                # would fail identically, so fail the
+                                # unit instead of retrying forever.
+                                yield index, TraceFailure(
+                                    trace_name=plan[index].name,
+                                    error=f"{type(exc).__name__}: {exc}",
+                                    details=traceback.format_exc(),
+                                )
+                        if retry:
+                            self.stats.units_retried += len(retry)
+                            queue.extendleft(reversed(retry))
+                        if spool is not None:
+                            _spool_clear(spool, chunk_id, len(indices))
+                        continue
+                    for position, index in enumerate(indices):
+                        outcome, attached, elapsed = payloads[position]
+                        self._count_attach(attached)
+                        self._observe_unit_seconds(elapsed)
+                        yield index, outcome
+                    if spool is not None:
+                        _spool_clear(spool, chunk_id, len(indices))
                 if broke:
                     self._restart_pool()
-                _submit_upto()
+                _submit_chunks()
         finally:
             elapsed = time.perf_counter() - start
             self.stats.add_phase("dispatch", elapsed)
+            self.stats.add_phase("chunk_dispatch", chunk_phase)
             if instr is not None:
                 instr.add_phase("engine_dispatch", elapsed)
-                instr.count("task_dispatch", len(pending))
+                instr.add_phase("chunk_dispatch", chunk_phase)
+                instr.count("task_dispatch", planned_units)
+                chunks = self.stats.chunks_dispatched - chunks_before
+                if chunks:
+                    instr.count("task_chunk", chunks)
+                    instr.count("chunk_size", chunk_units_dispatched)
                 shipped = self.stats.traces_published - published_before
                 if shipped:
                     instr.count("trace_ship", shipped)

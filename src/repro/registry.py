@@ -1,0 +1,97 @@
+"""The predictor registry shared by every front door.
+
+One table maps short public names (``"gshare"``, ``"tage"``, ...) to
+zero-argument predictor factories.  The CLI (``mbp simulate --predictor
+gshare``), the serve daemon (``{"op": "simulate", "predictor":
+"gshare"}``) and the championship driver all resolve names here, so a
+new predictor registers **once** and is immediately reachable from every
+interface — previously the CLI and serve each kept their own copy and
+could drift.
+
+Factories must be picklable (module-level classes or
+``functools.partial`` over them): they travel to worker processes
+through the execution engine and through work plans.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable
+
+from .core.predictor import Predictor
+from .predictors import LocalPredictor, TABLE2_PREDICTORS, Yags
+
+__all__ = [
+    "PREDICTOR_CHOICES",
+    "ENGINE_CHOICES",
+    "UnknownPredictorError",
+    "resolve_predictor",
+    "predictor_factory",
+    "make_predictor",
+]
+
+#: Public name -> zero-argument predictor factory.  Paper Table II
+#: defaults, plus the extra catalog members grown since.
+PREDICTOR_CHOICES: dict[str, Callable[[], Predictor]] = {
+    "bimodal": TABLE2_PREDICTORS["Bimodal"],
+    "two-level": TABLE2_PREDICTORS["Two-Level"],
+    "gshare": TABLE2_PREDICTORS["GShare"],
+    "tournament": TABLE2_PREDICTORS["Tournament"],
+    "gskew": TABLE2_PREDICTORS["2bc-gskew"],
+    "local": LocalPredictor,
+    "yags": Yags,
+    "perceptron": TABLE2_PREDICTORS["Hashed Perc."],
+    "tage": TABLE2_PREDICTORS["TAGE"],
+    "batage": TABLE2_PREDICTORS["BATAGE"],
+}
+
+#: Simulation-engine choices accepted by ``--engine`` / ``sim_engine``.
+ENGINE_CHOICES = ("scalar", "vectorized", "auto")
+
+
+class UnknownPredictorError(KeyError):
+    """``name`` is not in :data:`PREDICTOR_CHOICES`.
+
+    The message already lists the valid choices; front ends only need to
+    translate the exception type (``SystemExit`` for the CLI, a protocol
+    error frame for the daemon).
+    """
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.name = name
+        self.message = (
+            f"unknown predictor {name!r}; choose from "
+            f"{', '.join(sorted(PREDICTOR_CHOICES))}"
+        )
+
+    def __str__(self) -> str:
+        return self.message
+
+
+def resolve_predictor(name: str) -> Callable[[], Predictor]:
+    """The registered factory for ``name``.
+
+    Raises :class:`UnknownPredictorError` (a ``KeyError``) for names the
+    registry does not know.
+    """
+    try:
+        return PREDICTOR_CHOICES[name]
+    except KeyError:
+        raise UnknownPredictorError(name) from None
+
+
+def predictor_factory(name: str,
+                      parameters: dict[str, Any] | None = None,
+                      ) -> Callable[[], Predictor]:
+    """A picklable zero-argument factory for ``name``, with optional
+    constructor overrides applied via ``functools.partial``."""
+    base = resolve_predictor(name)
+    if parameters:
+        return functools.partial(base, **parameters)
+    return base
+
+
+def make_predictor(name: str) -> Predictor:
+    """Instantiate a predictor by its registered name."""
+    return resolve_predictor(name)()

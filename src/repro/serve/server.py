@@ -54,10 +54,11 @@ from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
 from ..cache import SimulationCache, resolve_cache_dir
 from ..core.output import SIMULATOR_VERSION
+from ..core.plan import WorkPlan, WorkUnit
 from ..core.predictor import derive_spec
 from ..core.simulator import SimulationConfig
 from ..sbbt.digest import trace_digest
@@ -140,18 +141,12 @@ class _Failure(Exception):
 def _predictor_factory(name: str,
                        parameters: dict[str, Any]) -> Callable[[], Any]:
     """A picklable zero-argument factory for ``name`` (+ overrides)."""
-    from ..cli import PREDICTOR_CHOICES  # deferred: cli never imports serve
+    from ..registry import UnknownPredictorError, predictor_factory
 
     try:
-        base = PREDICTOR_CHOICES[name]
-    except KeyError:
-        raise ProtocolError(
-            "unknown_predictor",
-            f"unknown predictor {name!r}; choose from "
-            f"{', '.join(sorted(PREDICTOR_CHOICES))}") from None
-    if parameters:
-        return functools.partial(base, **parameters)
-    return base
+        return predictor_factory(name, parameters)
+    except UnknownPredictorError as exc:
+        raise ProtocolError("unknown_predictor", str(exc)) from None
 
 
 class MbpServer:
@@ -478,10 +473,8 @@ class MbpServer:
     # The shared simulation unit: coalesce -> cache -> dispatch.
     # ------------------------------------------------------------------
 
-    async def _simulate_unit(self, factory: Callable[[], Any], trace: str,
-                             config: SimulationConfig,
-                             sim_engine: str) -> dict[str, Any]:
-        """One (factory, trace, config) unit through the full funnel.
+    async def _simulate_unit(self, unit: WorkUnit) -> dict[str, Any]:
+        """One :class:`~repro.core.plan.WorkUnit` through the full funnel.
 
         Returns the response entry
         ``{"trace", "result", "from_cache", "coalesced"}``; raises
@@ -491,8 +484,8 @@ class MbpServer:
         self.telemetry.count("serve_units")
         start = time.perf_counter()
         try:
-            key = await loop.run_in_executor(
-                self._io, self._derive_key, factory, trace, config)
+            key = await loop.run_in_executor(self._io, self._derive_key,
+                                             unit)
         except ProtocolError:
             raise
         except TypeError as exc:
@@ -504,14 +497,13 @@ class MbpServer:
         finally:
             self.telemetry.add_phase("serve_cache_lookup",
                                      time.perf_counter() - start)
-        coalesce_key = (key, sim_engine)
+        coalesce_key = (key, unit.sim_engine)
         task = self._inflight.get(coalesce_key)
         coalesced = task is not None
         if coalesced:
             self.telemetry.count("serve_coalesced")
         else:
-            task = asyncio.ensure_future(
-                self._compute(key, factory, trace, config, sim_engine))
+            task = asyncio.ensure_future(self._compute(key, unit))
             self._inflight[coalesce_key] = task
             task.add_done_callback(
                 lambda _t: self._inflight.pop(coalesce_key, None))
@@ -521,18 +513,17 @@ class MbpServer:
         status, payload = await asyncio.shield(task)
         if status != "ok":
             raise _Failure(payload["code"], payload["message"])
-        return {"trace": trace, "result": payload["result"],
+        return {"trace": unit.trace, "result": payload["result"],
                 "from_cache": payload["from_cache"], "coalesced": coalesced}
 
-    def _derive_key(self, factory: Callable[[], Any], trace: str,
-                    config: SimulationConfig) -> str:
+    def _derive_key(self, unit: WorkUnit) -> str:
         """Blocking half of the keying (runs on the io executor)."""
-        spec, _ = derive_spec(factory)
-        return SimulationCache.make_key(trace_digest(trace), spec, config)
+        spec, _ = derive_spec(unit.factory)
+        return SimulationCache.make_key(trace_digest(unit.trace), spec,
+                                        unit.config)
 
-    async def _compute(self, key: str, factory: Callable[[], Any],
-                       trace: str, config: SimulationConfig,
-                       sim_engine: str) -> tuple[str, dict[str, Any]]:
+    async def _compute(self, key: str, unit: WorkUnit,
+                       ) -> tuple[str, dict[str, Any]]:
         """The single computation behind one coalesce key.
 
         Never raises: resolves to ``("ok", {result, from_cache})`` or
@@ -544,13 +535,12 @@ class MbpServer:
             cached = await loop.run_in_executor(self._io, self.cache.get, key)
             if cached is not None:
                 self.telemetry.count("serve_cache_hits")
-                cached.trace_name = str(trace)
+                cached.trace_name = unit.name
                 return "ok", {"result": cached.to_json(), "from_cache": True}
             self.telemetry.count("serve_cache_misses")
             start = time.perf_counter()
             async with self._dispatch_sem:
-                outcome = await self._dispatch(factory, trace, config,
-                                               sim_engine)
+                outcome = await self._dispatch(unit)
             self.telemetry.add_phase("serve_dispatch",
                                      time.perf_counter() - start)
             from ..core.batch import TraceFailure
@@ -566,24 +556,21 @@ class MbpServer:
             return "failure", {"code": "internal",
                                "message": f"{type(exc).__name__}: {exc}"}
 
-    async def _dispatch(self, factory: Callable[[], Any], trace: str,
-                        config: SimulationConfig, sim_engine: str):
-        """Run one simulation on the configured backend."""
+    async def _dispatch(self, unit: WorkUnit):
+        """Run one work unit on the configured backend."""
         loop = asyncio.get_running_loop()
         if self.engine is not None:
-            # submit() publishes the trace (a decode on first touch) —
-            # blocking work, so it runs on the io executor too.
+            # submit_unit() publishes the trace (a decode on first touch)
+            # — blocking work, so it runs on the io executor too.
             future = await loop.run_in_executor(
-                self._io, functools.partial(
-                    self.engine.submit, factory, trace, config,
-                    name=str(trace), sim_engine=sim_engine))
+                self._io, self.engine.submit_unit, unit)
             return await asyncio.wrap_future(future)
         from ..core.batch import _run_one
 
         return await loop.run_in_executor(
             self._thread_pool, functools.partial(
-                _run_one, factory, trace, config, str(trace),
-                sim_engine=sim_engine))
+                _run_one, unit.factory, unit.trace, unit.config, unit.name,
+                sim_engine=unit.sim_engine))
 
     # ------------------------------------------------------------------
     # Operations.
@@ -602,31 +589,30 @@ class MbpServer:
                                request: dict[str, Any]) -> dict[str, Any]:
         factory = _predictor_factory(request["predictor"],
                                      request["parameters"])
-        entry = await self._simulate_unit(
-            factory, request["trace"], self._sim_config(request),
-            self._sim_engine(request))
+        unit = WorkUnit(factory=factory, trace=request["trace"],
+                        name=str(request["trace"]),
+                        config=self._sim_config(request),
+                        sim_engine=self._sim_engine(request))
+        entry = await self._simulate_unit(unit)
         entry["predictor"] = request["predictor"]
         return entry
 
-    async def _gather_units(self, factory: Callable[[], Any],
-                            traces: list[str], config: SimulationConfig,
-                            sim_engine: str,
+    async def _gather_units(self, units: Sequence[WorkUnit],
                             ) -> tuple[list[dict], list[dict]]:
-        """Every trace through :meth:`_simulate_unit`, failures collected."""
+        """Every unit through :meth:`_simulate_unit`, failures collected."""
         outcomes = await asyncio.gather(
-            *(self._simulate_unit(factory, trace, config, sim_engine)
-              for trace in traces),
+            *(self._simulate_unit(unit) for unit in units),
             return_exceptions=True)
         results: list[dict] = []
         failures: list[dict] = []
-        for trace, outcome in zip(traces, outcomes):
+        for unit, outcome in zip(units, outcomes):
             if isinstance(outcome, dict):
                 results.append(outcome)
             elif isinstance(outcome, (_Failure, ProtocolError)):
-                failures.append({"trace": trace, "code": outcome.code,
+                failures.append({"trace": unit.trace, "code": outcome.code,
                                  "error": outcome.message})
             else:  # pragma: no cover - unexpected exception type
-                failures.append({"trace": trace, "code": "internal",
+                failures.append({"trace": unit.trace, "code": "internal",
                                  "error": repr(outcome)})
         return results, failures
 
@@ -649,22 +635,37 @@ class MbpServer:
     async def _answer_suite(self, request: dict[str, Any]) -> dict[str, Any]:
         factory = _predictor_factory(request["predictor"],
                                      request["parameters"])
-        results, failures = await self._gather_units(
-            factory, request["traces"], self._sim_config(request),
-            self._sim_engine(request))
+        # Lower the request into the shared WorkPlan IR; the per-unit
+        # funnel keeps coalescing and caching request-granular.
+        plan = WorkPlan.for_suite(factory, request["traces"],
+                                  self._sim_config(request),
+                                  sim_engine=self._sim_engine(request))
+        results, failures = await self._gather_units(plan.units)
         return {"predictor": request["predictor"], "results": results,
                 "failures": failures, "aggregate": self._aggregate(results)}
 
     async def _answer_sweep(self, request: dict[str, Any]) -> dict[str, Any]:
         config = self._sim_config(request)
         sim_engine = self._sim_engine(request)
-        points: list[dict[str, Any]] = []
-        for value in request["values"]:
+        all_parameters: list[dict[str, Any]] = []
+        factories: list[tuple[int, Callable[[], Any]]] = []
+        for tag, value in enumerate(request["values"]):
             parameters = dict(request["parameters"])
             parameters[request["parameter"]] = value
-            factory = _predictor_factory(request["predictor"], parameters)
+            all_parameters.append(parameters)
+            factories.append(
+                (tag, _predictor_factory(request["predictor"], parameters)))
+        plan = WorkPlan.for_points(factories, request["traces"], config,
+                                   sim_engine=sim_engine)
+        by_tag: dict[int, list[WorkUnit]] = {}
+        for unit in plan:
+            by_tag.setdefault(unit.tag, []).append(unit)
+        points: list[dict[str, Any]] = []
+        # Points stay sequential (each one's traces fan out) so a sweep
+        # request cannot monopolize the dispatch slots in one burst.
+        for tag, parameters in enumerate(all_parameters):
             results, failures = await self._gather_units(
-                factory, request["traces"], config, sim_engine)
+                by_tag.get(tag, []))
             point = {"parameters": parameters}
             point.update(self._aggregate(results))
             point["failures"] = failures

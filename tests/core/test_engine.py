@@ -341,3 +341,105 @@ class TestValidation:
         assert "resident_traces=1" in repr(engine)
         engine.close()
         assert "closed" in repr(engine)
+
+
+class TestMidChunkRecovery:
+    """ISSUE-8 satellite: a worker crash *inside* a chunk loses as
+    little as possible — finished units are recovered from the spool,
+    exactly one unit takes the blame, only unstarted units re-dispatch,
+    and no shared-memory segments (or spool files) are left behind."""
+
+    def _mixed_plan(self, traces, crash_at):
+        from repro.core.plan import WorkPlan, WorkUnit
+        from repro.core.simulator import SimulationConfig
+        config = SimulationConfig()
+        units = []
+        for i, trace in enumerate(traces):
+            factory = crashing_factory if i == crash_at else bimodal_factory
+            units.append(WorkUnit(factory=factory, trace=trace,
+                                  name=f"unit-{i}", config=config))
+        return WorkPlan(units=tuple(units))
+
+    def test_crash_mid_chunk_recovers_finished_units(self, traces):
+        import os
+        plan = self._mixed_plan(_make_traces(count=4), crash_at=2)
+        with ExecutionEngine(workers=1) as engine:
+            outcomes = dict(engine.run_plan(plan, chunk=4))
+            names = engine.segment_names()
+            stats = engine.stats
+            # Units 0 and 1 finished before the crash: their spooled
+            # outcomes survive the worker's death.
+            assert stats.units_recovered == 2
+            assert outcomes[0].trace_name == "unit-0"
+            assert outcomes[1].trace_name == "unit-1"
+            assert outcomes[0].mispredictions > 0
+            # Exactly one TraceFailure: the unit executing at the crash.
+            assert isinstance(outcomes[2], TraceFailure)
+            assert outcomes[2].trace_name == "unit-2"
+            assert sum(isinstance(o, TraceFailure)
+                       for o in outcomes.values()) == 1
+            # The unstarted tail unit was re-dispatched, not failed.
+            assert stats.units_retried == 1
+            assert outcomes[3].trace_name == "unit-3"
+            assert outcomes[3].mispredictions > 0
+            # 4 planned + 1 retry, in 1 crashed chunk + 1 retry chunk.
+            assert stats.tasks_dispatched == 5
+            assert stats.chunks_dispatched == 2
+            assert stats.pool_restarts == 1
+            # The spool directory holds no stale checkpoint files.
+            assert engine._spool is not None
+            assert os.listdir(engine._spool.name) == []
+            spool_dir = engine._spool.name
+        assert _segments_alive(names) == []
+        assert not os.path.exists(spool_dir)
+
+    def test_recovered_outcomes_match_serial(self, traces):
+        local = _make_traces(count=4)
+        plan = self._mixed_plan(local, crash_at=2)
+        serial = [run_suite(bimodal_factory, [t]).results[0]
+                  for t in local]
+        with ExecutionEngine(workers=1) as engine:
+            outcomes = dict(engine.run_plan(plan, chunk=4))
+        for i in (0, 1, 3):
+            expected = serial[i]
+            got = outcomes[i]
+            assert got.mispredictions == expected.mispredictions
+            assert (got.num_conditional_branches
+                    == expected.num_conditional_branches)
+
+    def test_crash_on_first_unit_retries_whole_tail(self, traces):
+        plan = self._mixed_plan(_make_traces(count=3), crash_at=0)
+        with ExecutionEngine(workers=1) as engine:
+            outcomes = dict(engine.run_plan(plan, chunk=3))
+            stats = engine.stats
+            names = engine.segment_names()
+        # Nothing finished before the crash: no recoveries, the first
+        # unit is poisoned, both unstarted units retried and succeed.
+        assert stats.units_recovered == 0
+        assert stats.units_retried == 2
+        assert isinstance(outcomes[0], TraceFailure)
+        assert outcomes[1].mispredictions > 0
+        assert outcomes[2].mispredictions > 0
+        assert stats.pool_restarts == 1
+        assert _segments_alive(names) == []
+
+    def test_engine_stays_usable_after_mid_chunk_crash(self, traces):
+        plan = self._mixed_plan(_make_traces(count=4), crash_at=1)
+        with ExecutionEngine(workers=1) as engine:
+            dict(engine.run_plan(plan, chunk=4))
+            # recover() is the public pool-replacement hook; calling it
+            # again after the automatic restart must be harmless.
+            engine.recover()
+            batch = run_suite(bimodal_factory, traces, engine=engine)
+            assert len(batch.results) == len(traces)
+            assert not batch.failures
+
+    def test_stats_json_carries_chunk_counters(self, traces):
+        plan = self._mixed_plan(_make_traces(count=4), crash_at=2)
+        with ExecutionEngine(workers=1) as engine:
+            dict(engine.run_plan(plan, chunk=4))
+            document = engine.stats.to_json()
+        assert document["units_recovered"] == 2
+        assert document["units_retried"] == 1
+        assert document["chunks_dispatched"] == 2
+        assert "chunk_dispatch" in document["phases"]

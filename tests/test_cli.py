@@ -219,6 +219,65 @@ class TestSuiteCommand:
         with pytest.raises(SystemExit):
             main(["suite", str(trace_file), "--start-method", "fork"])
 
+    def test_all_traces_failed_is_not_success(self, tmp_path, capsys):
+        # An all-failure suite used to be indistinguishable from an
+        # empty-but-successful one; now it exits non-zero and reports
+        # explicit counts.
+        missing = [str(tmp_path / "a.sbbt"), str(tmp_path / "b.sbbt")]
+        assert main(["suite", *missing]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["traces"] == []
+        assert document["aggregate"]["num_traces"] == 2
+        assert document["aggregate"]["num_failures"] == 2
+        assert len(document["failures"]) == 2
+
+    def test_all_traces_failed_compact_footer(self, tmp_path, capsys):
+        missing = str(tmp_path / "gone.sbbt")
+        assert main(["suite", missing, "--compact"]) == 1
+        output = capsys.readouterr().out
+        assert "0/1 traces ok" in output
+        assert "1 failed" in output
+        assert "mean MPKI n/a" in output
+
+    def test_compact_footer_counts_successes(self, trace_file, capsys):
+        assert main(["suite", str(trace_file), "--compact"]) == 0
+        output = capsys.readouterr().out
+        assert "1/1 traces ok" in output
+        assert "0 failed" in output
+
+    def test_json_aggregate_counts(self, tmp_path, trace_file, capsys):
+        missing = tmp_path / "missing.sbbt"
+        assert main(["suite", str(trace_file), str(missing)]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["aggregate"]["num_traces"] == 2
+        assert document["aggregate"]["num_failures"] == 1
+
+    def test_chunk_flag_values(self, tmp_path, small_trace,
+                               server_trace, capsys):
+        a, b = tmp_path / "a.sbbt", tmp_path / "b.sbbt"
+        write_trace(a, small_trace)
+        write_trace(b, server_trace)
+        main(["suite", str(a), str(b), "--workers", "2"])
+        baseline = json.loads(capsys.readouterr().out)
+        assert main(["suite", str(a), str(b), "--workers", "2",
+                     "--chunk", "2"]) == 0
+        chunked = json.loads(capsys.readouterr().out)
+        for doc in (baseline, chunked):
+            for entry in doc["traces"]:
+                entry.pop("simulation_time")
+            doc["aggregate"].pop("timing")
+        assert chunked == baseline
+
+    def test_chunk_auto_is_default_spelling(self, trace_file, capsys):
+        assert main(["suite", str(trace_file), "--chunk", "auto"]) == 0
+        capsys.readouterr()
+
+    @pytest.mark.parametrize("bad", ["0", "-2", "sometimes"])
+    def test_chunk_flag_rejects_bad_values(self, trace_file, bad):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["suite", str(trace_file), "--chunk", bad])
+        assert "--chunk" in str(excinfo.value)
+
 
 class TestSweepCommand:
     def test_table_output(self, trace_file, capsys):
