@@ -1,0 +1,122 @@
+"""Overhead guard for the :mod:`repro.tracing` span pipeline.
+
+Tracing inherits the library-wide observability contract: **zero
+overhead when disabled**.  An untraced ``execute_plan`` run threads the
+shared :data:`~repro.tracing.NULL_TRACER` through every layer — span
+context managers are a reusable singleton, no contexts are minted, no
+wire dicts ride the chunk payloads — so results must be byte-identical
+and the cost bounded against a build of the pipeline that predates
+tracing entirely (approximated by the same call before/after, since the
+null path *is* the old path plus a handful of attribute lookups per
+plan, never per branch).
+
+Two guards:
+
+* a correctness guard — the outcome documents of a traced and an
+  untraced run are byte-identical once ``simulation_time`` is popped
+  (so cache keys and goldens cannot shift); disabled tracing vs no
+  tracer argument at all is likewise identical, and
+* a timing guard — the null-tracer run is bounded against the plain
+  run with a deliberately generous factor: the bound catches an
+  accidental per-unit (or per-branch) allocation creeping into the
+  disabled path, not nanosecond parity.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from conftest import emit_report
+
+from repro.analysis.reporting import format_table
+from repro.core.plan import WorkPlan, execute_plan
+from repro.predictors import Bimodal
+from repro.tracing import NULL_TRACER, SpanRecorder, TraceContext
+from repro.traces.synth import generate_trace
+from repro.traces.workloads import PROFILES
+
+#: Slowdown tolerated for the disabled-tracing path vs the plain call.
+#: The real ratio is ~1.0x; anything near the bound means per-unit
+#: work crept into the NULL_TRACER fast path.
+MAX_DISABLED_SLOWDOWN = 1.5
+
+TRACE_BRANCHES = 15_000
+NUM_TRACES = 4
+
+
+def _bimodal_factory():
+    return Bimodal(log_table_size=12)
+
+
+def _bench_plan():
+    traces = [generate_trace(PROFILES["short_server"], 40 + i,
+                             TRACE_BRANCHES)
+              for i in range(NUM_TRACES)]
+    return WorkPlan.for_suite(_bimodal_factory, traces)
+
+
+def _comparable(outcomes):
+    documents = []
+    for outcome in outcomes:
+        document = outcome.to_json()
+        document["metrics"].pop("simulation_time")
+        documents.append(document)
+    return json.dumps(documents, sort_keys=True)
+
+
+def _best_of(plan, rounds=3, **kwargs):
+    best = float("inf")
+    outcomes = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        outcomes = execute_plan(plan, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return best, outcomes
+
+
+def test_untraced_results_byte_identical():
+    """No tracer == explicit NULL_TRACER == recording tracer, byte-wise."""
+    plan = _bench_plan()
+    plain = execute_plan(plan)
+    null = execute_plan(plan, tracer=NULL_TRACER)
+    recorded = execute_plan(plan, tracer=SpanRecorder(
+        root=TraceContext.new_root()))
+    assert _comparable(plain) == _comparable(null)
+    assert _comparable(plain) == _comparable(recorded)
+
+
+def test_disabled_tracing_overhead_bounded(bench_metrics):
+    plan = _bench_plan()
+    instructions = sum(int(unit.trace.num_instructions) for unit in plan)
+
+    plain_t, plain = _best_of(plan)
+    null_t, _ = _best_of(plan, tracer=NULL_TRACER)
+    recorder = SpanRecorder(root=TraceContext.new_root())
+    traced_t, _ = _best_of(plan, tracer=recorder)
+
+    assert all(outcome.mpki >= 0 for outcome in plain)
+    assert recorder.spans, "recording run produced no spans"
+    slowdown = null_t / plain_t
+    assert slowdown < MAX_DISABLED_SLOWDOWN, (
+        f"null-tracer path is {slowdown:.2f}x the plain call "
+        f"(bound {MAX_DISABLED_SLOWDOWN}x): the disabled path is "
+        "doing per-unit work"
+    )
+
+    bench_metrics["instructions"] = instructions
+    bench_metrics["disabled_slowdown"] = slowdown
+    bench_metrics["enabled_slowdown"] = traced_t / plain_t
+
+    rows = [
+        ["no tracer argument", f"{plain_t * 1e3:.1f} ms", "1.00x"],
+        ["NULL_TRACER threaded through", f"{null_t * 1e3:.1f} ms",
+         f"{slowdown:.2f}x"],
+        ["SpanRecorder attached", f"{traced_t * 1e3:.1f} ms",
+         f"{traced_t / plain_t:.2f}x"],
+    ]
+    emit_report("tracing_overhead", format_table(
+        headers=["Configuration", "Best time", "vs plain"],
+        rows=rows,
+        title=(f"Tracing overhead (execute_plan, {NUM_TRACES} traces x "
+               f"{TRACE_BRANCHES} branches)")))

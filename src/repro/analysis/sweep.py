@@ -110,6 +110,8 @@ def evaluate_param_sets(factory: Callable[..., Predictor],
                         cache: CacheLike = None,
                         engine: "ExecutionEngine | None" = None,
                         chunk: int | str = "auto",
+                        tracer: Any = None,
+                        trace_parent: Any = None,
                         ) -> list[BatchResult]:
     """Evaluate many parameter sets of ``factory`` over one trace set.
 
@@ -130,7 +132,8 @@ def evaluate_param_sets(factory: Callable[..., Predictor],
         [(tag, functools.partial(factory, **parameters))
          for tag, parameters in enumerate(param_sets)],
         traces, config)
-    outcomes = execute_plan(plan, engine=engine, cache=cache, chunk=chunk)
+    outcomes = execute_plan(plan, engine=engine, cache=cache, chunk=chunk,
+                            tracer=tracer, trace_parent=trace_parent)
     grouped = plan.group_outcomes(outcomes)
     batches: list[BatchResult] = []
     for tag in range(len(param_sets)):
@@ -153,11 +156,14 @@ def _evaluate_points(factory: Callable[..., Predictor],
                      config: SimulationConfig | None,
                      cache: CacheLike,
                      engine: "ExecutionEngine | None",
-                     chunk: int | str) -> list[SweepPoint]:
+                     chunk: int | str,
+                     tracer: Any = None,
+                     trace_parent: Any = None) -> list[SweepPoint]:
     """Lower a whole sweep into one plan; one :class:`SweepPoint` per
     parameter set."""
     batches = evaluate_param_sets(factory, param_sets, traces, config,
-                                  cache=cache, engine=engine, chunk=chunk)
+                                  cache=cache, engine=engine, chunk=chunk,
+                                  tracer=tracer, trace_parent=trace_parent)
     return [
         SweepPoint(
             parameters=parameters,
@@ -176,7 +182,9 @@ def sweep_parameter(factory: Callable[..., Predictor], parameter: str,
                     cache: CacheLike = None,
                     workers: int = 1,
                     engine: "ExecutionEngine | None" = None,
-                    chunk: int | str = "auto") -> SweepResult:
+                    chunk: int | str = "auto",
+                    tracer: Any = None,
+                    trace_parent: Any = None) -> SweepResult:
     """Sweep one constructor parameter of a predictor over a trace set.
 
     With ``cache=`` (a :class:`repro.cache.SimulationCache` or directory
@@ -197,7 +205,8 @@ ExecutionEngine` (one worker pool, one shared-memory trace shipment and
     param_sets = [{**fixed, parameter: value} for value in values]
     with engine_scope(engine, workers) as scoped:
         points = _evaluate_points(factory, param_sets, traces, config,
-                                  cache, scoped, chunk)
+                                  cache, scoped, chunk,
+                                  tracer=tracer, trace_parent=trace_parent)
     return SweepResult(points=points)
 
 
@@ -208,7 +217,9 @@ def sweep_grid(factory: Callable[..., Predictor],
                cache: CacheLike = None,
                workers: int = 1,
                engine: "ExecutionEngine | None" = None,
-               chunk: int | str = "auto") -> SweepResult:
+               chunk: int | str = "auto",
+               tracer: Any = None,
+               trace_parent: Any = None) -> SweepResult:
     """Full-factorial sweep over a small parameter grid.
 
     The number of configurations is the product of the grid's axis sizes
@@ -227,5 +238,6 @@ def sweep_grid(factory: Callable[..., Predictor],
     ]
     with engine_scope(engine, workers) as scoped:
         points = _evaluate_points(factory, param_sets, traces, config,
-                                  cache, scoped, chunk)
+                                  cache, scoped, chunk,
+                                  tracer=tracer, trace_parent=trace_parent)
     return SweepResult(points=points)

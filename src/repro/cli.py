@@ -25,10 +25,14 @@ command away:
 * ``mbp serve``     — long-running simulation daemon (unix socket or
   TCP, newline-delimited JSON protocol, shared engine + cache).
 * ``mbp client``    — talk to a running ``mbp serve`` daemon.
+* ``mbp trace``     — export span logs (``--trace-dir`` tracing) to the
+  Chrome trace-event format, or summarize per-phase latencies.
 
 Cache directories resolve uniformly everywhere (``--cache-dir`` flag,
 then the ``MBP_CACHE_DIR`` environment variable, then off) via
-:func:`repro.cache.resolve_cache_dir`.
+:func:`repro.cache.resolve_cache_dir`; span-log directories resolve the
+same way (``--trace-dir``, then ``MBP_TRACE_DIR``, then off) via
+:func:`repro.tracing.resolve_trace_dir`.
 
 Every subcommand is documented in ``docs/cli.md``; a CI check
 (``tools/check_docs.py``) keeps that page in sync with this parser.
@@ -39,6 +43,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import contextmanager
 from typing import Sequence
 
 from .cache import resolve_cache_dir
@@ -115,6 +120,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="attach a prediction probe (component attribution, branch "
              "profile, table statistics) and record its report in the "
              "telemetry document; requires --telemetry")
+    simulate_parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="span-tracing log directory (default: $MBP_TRACE_DIR, else "
+             "off); the run's spans stream to trace-<id>.jsonl there "
+             "for 'mbp trace export|summary'")
 
     suite_parser = sub.add_parser(
         "suite",
@@ -131,9 +141,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulation engine used for every trace of the suite "
              "(see 'mbp simulate --engine')")
     suite_parser.add_argument(
-        "--workers", type=int, default=1, metavar="N",
+        "--workers", type=int, default=None, metavar="N",
         help="worker processes; > 1 dispatches through a persistent "
-             "execution engine with the traces resident in shared memory")
+             "execution engine with the traces resident in shared memory "
+             "(default: cpu-aware, min(4, cores-1), capped by the trace "
+             "count; pass 1 to force serial)")
     suite_parser.add_argument(
         "--chunk", default="auto", metavar="{auto,N}",
         help="work units packed per engine round-trip: 'auto' (default) "
@@ -151,6 +163,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine-stats", action="store_true",
         help="print engine counters (traces published / shipped / reused, "
              "tasks dispatched, phases) to stderr; requires --workers > 1")
+    suite_parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="span-tracing log directory (default: $MBP_TRACE_DIR, else "
+             "off); see 'mbp trace'")
     suite_parser.add_argument("--compact", action="store_true",
                               help="per-trace summary lines instead of JSON")
 
@@ -174,9 +190,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--warmup", type=int, default=0,
                               metavar="INSTRUCTIONS")
     sweep_parser.add_argument(
-        "--workers", type=int, default=1, metavar="N",
+        "--workers", type=int, default=None, metavar="N",
         help="worker processes; the whole sweep shares one engine, so the "
-             "pool is forked once and each trace is shipped once")
+             "pool is forked once and each trace is shipped once "
+             "(default: cpu-aware, min(4, cores-1), capped by the sweep's "
+             "unit count; pass 1 to force serial)")
     sweep_parser.add_argument(
         "--chunk", default="auto", metavar="{auto,N}",
         help="work units packed per engine round-trip ('auto' or a fixed "
@@ -191,6 +209,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--engine-stats", action="store_true",
         help="print engine counters to stderr; requires --workers > 1")
+    sweep_parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="span-tracing log directory (default: $MBP_TRACE_DIR, else "
+             "off); see 'mbp trace'")
     sweep_parser.add_argument(
         "--json", action="store_true",
         help="print the sweep points as JSON instead of a table")
@@ -302,9 +324,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="TCP port with --host (default 0 = pick a free port, "
              "printed on startup)")
     serve_parser.add_argument(
-        "--workers", type=int, default=1, metavar="N",
+        "--workers", type=int, default=None, metavar="N",
         help="execution-engine worker processes shared by every client "
-             "(0 = simulate on in-process threads, no multiprocessing)")
+             "(0 = simulate on in-process threads, no multiprocessing; "
+             "default: cpu-aware, min(4, cores-1))")
     serve_parser.add_argument(
         "--start-method", default=None,
         choices=["fork", "spawn", "forkserver"],
@@ -330,6 +353,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-request-bytes", type=int, default=None, metavar="BYTES",
         help="frame size limit; larger requests answer 'too_large' "
              "(default 4 MiB)")
+    serve_parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="span-tracing log directory (default: $MBP_TRACE_DIR, else "
+             "off); every request's spans stream to serve-<pid>.jsonl "
+             "there for 'mbp trace export|summary'")
 
     client_parser = sub.add_parser(
         "client", help="talk to a running 'mbp serve' daemon")
@@ -376,6 +404,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--result-only", action="store_true",
         help="with 'simulate': print only the SimulationResult JSON, "
              "byte-identical to 'mbp simulate' output")
+    client_parser.add_argument(
+        "--trace-id", default=None, metavar="ID",
+        help="tag this request's server-side spans with a trace id of "
+             "your choosing, so 'mbp trace summary --trace-id ID' over "
+             "the daemon's --trace-dir finds them (simulate/suite/sweep)")
+
+    trace_parser = sub.add_parser(
+        "trace",
+        help="export or summarize span-tracing logs (--trace-dir runs)")
+    trace_parser.add_argument(
+        "action", choices=["export", "summary"],
+        help="export: spans as a Chrome trace-event JSON file (load it "
+             "in Perfetto or chrome://tracing); summary: per-span-name "
+             "p50/p99 latencies and the critical path")
+    trace_parser.add_argument(
+        "paths", nargs="*",
+        help="span logs: .jsonl files and/or directories of them "
+             "(default: $MBP_TRACE_DIR)")
+    trace_parser.add_argument(
+        "--trace-id", default=None, metavar="ID",
+        help="restrict to one trace id (default: export keeps all, "
+             "summary aggregates all and walks the first trace's "
+             "critical path)")
+    trace_parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="with 'export': write the trace-event JSON to PATH instead "
+             "of stdout")
     return parser
 
 
@@ -404,22 +459,29 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         probe = PredictionProbe()
     cache_dir = resolve_cache_dir(args.cache_dir)
     cache_used = cache_dir is not None
-    try:
-        if cache_used:
-            from .cache import SimulationCache
+    with _tracing(args, "simulate") as (tracer, root_context):
+        with tracer.span("simulate", parent=root_context,
+                         attributes={"unit": args.trace,
+                                     "predictor": args.predictor}) as span:
+            try:
+                if cache_used:
+                    from .cache import SimulationCache
 
-            cache = SimulationCache(cache_dir)
-            result = cache.get_or_simulate(
-                lambda: make_predictor(args.predictor), args.trace, config,
-                engine=args.engine, instrumentation=instrumentation,
-                telemetry=recorder, probe=probe)
-        else:
-            result = simulate(make_predictor(args.predictor), args.trace,
-                              config, engine=args.engine,
-                              instrumentation=instrumentation,
-                              telemetry=recorder, probe=probe)
-    except EngineNotSupportedError as exc:
-        raise SystemExit(str(exc)) from None
+                    cache = SimulationCache(cache_dir)
+                    result = cache.get_or_simulate(
+                        lambda: make_predictor(args.predictor), args.trace,
+                        config, engine=args.engine,
+                        instrumentation=instrumentation,
+                        telemetry=recorder, probe=probe)
+                else:
+                    result = simulate(make_predictor(args.predictor),
+                                      args.trace, config, engine=args.engine,
+                                      instrumentation=instrumentation,
+                                      telemetry=recorder, probe=probe)
+            except EngineNotSupportedError as exc:
+                raise SystemExit(str(exc)) from None
+            if tracer.enabled:
+                span.set_attribute("from_cache", bool(result.from_cache))
     if args.telemetry is not None:
         from .telemetry import build_manifest, write_telemetry
 
@@ -507,18 +569,67 @@ def _parse_chunk(value: str) -> "int | str":
     return value if value == "auto" else int(value)
 
 
-def _make_engine(args: argparse.Namespace):
+def _resolve_workers(args: argparse.Namespace, units: int) -> int:
+    """``--workers`` if given, else the cpu-aware default for ``units``."""
+    if args.workers is not None:
+        return args.workers
+    from .core.engine import default_workers
+
+    return default_workers(units)
+
+
+def _make_engine(args: argparse.Namespace, units: int):
     """The ExecutionEngine for ``--workers``, or ``None`` when serial."""
-    if args.engine_stats and args.workers <= 1:
+    workers = _resolve_workers(args, units)
+    if args.engine_stats and workers <= 1:
         raise SystemExit("--engine-stats requires --workers > 1")
-    if args.workers <= 1:
+    if workers <= 1:
         if args.start_method is not None:
             raise SystemExit("--start-method requires --workers > 1")
         return None
     from .core.engine import ExecutionEngine
 
-    return ExecutionEngine(workers=args.workers,
+    return ExecutionEngine(workers=workers,
                            start_method=args.start_method)
+
+
+@contextmanager
+def _tracing(args: argparse.Namespace, command: str):
+    """Yield ``(tracer, root_context)`` for one traced CLI invocation.
+
+    With no trace directory resolved (no ``--trace-dir``, no
+    ``MBP_TRACE_DIR``) this yields the null tracer and ``None`` —
+    the zero-overhead path.  Otherwise it mints a fresh trace id,
+    streams spans to ``trace-<id>.jsonl`` under the directory, wraps
+    the command in an ``mbp_<command>`` root span, and announces the
+    trace id on stderr so the run's spans can be found afterwards.
+    """
+    from .tracing import (
+        NULL_TRACER,
+        JsonlSpanSink,
+        SpanRecorder,
+        TraceContext,
+        new_trace_id,
+        resolve_trace_dir,
+    )
+
+    trace_dir = resolve_trace_dir(getattr(args, "trace_dir", None))
+    if trace_dir is None:
+        yield NULL_TRACER, None
+        return
+    from pathlib import Path
+
+    trace_id = new_trace_id()
+    path = Path(trace_dir) / f"trace-{trace_id}.jsonl"
+    sink = JsonlSpanSink(path)
+    tracer = SpanRecorder(root=TraceContext.new_root(trace_id), sink=sink)
+    print(f"mbp {command}: tracing as {trace_id} -> {path}",
+          file=sys.stderr)
+    try:
+        with tracer.span(f"mbp_{command}") as root:
+            yield tracer, root.context
+    finally:
+        sink.close()
 
 
 def _emit_engine_stats(args: argparse.Namespace, engine) -> None:
@@ -535,13 +646,15 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     config = SimulationConfig(warmup_instructions=args.warmup,
                               max_instructions=args.max_instructions)
     factory = PREDICTOR_CHOICES[args.predictor]
-    engine = _make_engine(args)
-    with engine if engine is not None else nullcontext():
-        batch = run_suite(factory, args.traces, config, engine=engine,
-                          cache=resolve_cache_dir(args.cache_dir),
-                          on_error="collect", sim_engine=args.engine,
-                          chunk=_parse_chunk(args.chunk))
-        _emit_engine_stats(args, engine)
+    engine = _make_engine(args, len(args.traces))
+    with _tracing(args, "suite") as (tracer, root_context):
+        with engine if engine is not None else nullcontext():
+            batch = run_suite(factory, args.traces, config, engine=engine,
+                              cache=resolve_cache_dir(args.cache_dir),
+                              on_error="collect", sim_engine=args.engine,
+                              chunk=_parse_chunk(args.chunk),
+                              tracer=tracer, trace_parent=root_context)
+            _emit_engine_stats(args, engine)
     timing = batch.timing
     num_traces = len(batch.results) + len(batch.failures)
     if args.compact:
@@ -602,14 +715,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     factory = PREDICTOR_CHOICES[args.predictor]
     values = _parse_values(args.values)
     fixed = _parse_fixed(args.fixed)
-    engine = _make_engine(args)
-    with engine if engine is not None else nullcontext():
-        sweep = sweep_parameter(factory, args.parameter, values, args.traces,
-                                config, fixed,
-                                cache=resolve_cache_dir(args.cache_dir),
-                                engine=engine,
-                                chunk=_parse_chunk(args.chunk))
-        _emit_engine_stats(args, engine)
+    engine = _make_engine(args, len(values) * len(args.traces))
+    with _tracing(args, "sweep") as (tracer, root_context):
+        with engine if engine is not None else nullcontext():
+            sweep = sweep_parameter(factory, args.parameter, values,
+                                    args.traces, config, fixed,
+                                    cache=resolve_cache_dir(args.cache_dir),
+                                    engine=engine,
+                                    chunk=_parse_chunk(args.chunk),
+                                    tracer=tracer, trace_parent=root_context)
+            _emit_engine_stats(args, engine)
     best = sweep.best()
     if args.json:
         print(json.dumps({
@@ -858,6 +973,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     if args.socket is not None and args.host is not None:
         raise SystemExit("pass --socket or --host, not both")
+    if args.workers is None:
+        # A daemon serves many clients and cannot see its unit counts
+        # up front, so the cpu-aware default is uncapped here.
+        from .core.engine import default_workers
+
+        args.workers = default_workers()
     config = ServeConfig(
         socket_path=args.socket if args.host is None else None,
         host=args.host,
@@ -868,6 +989,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         sim_engine=args.engine,
         max_queue=args.max_queue,
         request_timeout=args.timeout if args.timeout > 0 else None,
+        trace_dir=args.trace_dir,
         **({} if args.max_request_bytes is None
            else {"max_request_bytes": args.max_request_bytes}),
     )
@@ -909,7 +1031,7 @@ def _cmd_client(args: argparse.Namespace) -> int:
     parameters = _parse_fixed(args.fixed)
     common = {"parameters": parameters, "warmup": args.warmup,
               "max_instructions": args.max_instructions,
-              "engine": args.engine}
+              "engine": args.engine, "trace_id": args.trace_id}
     try:
         with client:
             if args.action in ("ping", "stats", "shutdown"):
@@ -947,6 +1069,47 @@ def _cmd_client(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .tracing import (
+        chrome_trace_events,
+        critical_path_table,
+        read_spans,
+        resolve_trace_dir,
+        summary_table,
+    )
+
+    if args.output is not None and args.action != "export":
+        raise SystemExit("--output requires the 'export' action")
+    paths = list(args.paths)
+    if not paths:
+        default_dir = resolve_trace_dir(None)
+        if default_dir is None:
+            raise SystemExit("no span logs: pass .jsonl files or "
+                             "directories, or set MBP_TRACE_DIR")
+        paths = [default_dir]
+    spans = read_spans(paths, trace_id=args.trace_id)
+    if not spans:
+        scope = f" for trace id {args.trace_id}" if args.trace_id else ""
+        raise SystemExit(f"no spans found{scope} in: {', '.join(paths)}")
+    if args.action == "export":
+        document = chrome_trace_events(spans)
+        text = json.dumps(document, indent=2)
+        if args.output is not None:
+            Path(args.output).write_text(text + "\n", encoding="utf-8")
+            print(f"wrote {args.output}: "
+                  f"{len(document['traceEvents'])} events",
+                  file=sys.stderr)
+        else:
+            print(text)
+        return 0
+    print(summary_table(spans))
+    print()
+    print(critical_path_table(spans, args.trace_id))
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "suite": _cmd_suite,
@@ -961,6 +1124,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "serve": _cmd_serve,
     "client": _cmd_client,
+    "trace": _cmd_trace,
 }
 
 

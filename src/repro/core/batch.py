@@ -36,7 +36,7 @@ import statistics
 import traceback
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Callable, Sequence, Union
+from typing import TYPE_CHECKING, Any, Callable, Sequence, Union
 
 from ..sbbt.trace import TraceData
 from .errors import SimulationError
@@ -254,7 +254,9 @@ def run_suite(factory: PredictorFactory, traces: Sequence[TraceLike],
               instrumentation: "Instrumentation | None" = None,
               probe: bool = False,
               sim_engine: str = "scalar",
-              chunk: int | str = "auto"
+              chunk: int | str = "auto",
+              tracer: "Any" = None,
+              trace_parent: "Any" = None,
               ) -> BatchResult:
     """Run a fresh predictor over every trace of a suite.
 
@@ -315,6 +317,11 @@ def run_suite(factory: PredictorFactory, traces: Sequence[TraceLike],
         (default) packs several traces per worker round-trip sized by
         the measured per-trace cost; an integer forces that chunk size.
         Ignored by the serial and throwaway-pool paths.
+    tracer:
+        Optional :mod:`repro.tracing` tracer (with ``trace_parent``, the
+        context to nest under), forwarded to
+        :func:`~repro.core.plan.execute_plan` — the suite's cache scan,
+        simulations and engine dispatch become one span tree.
     """
     if on_error not in ("raise", "collect"):
         raise ValueError(f"on_error must be 'raise' or 'collect', got {on_error!r}")
@@ -328,7 +335,8 @@ def run_suite(factory: PredictorFactory, traces: Sequence[TraceLike],
                               probe=probe, sim_engine=sim_engine)
     outcomes = execute_plan(plan, workers=workers, engine=engine,
                             cache=cache, instrumentation=instrumentation,
-                            chunk=chunk)
+                            chunk=chunk, tracer=tracer,
+                            trace_parent=trace_parent)
 
     results = [s for s in outcomes if isinstance(s, SimulationResult)]
     failures = [s for s in outcomes if isinstance(s, TraceFailure)]

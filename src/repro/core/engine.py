@@ -78,7 +78,26 @@ from .plan import WorkPlan, WorkUnit, chunk_cost_size, normalize_chunk
 from .predictor import Predictor
 from .simulator import SimulationConfig
 
-__all__ = ["EngineStats", "ExecutionEngine", "SharedTrace"]
+__all__ = ["EngineStats", "ExecutionEngine", "SharedTrace",
+           "default_workers"]
+
+
+def default_workers(units: int | None = None) -> int:
+    """The CPU-aware default worker count for CLI entry points.
+
+    ``min(4, cpu_count - 1)``, never below 1: leave one core for the
+    parent (decode, cache IO, result collection) and cap at four —
+    chunked dispatch keeps engine overhead below serial cost at that
+    width on every suite size the benchmarks gate.  ``units`` (the
+    number of schedulable work units, when the caller knows it) caps
+    the answer further: a single-trace suite gets 1 worker — the serial
+    path — because parallelism has nothing to chew on.  Opt out with an
+    explicit ``--workers 1``.
+    """
+    cap = max(1, min(4, (os.cpu_count() or 2) - 1))
+    if units is not None and units < cap:
+        cap = max(1, units)
+    return cap
 
 #: Adaptive chunking aims for this much worker time per round-trip: large
 #: enough to amortize the pickle/IPC/future overhead of a dispatch, small
@@ -207,32 +226,64 @@ def _attach_resident(ref: SharedTrace) -> tuple[TraceData, bool]:
 def _engine_run_one(factory: PredictorFactory, ref: SharedTrace,
                     config: SimulationConfig, name: str,
                     probe: bool,
-                    sim_engine: str = "scalar") -> tuple[Any, bool]:
+                    sim_engine: str = "scalar",
+                    trace_wire: dict | None = None,
+                    ) -> tuple[Any, bool, list[dict]]:
     """Worker task: simulate one resident trace.
 
-    Returns ``(outcome, attached)`` — the outcome is a
+    Returns ``(outcome, attached, spans)`` — the outcome is a
     :class:`~repro.core.output.SimulationResult` or a
     :class:`~repro.core.batch.TraceFailure` (the same fault barrier as
-    the classic pool path), and ``attached`` feeds the parent's
-    trace_attach / trace_reuse counters.
+    the classic pool path), ``attached`` feeds the parent's
+    trace_attach / trace_reuse counters, and ``spans`` are the
+    worker-side span dicts when ``trace_wire`` carried a
+    :class:`~repro.tracing.TraceContext` (empty — tracing disabled —
+    otherwise).  Worker spans (``attach``, ``simulate``) are parented
+    to the shipped context, so the parent's trace keeps its tree shape
+    across the process boundary.
     """
     from .batch import TraceFailure, _run_one
 
+    spans: list[dict] = []
+    if trace_wire is not None:
+        from ..tracing.span import wire_child_span
+    wall = time.time()
+    start = time.perf_counter()
     try:
         data, attached = _attach_resident(ref)
     except Exception as exc:  # noqa: BLE001 - segment gone / mapping failed
+        if trace_wire is not None:
+            spans.append(wire_child_span(
+                trace_wire, "attach", wall, time.perf_counter() - start,
+                status="error", attributes={"digest": ref.digest[:12]}))
         return TraceFailure(
             trace_name=name,
             error=f"{type(exc).__name__}: {exc}",
             details=traceback.format_exc(),
-        ), False
-    return _run_one(factory, data, config, name, probe,
-                    sim_engine=sim_engine), attached
+        ), False, spans
+    if trace_wire is not None:
+        spans.append(wire_child_span(
+            trace_wire, "attach", wall, time.perf_counter() - start,
+            attributes={"digest": ref.digest[:12],
+                        "first_touch": attached}))
+    wall = time.time()
+    start = time.perf_counter()
+    outcome = _run_one(factory, data, config, name, probe,
+                       sim_engine=sim_engine)
+    if trace_wire is not None:
+        failed = isinstance(outcome, TraceFailure)
+        spans.append(wire_child_span(
+            trace_wire, "simulate", wall, time.perf_counter() - start,
+            status="error" if failed else "ok",
+            attributes={"unit": name, "sim_engine": sim_engine}))
+    return outcome, attached, spans
 
 
 #: One unit of a chunk payload, parent -> worker:
-#: (factory, trace ref, config, name, probe, sim_engine).
-_ChunkItem = tuple[Any, SharedTrace, SimulationConfig, str, bool, str]
+#: (factory, trace ref, config, name, probe, sim_engine, trace wire
+#: context or None).
+_ChunkItem = tuple[Any, SharedTrace, SimulationConfig, str, bool, str,
+                   "dict | None"]
 
 
 def _spool_file(spool_dir: str, chunk_id: str, position: int) -> str:
@@ -240,8 +291,8 @@ def _spool_file(spool_dir: str, chunk_id: str, position: int) -> str:
 
 
 def _spool_write(spool_dir: str, chunk_id: str, position: int,
-                 payload: tuple[Any, bool]) -> None:
-    """Persist one finished unit's (outcome, attached) pair atomically.
+                 payload: tuple[Any, bool, list]) -> None:
+    """Persist one finished unit's (outcome, attached, spans) atomically.
 
     Best-effort: a spool write failure only degrades crash recovery for
     this chunk (the unit would be re-simulated), it never fails the unit.
@@ -260,13 +311,13 @@ def _spool_write(spool_dir: str, chunk_id: str, position: int,
 
 
 def _spool_load(spool_dir: str, chunk_id: str, count: int,
-                ) -> dict[int, tuple[Any, bool]]:
+                ) -> dict[int, tuple[Any, bool, list]]:
     """Outcomes a crashed chunk managed to finish, keyed by position.
 
     Unreadable or half-written entries are treated as missing — the
     parent then re-runs (or fails) those units, which is always safe.
     """
-    recovered: dict[int, tuple[Any, bool]] = {}
+    recovered: dict[int, tuple[Any, bool, list]] = {}
     for position in range(count):
         try:
             with open(_spool_file(spool_dir, chunk_id, position),
@@ -288,25 +339,29 @@ def _spool_clear(spool_dir: str, chunk_id: str, count: int) -> None:
 
 def _engine_run_chunk(items: Sequence[_ChunkItem], spool_dir: str | None,
                       chunk_id: str,
-                      ) -> list[tuple[Any, bool, float]]:
+                      ) -> list[tuple[Any, bool, float, list[dict]]]:
     """Worker task: simulate a whole chunk of resident-trace units.
 
-    Returns one ``(outcome, attached, elapsed_seconds)`` triple per unit,
-    in chunk order; the per-unit timings feed the parent's adaptive
-    chunk-size estimate.  When ``spool_dir`` is given (multi-unit
-    chunks), every finished unit is also checkpointed to disk so a crash
-    later in the chunk loses only the unit that was executing.
+    Returns one ``(outcome, attached, elapsed_seconds, spans)`` record
+    per unit, in chunk order; the per-unit timings feed the parent's
+    adaptive chunk-size estimate and the spans (empty when tracing is
+    off) ship the worker-side trace back.  When ``spool_dir`` is given
+    (multi-unit chunks), every finished unit is also checkpointed to
+    disk so a crash later in the chunk loses only the unit that was
+    executing — finished units' spans survive the crash with their
+    outcomes.
     """
-    outcomes: list[tuple[Any, bool, float]] = []
+    outcomes: list[tuple[Any, bool, float, list[dict]]] = []
     for position, (factory, ref, config, name, probe,
-                   sim_engine) in enumerate(items):
+                   sim_engine, trace_wire) in enumerate(items):
         start = time.perf_counter()
-        outcome, attached = _engine_run_one(factory, ref, config, name,
-                                            probe, sim_engine)
+        outcome, attached, spans = _engine_run_one(
+            factory, ref, config, name, probe, sim_engine, trace_wire)
         elapsed = time.perf_counter() - start
         if spool_dir is not None:
-            _spool_write(spool_dir, chunk_id, position, (outcome, attached))
-        outcomes.append((outcome, attached, elapsed))
+            _spool_write(spool_dir, chunk_id, position,
+                         (outcome, attached, spans))
+        outcomes.append((outcome, attached, elapsed, spans))
     return outcomes
 
 
@@ -605,15 +660,20 @@ class ExecutionEngine:
     def submit(self, factory: PredictorFactory, trace: TraceLike,
                config: SimulationConfig | None = None, *,
                name: str | None = None, probe: bool = False,
-               sim_engine: str = "scalar") -> Future:
+               sim_engine: str = "scalar",
+               trace_wire: dict | None = None,
+               tracer: Any = None) -> Future:
         """Publish ``trace`` if needed and schedule one simulation.
 
         The future resolves to a :class:`~repro.core.output.\
 SimulationResult` or a :class:`~repro.core.batch.TraceFailure` (worker
         exceptions are wrapped, never raised).  ``sim_engine`` selects
         the worker-side simulation engine (``"scalar"``, ``"vectorized"``
-        or ``"auto"``).  Most callers want :meth:`run_tasks` or
-        ``run_suite(engine=...)`` instead.
+        or ``"auto"``).  ``trace_wire`` (a
+        :meth:`~repro.tracing.TraceContext.to_wire` dict) ships a trace
+        context into the worker; the spans it emits are folded into
+        ``tracer`` when the future completes.  Most callers want
+        :meth:`run_tasks` or ``run_suite(engine=...)`` instead.
         """
         self._check_open()
         ref = self.publish(trace)
@@ -621,12 +681,13 @@ SimulationResult` or a :class:`~repro.core.batch.TraceFailure` (worker
             "trace[shared]" if isinstance(trace, TraceData) else str(trace))
         future = self._ensure_pool().submit(
             _engine_run_one, factory, ref, config or SimulationConfig(),
-            resolved, probe, sim_engine)
+            resolved, probe, sim_engine, trace_wire)
         self.stats.tasks_dispatched += 1
-        return self._unwrap(future)
+        return self._unwrap(future, tracer)
 
-    def _unwrap(self, future: Future) -> Future:
-        """Map a worker ``(outcome, attached)`` future to outcome-only."""
+    def _unwrap(self, future: Future, tracer: Any = None) -> Future:
+        """Map a worker ``(outcome, attached, spans)`` future to
+        outcome-only, folding worker spans into ``tracer``."""
         unwrapped: Future = Future()
 
         def _transfer(done: Future) -> None:
@@ -634,8 +695,10 @@ SimulationResult` or a :class:`~repro.core.batch.TraceFailure` (worker
             if exc is not None:
                 unwrapped.set_exception(exc)
                 return
-            outcome, attached = done.result()
+            outcome, attached, spans = done.result()
             self._count_attach(attached)
+            if tracer is not None:
+                tracer.record_wire(spans)
             unwrapped.set_result(outcome)
 
         future.add_done_callback(_transfer)
@@ -647,13 +710,16 @@ SimulationResult` or a :class:`~repro.core.batch.TraceFailure` (worker
         else:
             self.stats.trace_reuses += 1
 
-    def submit_unit(self, unit: WorkUnit) -> Future:
+    def submit_unit(self, unit: WorkUnit, *,
+                    trace_wire: dict | None = None,
+                    tracer: Any = None) -> Future:
         """Schedule one :class:`~repro.core.plan.WorkUnit` (the serve
         daemon's per-request path).  Equivalent to :meth:`submit` with
         the unit's fields."""
         return self.submit(unit.factory, unit.trace, unit.config,
                            name=unit.name, probe=unit.probe,
-                           sim_engine=unit.sim_engine)
+                           sim_engine=unit.sim_engine,
+                           trace_wire=trace_wire, tracer=tracer)
 
     def _spool_path(self) -> str:
         """The crash-recovery spool directory, created on first use."""
@@ -695,6 +761,8 @@ SimulationResult` or a :class:`~repro.core.batch.TraceFailure` (worker
     def run_plan(self, plan: WorkPlan, *,
                  chunk: int | str = "auto",
                  instrumentation: Any = None,
+                 tracer: Any = None,
+                 trace_parent: Any = None,
                  ) -> Iterator[tuple[int, Any]]:
         """Execute a :class:`~repro.core.plan.WorkPlan`; yield
         ``(plan index, outcome)`` pairs in **completion order**.
@@ -728,10 +796,43 @@ SimulationResult` or a :class:`~repro.core.batch.TraceFailure` (worker
         ``trace_reuse`` / ``task_chunk`` / ``chunk_size`` counters plus
         ``engine_dispatch`` and ``chunk_dispatch`` phases for this call
         (mean chunk size = ``chunk_size / task_chunk``).
+
+        ``tracer`` (a :mod:`repro.tracing` object, nested under
+        ``trace_parent``) receives an ``engine_dispatch`` span carrying
+        the same counters as attributes, one ``unit`` span per unit
+        (closed with ``status="error"`` for poisoned and failed units),
+        and the worker-emitted ``attach`` / ``simulate`` spans that ship
+        back inside each chunk's results — per-unit contexts ride the
+        chunk payloads as wire dicts, so the parent/child links survive
+        the process boundary.
         """
         self._check_open()
         fixed = normalize_chunk(chunk)
         instr = instrumentation
+        traced = tracer is not None and getattr(tracer, "enabled", False)
+        dispatch_span = None
+        if traced:
+            dispatch_span = tracer.span(
+                "engine_dispatch", parent=trace_parent,
+                attributes={"workers": self.workers, "chunk": str(chunk)})
+            dispatch_span.__enter__()
+        #: plan index -> (context, wall start, perf start); entries stay
+        #: across crash retries so a unit keeps one span for its lifetime.
+        unit_meta: dict[int, tuple[Any, float, float]] = {}
+
+        def _close_unit(index: int, *, status: str = "ok",
+                        extra: dict[str, Any] | None = None) -> None:
+            meta = unit_meta.pop(index, None)
+            if meta is None:
+                return
+            ctx, wall, perf = meta
+            attrs: dict[str, Any] = {"unit": plan[index].name}
+            if extra:
+                attrs.update(extra)
+            tracer.add_span("unit", time.perf_counter() - perf,
+                            context=ctx, start=wall, status=status,
+                            attributes=attrs)
+
         start = time.perf_counter()
         published_before = self.stats.traces_published
         attaches_before = self.stats.trace_attaches
@@ -783,9 +884,16 @@ SimulationResult` or a :class:`~repro.core.batch.TraceFailure` (worker
                 self._chunk_seq += 1
                 chunk_id = f"c{self._chunk_seq}"
                 spool = self._spool_path() if size > 1 else None
+                if traced:
+                    for i in indices:
+                        if i not in unit_meta:  # crash retries keep theirs
+                            unit_meta[i] = (
+                                tracer.child(dispatch_span.context),
+                                time.time(), time.perf_counter())
                 items = [
                     (plan[i].factory, refs[i], plan[i].config, plan[i].name,
-                     plan[i].probe, plan[i].sim_engine)
+                     plan[i].probe, plan[i].sim_engine,
+                     unit_meta[i][0].to_wire() if traced else None)
                     for i in indices
                 ]
                 future = pool.submit(_engine_run_chunk, items, spool,
@@ -821,14 +929,26 @@ SimulationResult` or a :class:`~repro.core.batch.TraceFailure` (worker
                             if position in recovered:
                                 # Finished before the crash; the spooled
                                 # outcome is as good as a returned one.
-                                outcome, attached = recovered[position]
+                                outcome, attached, spans = \
+                                    recovered[position]
                                 self._count_attach(attached)
                                 self.stats.units_recovered += 1
+                                if traced:
+                                    tracer.record_wire(spans)
+                                    _close_unit(index,
+                                                extra={"recovered": True})
                                 yield index, outcome
                             elif not poisoned:
                                 # The unit that was (presumably) running
                                 # when the worker died takes the blame.
+                                # Its worker cannot ship spans any more,
+                                # so the parent closes its span here.
                                 poisoned = True
+                                if traced:
+                                    _close_unit(
+                                        index, status="error",
+                                        extra={"error":
+                                               type(exc).__name__})
                                 yield index, TraceFailure(
                                     trace_name=plan[index].name,
                                     error=f"{type(exc).__name__}: {exc}",
@@ -841,6 +961,11 @@ SimulationResult` or a :class:`~repro.core.batch.TraceFailure` (worker
                                 # that cannot travel back): re-running
                                 # would fail identically, so fail the
                                 # unit instead of retrying forever.
+                                if traced:
+                                    _close_unit(
+                                        index, status="error",
+                                        extra={"error":
+                                               type(exc).__name__})
                                 yield index, TraceFailure(
                                     trace_name=plan[index].name,
                                     error=f"{type(exc).__name__}: {exc}",
@@ -853,9 +978,16 @@ SimulationResult` or a :class:`~repro.core.batch.TraceFailure` (worker
                             _spool_clear(spool, chunk_id, len(indices))
                         continue
                     for position, index in enumerate(indices):
-                        outcome, attached, elapsed = payloads[position]
+                        outcome, attached, elapsed, spans = \
+                            payloads[position]
                         self._count_attach(attached)
                         self._observe_unit_seconds(elapsed)
+                        if traced:
+                            tracer.record_wire(spans)
+                            _close_unit(
+                                index,
+                                status=("error" if isinstance(
+                                    outcome, TraceFailure) else "ok"))
                         yield index, outcome
                     if spool is not None:
                         _spool_clear(spool, chunk_id, len(indices))
@@ -883,6 +1015,28 @@ SimulationResult` or a :class:`~repro.core.batch.TraceFailure` (worker
                 reuses = self.stats.trace_reuses - reuses_before
                 if reuses:
                     instr.count("trace_reuse", reuses)
+            if dispatch_span is not None:
+                # An abandoned generator leaves units open; error them so
+                # the trace shows they never completed.
+                for index in list(unit_meta):
+                    _close_unit(index, status="error",
+                                extra={"error": "abandoned"})
+                dispatch_span.set_attribute("task_dispatch", planned_units)
+                dispatch_span.set_attribute(
+                    "task_chunk",
+                    self.stats.chunks_dispatched - chunks_before)
+                dispatch_span.set_attribute("chunk_size",
+                                            chunk_units_dispatched)
+                dispatch_span.set_attribute(
+                    "trace_ship",
+                    self.stats.traces_published - published_before)
+                dispatch_span.set_attribute(
+                    "trace_attach",
+                    self.stats.trace_attaches - attaches_before)
+                dispatch_span.set_attribute(
+                    "trace_reuse",
+                    self.stats.trace_reuses - reuses_before)
+                dispatch_span.__exit__(None, None, None)
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else "open"

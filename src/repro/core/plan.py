@@ -40,6 +40,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence, Union
 
 from ..sbbt.trace import TraceData
+from ..tracing import NULL_TRACER
 from .output import SimulationResult
 from .predictor import Predictor, derive_spec
 from .simulator import SimulationConfig
@@ -212,6 +213,8 @@ def execute_plan(plan: WorkPlan, *,
                  cache: "CacheLike" = None,
                  instrumentation: "Instrumentation | None" = None,
                  chunk: int | str = "auto",
+                 tracer: "Any" = None,
+                 trace_parent: "Any" = None,
                  ) -> list[Outcome]:
     """Execute every unit of ``plan``; return outcomes in plan order.
 
@@ -238,6 +241,15 @@ def execute_plan(plan: WorkPlan, *,
     batch layer has always reported: a ``cache_lookup`` phase with
     ``cache_hit`` / ``cache_miss`` counts, a ``simulate`` phase, and a
     ``trace_failure`` count — plus whatever the engine backend records.
+
+    ``tracer`` (a :mod:`repro.tracing` object; the default is the
+    zero-overhead null tracer) receives the same structure as spans: an
+    ``execute_plan`` root (nested under ``trace_parent`` when given), a
+    ``cache_lookup`` child carrying the hit/miss counts as attributes,
+    and a ``simulate`` child under which the inline backend emits one
+    ``unit`` span per simulation and the engine backend emits its
+    dispatch/worker span tree (contexts cross the process boundary on
+    the chunk payloads).
     """
     from .batch import TraceFailure, _resolve_cache, _run_one
 
@@ -245,6 +257,7 @@ def execute_plan(plan: WorkPlan, *,
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     instr = instrumentation
+    trc = tracer if tracer is not None else NULL_TRACER
     store = _resolve_cache(cache)
 
     slots: list[Outcome | None] = [None] * len(plan)
@@ -272,61 +285,87 @@ def execute_plan(plan: WorkPlan, *,
         derived[id(factory)] = (entry[0], None)
         return entry[1]
 
-    if store is not None:
-        lookup_start = time.perf_counter() if instr is not None else 0.0
-        for i, unit in enumerate(plan):
-            spec, _ = _derive(unit.factory)
-            try:
-                key = store.key_for(unit.trace, spec, unit.config)
-            except Exception as exc:  # noqa: BLE001 - unreadable trace file
-                slots[i] = TraceFailure(
-                    trace_name=unit.name,
-                    error=f"{type(exc).__name__}: {exc}",
-                    details=traceback.format_exc(),
-                )
-                continue
-            keys[i] = key
-            hit = store.get(key)
-            if hit is not None:
-                hit.trace_name = unit.name
-                slots[i] = hit
-            else:
-                pending.append(i)
-        if instr is not None:
-            instr.add_phase("cache_lookup",
-                            time.perf_counter() - lookup_start)
-            hits = sum(1 for s in slots if isinstance(s, SimulationResult))
-            instr.count("cache_hit", hits)
-            instr.count("cache_miss", len(pending))
-    else:
-        pending = list(range(len(plan)))
-
-    simulate_start = time.perf_counter() if instr is not None else 0.0
-    if pending:
-        if engine is not None:
-            for position, outcome in engine.run_plan(
-                    plan.subset(pending), chunk=chunk,
-                    instrumentation=instr):
-                slots[pending[position]] = outcome
-        elif workers == 1 or len(pending) <= 1:
-            for i in pending:
-                unit = plan[i]
-                slots[i] = _run_one(unit.factory, unit.trace, unit.config,
-                                    unit.name, unit.probe,
-                                    predictor=_take_prebuilt(unit.factory),
-                                    sim_engine=unit.sim_engine)
-        else:
-            _execute_pool(plan, pending, slots, workers)
+    with trc.span("execute_plan", parent=trace_parent,
+                  attributes={"units": len(plan),
+                              "workers": workers}) as plan_span:
         if store is not None:
-            for i in pending:
-                outcome = slots[i]
-                if isinstance(outcome, SimulationResult) and keys[i]:
-                    store.put(keys[i], outcome)
-    if instr is not None:
-        instr.add_phase("simulate", time.perf_counter() - simulate_start)
-        failed = sum(1 for s in slots if not isinstance(s, SimulationResult))
-        if failed:
-            instr.count("trace_failure", failed)
+            lookup_start = (time.perf_counter()
+                            if instr is not None else 0.0)
+            with trc.span("cache_lookup",
+                          parent=plan_span.context) as lookup_span:
+                for i, unit in enumerate(plan):
+                    spec, _ = _derive(unit.factory)
+                    try:
+                        key = store.key_for(unit.trace, spec, unit.config)
+                    except Exception as exc:  # noqa: BLE001 - bad trace
+                        slots[i] = TraceFailure(
+                            trace_name=unit.name,
+                            error=f"{type(exc).__name__}: {exc}",
+                            details=traceback.format_exc(),
+                        )
+                        continue
+                    keys[i] = key
+                    hit = store.get(key)
+                    if hit is not None:
+                        hit.trace_name = unit.name
+                        slots[i] = hit
+                    else:
+                        pending.append(i)
+                if instr is not None or trc.enabled:
+                    hits = sum(1 for s in slots
+                               if isinstance(s, SimulationResult))
+                    lookup_span.set_attribute("cache_hit", hits)
+                    lookup_span.set_attribute("cache_miss", len(pending))
+                    if instr is not None:
+                        instr.add_phase(
+                            "cache_lookup",
+                            time.perf_counter() - lookup_start)
+                        instr.count("cache_hit", hits)
+                        instr.count("cache_miss", len(pending))
+        else:
+            pending = list(range(len(plan)))
+
+        simulate_start = time.perf_counter() if instr is not None else 0.0
+        if pending:
+            with trc.span("simulate", parent=plan_span.context,
+                          attributes={"pending": len(pending)}) as sim:
+                if engine is not None:
+                    for position, outcome in engine.run_plan(
+                            plan.subset(pending), chunk=chunk,
+                            instrumentation=instr, tracer=trc,
+                            trace_parent=sim.context):
+                        slots[pending[position]] = outcome
+                elif workers == 1 or len(pending) <= 1:
+                    for i in pending:
+                        unit = plan[i]
+                        with trc.span(
+                                "unit", parent=sim.context,
+                                attributes={"unit": unit.name}) as unit_span:
+                            outcome = _run_one(
+                                unit.factory, unit.trace, unit.config,
+                                unit.name, unit.probe,
+                                predictor=_take_prebuilt(unit.factory),
+                                sim_engine=unit.sim_engine)
+                            if not isinstance(outcome, SimulationResult):
+                                unit_span.set_status("error")
+                            slots[i] = outcome
+                else:
+                    _execute_pool(plan, pending, slots, workers)
+            if store is not None:
+                for i in pending:
+                    outcome = slots[i]
+                    if isinstance(outcome, SimulationResult) and keys[i]:
+                        store.put(keys[i], outcome)
+        if instr is not None or trc.enabled:
+            failed = sum(1 for s in slots
+                         if not isinstance(s, SimulationResult))
+            if failed:
+                plan_span.set_attribute("trace_failure", failed)
+            if instr is not None:
+                instr.add_phase("simulate",
+                                time.perf_counter() - simulate_start)
+                if failed:
+                    instr.count("trace_failure", failed)
     return list(slots)
 
 

@@ -178,37 +178,42 @@ class MbpClient:
     def simulate(self, trace: str, predictor: str = "gshare", *,
                  parameters: dict[str, Any] | None = None,
                  warmup: int = 0, max_instructions: int | None = None,
-                 engine: str | None = None) -> dict[str, Any]:
+                 engine: str | None = None,
+                 trace_id: str | None = None) -> dict[str, Any]:
         """Simulate one trace; the reply's ``result`` field is the full
-        Listing-1 ``SimulationResult`` JSON."""
+        Listing-1 ``SimulationResult`` JSON.  ``trace_id`` tags the
+        request's server-side spans (see ``docs/tracing.md``)."""
         return self.request({
             "op": "simulate", "trace": str(trace), "predictor": predictor,
             "parameters": parameters or {}, "warmup": warmup,
-            "max_instructions": max_instructions, "engine": engine})
+            "max_instructions": max_instructions, "engine": engine,
+            "trace_id": trace_id})
 
     def suite(self, traces: list[str], predictor: str = "gshare", *,
               parameters: dict[str, Any] | None = None,
               warmup: int = 0, max_instructions: int | None = None,
-              engine: str | None = None) -> dict[str, Any]:
+              engine: str | None = None,
+              trace_id: str | None = None) -> dict[str, Any]:
         """Simulate a predictor over several traces in one request."""
         return self.request({
             "op": "suite", "traces": [str(t) for t in traces],
             "predictor": predictor, "parameters": parameters or {},
             "warmup": warmup, "max_instructions": max_instructions,
-            "engine": engine})
+            "engine": engine, "trace_id": trace_id})
 
     def sweep(self, traces: list[str], predictor: str, parameter: str,
               values: list[Any], *,
               parameters: dict[str, Any] | None = None,
               warmup: int = 0, max_instructions: int | None = None,
-              engine: str | None = None) -> dict[str, Any]:
+              engine: str | None = None,
+              trace_id: str | None = None) -> dict[str, Any]:
         """Sweep one constructor parameter over a suite of traces."""
         return self.request({
             "op": "sweep", "traces": [str(t) for t in traces],
             "predictor": predictor, "parameter": parameter,
             "values": list(values), "parameters": parameters or {},
             "warmup": warmup, "max_instructions": max_instructions,
-            "engine": engine})
+            "engine": engine, "trace_id": trace_id})
 
 
 def _protocol_version() -> int:

@@ -196,6 +196,13 @@ def _check_common_sim_fields(request: dict[str, Any],
              f"'engine' must be one of {', '.join(SIM_ENGINES)}")
     out["engine"] = engine
 
+    trace_id = request.get("trace_id")
+    _require(trace_id is None
+             or (isinstance(trace_id, str) and 0 < len(trace_id) <= 128),
+             "'trace_id' must be a non-empty string of at most 128 "
+             "characters or null")
+    out["trace_id"] = trace_id
+
 
 def _check_traces(request: dict[str, Any], out: dict[str, Any]) -> None:
     traces = request.get("traces")

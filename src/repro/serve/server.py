@@ -63,6 +63,13 @@ from ..core.predictor import derive_spec
 from ..core.simulator import SimulationConfig
 from ..sbbt.digest import trace_digest
 from ..telemetry import PhaseTimers
+from ..tracing import (
+    NULL_TRACER,
+    JsonlSpanSink,
+    SpanRecorder,
+    TraceContext,
+    resolve_trace_dir,
+)
 from .protocol import (
     DEFAULT_MAX_FRAME_BYTES,
     ProtocolError,
@@ -91,6 +98,13 @@ class ServeConfig:
     lives exactly as long as the server — the service is *always*
     cache-backed, because coalescing alone cannot serve a repeat
     request that arrives after the first one finished.
+
+    ``trace_dir`` resolves through
+    :func:`repro.tracing.resolve_trace_dir` (``MBP_TRACE_DIR``); when
+    it lands on a directory, every request grows a span tree (queueing,
+    cache lookup, coalescing, dispatch, worker simulation, reply
+    encode) streamed to ``serve-<pid>.jsonl`` there.  Unset (the
+    default), tracing is the zero-overhead null object.
     """
 
     socket_path: str | None = None
@@ -99,6 +113,7 @@ class ServeConfig:
     workers: int = 1
     start_method: str | None = None
     cache_dir: str | None = None
+    trace_dir: str | None = None
     sim_engine: str = "auto"
     max_queue: int = 64
     max_inflight: int | None = None
@@ -164,6 +179,11 @@ class MbpServer:
     def __init__(self, config: ServeConfig | None = None):
         self.config = config or ServeConfig()
         self.telemetry = PhaseTimers()
+        self.tracer = NULL_TRACER
+        self._trace_sink: JsonlSpanSink | None = None
+        #: coalesce key -> the leader's serve_compute context, so a
+        #: coalesced request can record which span it piggybacked on.
+        self._inflight_spans: dict[tuple, TraceContext] = {}
         self.cache: SimulationCache | None = None
         self.engine = None  # ExecutionEngine when workers >= 1
         self.bound: tuple | None = None  # ("unix", path) | ("tcp", host, port)
@@ -214,6 +234,12 @@ class MbpServer:
             self._tmp_cache = tempfile.TemporaryDirectory(prefix="mbp-serve-")
             cache_dir = self._tmp_cache.name
         self.cache = SimulationCache(cache_dir)
+
+        trace_dir = resolve_trace_dir(cfg.trace_dir)
+        if trace_dir is not None:
+            self._trace_sink = JsonlSpanSink(
+                Path(trace_dir) / f"serve-{os.getpid()}.jsonl")
+            self.tracer = SpanRecorder(sink=self._trace_sink)
 
         if cfg.workers >= 1:
             from ..core.engine import ExecutionEngine
@@ -272,7 +298,7 @@ class MbpServer:
         # Unprocessed queue entries get a clean refusal, not silence.
         for client in list(self._clients.values()):
             while client.queue:
-                request = client.queue.popleft()
+                request, _, _ = client.queue.popleft()
                 self._queued -= 1
                 await self._send(client, error_response(
                     request.get("id"), "shutting_down",
@@ -300,6 +326,8 @@ class MbpServer:
         if self.bound is not None and self.bound[0] == "unix":
             with contextlib.suppress(OSError):
                 os.unlink(self.bound[1])
+        if self._trace_sink is not None:
+            self._trace_sink.close()
         if self._tmp_cache is not None:
             with contextlib.suppress(OSError):
                 self._tmp_cache.cleanup()
@@ -382,7 +410,9 @@ class MbpServer:
                 f"client queue is full ({self.config.max_queue} pending); "
                 "retry after a response arrives"))
             return
-        client.queue.append(request)
+        # Entries carry their enqueue stamps so the request's trace can
+        # show queueing time as its own span.
+        client.queue.append((request, time.time(), time.perf_counter()))
         self._queued += 1
         self._queued_peak = max(self._queued_peak, self._queued)
         self._work_available.set()
@@ -402,7 +432,8 @@ class MbpServer:
     # Scheduling: round-robin fairness across client queues.
     # ------------------------------------------------------------------
 
-    def _pick_job(self) -> tuple[_Client, dict[str, Any]] | None:
+    def _pick_job(self) -> tuple[_Client, dict[str, Any],
+                                 float, float] | None:
         """The next queued request, rotating across clients by id."""
         waiting = sorted(cid for cid, client in self._clients.items()
                          if client.queue)
@@ -412,9 +443,9 @@ class MbpServer:
                       waiting[0])
         self._rr_cursor = chosen
         client = self._clients[chosen]
-        request = client.queue.popleft()
+        request, enqueued_wall, enqueued_perf = client.queue.popleft()
         self._queued -= 1
-        return client, request
+        return client, request, enqueued_wall, enqueued_perf
 
     async def _scheduler(self) -> None:
         while True:
@@ -427,8 +458,9 @@ class MbpServer:
                 self._work_available.clear()
                 await self._work_available.wait()
                 picked = self._pick_job()
-            client, request = picked
-            task = asyncio.ensure_future(self._run_job(client, request))
+            client, request, enqueued_wall, enqueued_perf = picked
+            task = asyncio.ensure_future(
+                self._run_job(client, request, enqueued_wall, enqueued_perf))
             self._job_tasks.add(task)
             task.add_done_callback(self._finish_job)
 
@@ -436,85 +468,140 @@ class MbpServer:
         self._job_tasks.discard(task)
         self._job_slots.release()
 
-    async def _run_job(self, client: _Client,
-                       request: dict[str, Any]) -> None:
+    async def _run_job(self, client: _Client, request: dict[str, Any],
+                       enqueued_wall: float, enqueued_perf: float) -> None:
         request_id = request["id"]
         op = request["op"]
+        trace_id = request.get("trace_id")
         answer = {"simulate": self._answer_simulate,
                   "suite": self._answer_suite,
                   "sweep": self._answer_sweep}[op]
-        try:
-            if self.config.request_timeout is not None:
-                payload = await asyncio.wait_for(
-                    answer(request), self.config.request_timeout)
-            else:
-                payload = await answer(request)
-            frame = ok_response(request_id, op, payload)
-        except asyncio.TimeoutError:
-            self.telemetry.count("serve_timeouts")
-            frame = error_response(
-                request_id, "timeout",
-                f"request exceeded the server's "
-                f"{self.config.request_timeout:g}s budget (the computation "
-                "continues and will serve a retry from the cache)")
-        except ProtocolError as exc:
-            self.telemetry.count("serve_errors")
-            frame = error_response(request_id, exc.code, exc.message)
-        except _Failure as exc:
-            self.telemetry.count("serve_errors")
-            frame = error_response(request_id, exc.code, exc.message)
-        except Exception as exc:  # noqa: BLE001 - never drop a reply
-            self.telemetry.count("serve_errors")
-            frame = error_response(
-                request_id, "internal", f"{type(exc).__name__}: {exc}")
-        await self._send(client, frame)
+        trc = self.tracer
+        # One root span per request; a client-chosen trace_id links the
+        # server-side tree into the client's own trace.
+        with trc.span("serve_request", trace_id=trace_id,
+                      attributes={"op": op,
+                                  "client": client.client_id}) as req_span:
+            ctx = req_span.context
+            trc.add_span("serve_queue",
+                         time.perf_counter() - enqueued_perf,
+                         parent=ctx, start=enqueued_wall,
+                         attributes={"depth": self._queued})
+            try:
+                if self.config.request_timeout is not None:
+                    payload = await asyncio.wait_for(
+                        answer(request, ctx), self.config.request_timeout)
+                else:
+                    payload = await answer(request, ctx)
+                frame = ok_response(request_id, op, payload)
+            except asyncio.TimeoutError:
+                self.telemetry.count("serve_timeouts")
+                req_span.set_status("error")
+                frame = error_response(
+                    request_id, "timeout",
+                    f"request exceeded the server's "
+                    f"{self.config.request_timeout:g}s budget (the "
+                    "computation continues and will serve a retry from "
+                    "the cache)")
+            except ProtocolError as exc:
+                self.telemetry.count("serve_errors")
+                req_span.set_status("error")
+                frame = error_response(request_id, exc.code, exc.message)
+            except _Failure as exc:
+                self.telemetry.count("serve_errors")
+                req_span.set_status("error")
+                frame = error_response(request_id, exc.code, exc.message)
+            except Exception as exc:  # noqa: BLE001 - never drop a reply
+                self.telemetry.count("serve_errors")
+                req_span.set_status("error")
+                frame = error_response(
+                    request_id, "internal", f"{type(exc).__name__}: {exc}")
+            if trace_id is not None:
+                frame["trace_id"] = trace_id
+            with trc.span("serve_reply", parent=ctx,
+                          attributes={"ok": bool(frame.get("ok"))}):
+                await self._send(client, frame)
 
     # ------------------------------------------------------------------
     # The shared simulation unit: coalesce -> cache -> dispatch.
     # ------------------------------------------------------------------
 
-    async def _simulate_unit(self, unit: WorkUnit) -> dict[str, Any]:
+    async def _simulate_unit(self, unit: WorkUnit,
+                             ctx: TraceContext | None = None,
+                             ) -> dict[str, Any]:
         """One :class:`~repro.core.plan.WorkUnit` through the full funnel.
 
         Returns the response entry
         ``{"trace", "result", "from_cache", "coalesced"}``; raises
         :class:`_Failure` with a protocol error code otherwise.
+        ``ctx`` is the request's trace context; the unit's spans
+        (``serve_unit`` → ``serve_cache_lookup`` / ``serve_compute``)
+        nest under it.
         """
         loop = asyncio.get_running_loop()
+        trc = self.tracer
         self.telemetry.count("serve_units")
-        start = time.perf_counter()
-        try:
-            key = await loop.run_in_executor(self._io, self._derive_key,
-                                             unit)
-        except ProtocolError:
-            raise
-        except TypeError as exc:
-            raise ProtocolError(
-                "bad_request", f"cannot configure predictor: {exc}") from None
-        except Exception as exc:  # noqa: BLE001 - unreadable trace etc.
-            raise _Failure(
-                "bad_trace", f"{type(exc).__name__}: {exc}") from None
-        finally:
-            self.telemetry.add_phase("serve_cache_lookup",
-                                     time.perf_counter() - start)
-        coalesce_key = (key, unit.sim_engine)
-        task = self._inflight.get(coalesce_key)
-        coalesced = task is not None
-        if coalesced:
-            self.telemetry.count("serve_coalesced")
-        else:
-            task = asyncio.ensure_future(self._compute(key, unit))
-            self._inflight[coalesce_key] = task
-            task.add_done_callback(
-                lambda _t: self._inflight.pop(coalesce_key, None))
-        # Shielded: a timed-out or disconnected requester must not
-        # cancel the computation other requesters are coalesced onto
-        # (and whose result the cache wants either way).
-        status, payload = await asyncio.shield(task)
-        if status != "ok":
-            raise _Failure(payload["code"], payload["message"])
-        return {"trace": unit.trace, "result": payload["result"],
-                "from_cache": payload["from_cache"], "coalesced": coalesced}
+        with trc.span("serve_unit", parent=ctx,
+                      attributes={"unit": unit.name}) as unit_span:
+            start = time.perf_counter()
+            start_wall = time.time()
+            try:
+                key = await loop.run_in_executor(self._io, self._derive_key,
+                                                 unit)
+            except ProtocolError:
+                unit_span.set_status("error")
+                raise
+            except TypeError as exc:
+                unit_span.set_status("error")
+                raise ProtocolError(
+                    "bad_request",
+                    f"cannot configure predictor: {exc}") from None
+            except Exception as exc:  # noqa: BLE001 - unreadable trace etc.
+                unit_span.set_status("error")
+                raise _Failure(
+                    "bad_trace", f"{type(exc).__name__}: {exc}") from None
+            finally:
+                elapsed = time.perf_counter() - start
+                self.telemetry.add_phase("serve_cache_lookup", elapsed)
+                trc.add_span("serve_cache_lookup", elapsed,
+                             parent=unit_span.context, start=start_wall)
+            coalesce_key = (key, unit.sim_engine)
+            task = self._inflight.get(coalesce_key)
+            coalesced = task is not None
+            if coalesced:
+                self.telemetry.count("serve_coalesced")
+                unit_span.set_attribute("coalesced", True)
+                leader = self._inflight_spans.get(coalesce_key)
+                if leader is not None:
+                    # The span link across requests: this request waited
+                    # on another request's serve_compute span.
+                    unit_span.set_attribute("leader_span", leader.span_id)
+                    unit_span.set_attribute("leader_trace", leader.trace_id)
+            else:
+                # Pre-mint the compute span's context so coalesced
+                # followers can link to it while it is still open.
+                compute_ctx = trc.child(unit_span.context)
+                task = asyncio.ensure_future(
+                    self._compute(key, unit, compute_ctx))
+                self._inflight[coalesce_key] = task
+                if compute_ctx is not None:
+                    self._inflight_spans[coalesce_key] = compute_ctx
+
+                def _done(_t: asyncio.Task) -> None:
+                    self._inflight.pop(coalesce_key, None)
+                    self._inflight_spans.pop(coalesce_key, None)
+
+                task.add_done_callback(_done)
+            # Shielded: a timed-out or disconnected requester must not
+            # cancel the computation other requesters are coalesced onto
+            # (and whose result the cache wants either way).
+            status, payload = await asyncio.shield(task)
+            if status != "ok":
+                unit_span.set_status("error")
+                raise _Failure(payload["code"], payload["message"])
+            return {"trace": unit.trace, "result": payload["result"],
+                    "from_cache": payload["from_cache"],
+                    "coalesced": coalesced}
 
     def _derive_key(self, unit: WorkUnit) -> str:
         """Blocking half of the keying (runs on the io executor)."""
@@ -523,54 +610,94 @@ class MbpServer:
                                         unit.config)
 
     async def _compute(self, key: str, unit: WorkUnit,
+                       ctx: TraceContext | None = None,
                        ) -> tuple[str, dict[str, Any]]:
         """The single computation behind one coalesce key.
 
         Never raises: resolves to ``("ok", {result, from_cache})`` or
         ``("failure", {code, message})`` so every coalesced awaiter
-        sees the same outcome.
+        sees the same outcome.  ``ctx`` is the pre-minted context of
+        this computation's ``serve_compute`` span (pre-minted so
+        coalesced followers can link to it while it is in flight).
         """
         loop = asyncio.get_running_loop()
-        try:
-            cached = await loop.run_in_executor(self._io, self.cache.get, key)
-            if cached is not None:
-                self.telemetry.count("serve_cache_hits")
-                cached.trace_name = unit.name
-                return "ok", {"result": cached.to_json(), "from_cache": True}
-            self.telemetry.count("serve_cache_misses")
-            start = time.perf_counter()
-            async with self._dispatch_sem:
-                outcome = await self._dispatch(unit)
-            self.telemetry.add_phase("serve_dispatch",
-                                     time.perf_counter() - start)
-            from ..core.batch import TraceFailure
+        trc = self.tracer
+        with trc.span("serve_compute", context=ctx) as comp_span:
+            try:
+                cached = await loop.run_in_executor(self._io,
+                                                    self.cache.get, key)
+                if cached is not None:
+                    self.telemetry.count("serve_cache_hits")
+                    comp_span.set_attribute("from_cache", True)
+                    cached.trace_name = unit.name
+                    return "ok", {"result": cached.to_json(),
+                                  "from_cache": True}
+                self.telemetry.count("serve_cache_misses")
+                comp_span.set_attribute("from_cache", False)
+                start = time.perf_counter()
+                try:
+                    async with self._dispatch_sem:
+                        with trc.span("serve_dispatch",
+                                      parent=comp_span.context) as disp:
+                            outcome = await self._dispatch(unit,
+                                                           disp.context)
+                finally:
+                    self.telemetry.add_phase(
+                        "serve_dispatch", time.perf_counter() - start)
+                from ..core.batch import TraceFailure
 
-            if isinstance(outcome, TraceFailure):
-                return "failure", {"code": "simulation_failed",
-                                   "message": outcome.error}
-            await loop.run_in_executor(self._io, self.cache.put, key, outcome)
-            return "ok", {"result": outcome.to_json(), "from_cache": False}
-        except Exception as exc:  # noqa: BLE001 - coalesced fan-out
-            if isinstance(exc, BrokenProcessPool) and self.engine is not None:
-                self.engine.recover()
-            return "failure", {"code": "internal",
-                               "message": f"{type(exc).__name__}: {exc}"}
+                if isinstance(outcome, TraceFailure):
+                    comp_span.set_status("error")
+                    return "failure", {"code": "simulation_failed",
+                                       "message": outcome.error}
+                await loop.run_in_executor(self._io, self.cache.put, key,
+                                           outcome)
+                return "ok", {"result": outcome.to_json(),
+                              "from_cache": False}
+            except Exception as exc:  # noqa: BLE001 - coalesced fan-out
+                if (isinstance(exc, BrokenProcessPool)
+                        and self.engine is not None):
+                    self.engine.recover()
+                comp_span.set_status("error")
+                return "failure", {"code": "internal",
+                                   "message": f"{type(exc).__name__}: {exc}"}
 
-    async def _dispatch(self, unit: WorkUnit):
-        """Run one work unit on the configured backend."""
+    async def _dispatch(self, unit: WorkUnit,
+                        ctx: TraceContext | None = None):
+        """Run one work unit on the configured backend.
+
+        With tracing on, the engine path ships ``ctx`` into the worker
+        on the chunk payload (its ``attach`` / ``simulate`` spans come
+        back parented under it); the thread path records one
+        ``simulate`` span in-process.
+        """
         loop = asyncio.get_running_loop()
+        trc = self.tracer
         if self.engine is not None:
             # submit_unit() publishes the trace (a decode on first touch)
             # — blocking work, so it runs on the io executor too.
-            future = await loop.run_in_executor(
-                self._io, self.engine.submit_unit, unit)
+            submit = functools.partial(
+                self.engine.submit_unit, unit,
+                trace_wire=ctx.to_wire() if ctx is not None else None,
+                tracer=trc if trc.enabled else None)
+            future = await loop.run_in_executor(self._io, submit)
             return await asyncio.wrap_future(future)
-        from ..core.batch import _run_one
+        from ..core.batch import TraceFailure, _run_one
 
-        return await loop.run_in_executor(
+        start_wall = time.time()
+        start = time.perf_counter()
+        outcome = await loop.run_in_executor(
             self._thread_pool, functools.partial(
                 _run_one, unit.factory, unit.trace, unit.config, unit.name,
                 sim_engine=unit.sim_engine))
+        trc.add_span(
+            "simulate", time.perf_counter() - start, parent=ctx,
+            start=start_wall,
+            status=("error" if isinstance(outcome, TraceFailure)
+                    else "ok"),
+            attributes={"unit": unit.name, "backend": "thread",
+                        "sim_engine": unit.sim_engine})
+        return outcome
 
     # ------------------------------------------------------------------
     # Operations.
@@ -585,23 +712,25 @@ class MbpServer:
     def _sim_engine(self, request: dict[str, Any]) -> str:
         return request["engine"] or self.config.sim_engine
 
-    async def _answer_simulate(self,
-                               request: dict[str, Any]) -> dict[str, Any]:
+    async def _answer_simulate(self, request: dict[str, Any],
+                               ctx: TraceContext | None = None,
+                               ) -> dict[str, Any]:
         factory = _predictor_factory(request["predictor"],
                                      request["parameters"])
         unit = WorkUnit(factory=factory, trace=request["trace"],
                         name=str(request["trace"]),
                         config=self._sim_config(request),
                         sim_engine=self._sim_engine(request))
-        entry = await self._simulate_unit(unit)
+        entry = await self._simulate_unit(unit, ctx)
         entry["predictor"] = request["predictor"]
         return entry
 
     async def _gather_units(self, units: Sequence[WorkUnit],
+                            ctx: TraceContext | None = None,
                             ) -> tuple[list[dict], list[dict]]:
         """Every unit through :meth:`_simulate_unit`, failures collected."""
         outcomes = await asyncio.gather(
-            *(self._simulate_unit(unit) for unit in units),
+            *(self._simulate_unit(unit, ctx) for unit in units),
             return_exceptions=True)
         results: list[dict] = []
         failures: list[dict] = []
@@ -632,7 +761,9 @@ class MbpServer:
             "coalesced": sum(entry["coalesced"] for entry in results),
         }
 
-    async def _answer_suite(self, request: dict[str, Any]) -> dict[str, Any]:
+    async def _answer_suite(self, request: dict[str, Any],
+                            ctx: TraceContext | None = None,
+                            ) -> dict[str, Any]:
         factory = _predictor_factory(request["predictor"],
                                      request["parameters"])
         # Lower the request into the shared WorkPlan IR; the per-unit
@@ -640,11 +771,13 @@ class MbpServer:
         plan = WorkPlan.for_suite(factory, request["traces"],
                                   self._sim_config(request),
                                   sim_engine=self._sim_engine(request))
-        results, failures = await self._gather_units(plan.units)
+        results, failures = await self._gather_units(plan.units, ctx)
         return {"predictor": request["predictor"], "results": results,
                 "failures": failures, "aggregate": self._aggregate(results)}
 
-    async def _answer_sweep(self, request: dict[str, Any]) -> dict[str, Any]:
+    async def _answer_sweep(self, request: dict[str, Any],
+                            ctx: TraceContext | None = None,
+                            ) -> dict[str, Any]:
         config = self._sim_config(request)
         sim_engine = self._sim_engine(request)
         all_parameters: list[dict[str, Any]] = []
@@ -665,7 +798,7 @@ class MbpServer:
         # request cannot monopolize the dispatch slots in one burst.
         for tag, parameters in enumerate(all_parameters):
             results, failures = await self._gather_units(
-                by_tag.get(tag, []))
+                by_tag.get(tag, []), ctx)
             point = {"parameters": parameters}
             point.update(self._aggregate(results))
             point["failures"] = failures
@@ -697,6 +830,11 @@ class MbpServer:
             "engine": (self.engine.stats.to_json()
                        if self.engine is not None else None),
             "cache": cache_stats.to_json(),
+            "tracing": {
+                "enabled": self.tracer.enabled,
+                "log": (str(self._trace_sink.path)
+                        if self._trace_sink is not None else None),
+            },
             "server": {
                 "workers": self.config.workers,
                 "sim_engine": self.config.sim_engine,

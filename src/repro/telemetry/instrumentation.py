@@ -29,6 +29,7 @@ False
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Any, Callable
 
@@ -116,6 +117,12 @@ class PhaseTimers(Instrumentation):
     ``clock`` is injectable for deterministic tests and defaults to the
     monotonic ``time.perf_counter``.
 
+    Thread-safe: the serve daemon's workers=0 thread backend (and the
+    engine's future callbacks) bump one shared instance from several
+    threads at once, and a read-modify-write on a plain dict drops
+    updates under that race — so every accumulate and every snapshot
+    holds an internal lock.
+
     >>> ticks = iter([0.0, 1.5])
     >>> timers = PhaseTimers(clock=lambda: next(ticks))
     >>> with timers.phase("simulate_loop"):
@@ -128,6 +135,7 @@ class PhaseTimers(Instrumentation):
 
     def __init__(self, *, clock: Callable[[], float] = time.perf_counter):
         self._clock = clock
+        self._lock = threading.Lock()
         #: Accumulated seconds per phase name.
         self.phases: dict[str, float] = {}
         #: Event counts per counter name.
@@ -139,15 +147,19 @@ class PhaseTimers(Instrumentation):
 
     def add_phase(self, name: str, seconds: float) -> None:
         """Accumulate ``seconds`` against phase ``name``."""
-        self.phases[name] = self.phases.get(name, 0.0) + seconds
+        with self._lock:
+            self.phases[name] = self.phases.get(name, 0.0) + seconds
 
     def count(self, name: str, n: int = 1) -> None:
         """Increment counter ``name`` by ``n``."""
-        self.counters[name] = self.counters.get(name, 0) + n
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + n
 
     def snapshot(self) -> dict[str, Any]:
         """Plain-dict copy of the current state (JSON-ready)."""
-        return {"phases": dict(self.phases), "counters": dict(self.counters)}
+        with self._lock:
+            return {"phases": dict(self.phases),
+                    "counters": dict(self.counters)}
 
     def __repr__(self) -> str:
         return (f"PhaseTimers(phases={sorted(self.phases)}, "

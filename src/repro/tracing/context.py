@@ -1,0 +1,88 @@
+"""Trace-context propagation: the identity that crosses every boundary.
+
+A :class:`TraceContext` is the minimal record one operation needs to
+attach itself to a distributed trace: the ``trace_id`` shared by every
+span of one logical request, its own ``span_id``, and the ``parent_id``
+linking it upward.  Contexts are immutable values — deriving a child
+mints a fresh span id and never mutates the parent — and they serialize
+to plain string dicts (:meth:`TraceContext.to_wire`), so the same
+context travels unchanged through a JSON protocol frame, a pickled
+chunk payload into a worker process, and back.
+
+Ids are 16 lowercase hex characters from :func:`os.urandom` — no
+coordination, no counters, collision-safe at any realistic span volume
+— matching the W3C trace-context sizing (64-bit span ids).
+
+>>> root = TraceContext.new_root(trace_id="deadbeefdeadbeef")
+>>> child = root.child()
+>>> child.trace_id == root.trace_id
+True
+>>> child.parent_id == root.span_id
+True
+>>> TraceContext.from_wire(child.to_wire()) == child
+True
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["TraceContext", "new_trace_id", "new_span_id"]
+
+#: Hex characters in one id (64 bits of entropy).
+_ID_CHARS = 16
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id."""
+    return os.urandom(_ID_CHARS // 2).hex()
+
+
+def new_span_id() -> str:
+    """A fresh 16-hex-char span id."""
+    return os.urandom(_ID_CHARS // 2).hex()
+
+
+@dataclass(frozen=True, slots=True)
+class TraceContext:
+    """Where one operation sits in a distributed trace.
+
+    ``trace_id`` names the whole request, ``span_id`` names this
+    operation, ``parent_id`` (``None`` for a root) links to the
+    enclosing operation.  Frozen: derivation (:meth:`child`) always
+    allocates, so contexts can be shared freely across threads and
+    shipped to worker processes.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+
+    @classmethod
+    def new_root(cls, trace_id: str | None = None) -> "TraceContext":
+        """A root context: no parent, a caller-chosen or fresh trace id.
+
+        Entry points (CLI subcommands, each serve request) mint exactly
+        one of these; everything beneath derives from it.
+        """
+        return cls(trace_id=trace_id or new_trace_id(),
+                   span_id=new_span_id(), parent_id=None)
+
+    def child(self) -> "TraceContext":
+        """A context for an operation nested under this one."""
+        return TraceContext(trace_id=self.trace_id, span_id=new_span_id(),
+                            parent_id=self.span_id)
+
+    def to_wire(self) -> dict[str, Any]:
+        """A plain-dict form that survives JSON and pickle unchanged."""
+        return {"trace_id": self.trace_id, "span_id": self.span_id,
+                "parent_id": self.parent_id}
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "TraceContext":
+        """Rebuild a context shipped with :meth:`to_wire`."""
+        return cls(trace_id=str(wire["trace_id"]),
+                   span_id=str(wire["span_id"]),
+                   parent_id=wire.get("parent_id"))

@@ -1,0 +1,264 @@
+"""Span-log loading, Chrome trace-event export and summaries.
+
+The ``mbp trace`` subcommand is a thin shell over this module:
+
+* :func:`read_spans` loads one or more JSONL span logs (files or
+  directories of ``*.jsonl``), optionally filtered to one trace id;
+* :func:`chrome_trace_events` converts spans to the Chrome trace-event
+  JSON format — load the file in Perfetto (https://ui.perfetto.dev) or
+  ``chrome://tracing`` and every process (CLI, serve daemon, each
+  engine worker) renders as its own row;
+* :func:`summary` / :func:`summary_table` aggregate per-span-name
+  duration distributions (count, p50, p99, total);
+* :func:`critical_path` walks a single trace root-down through its
+  longest children — where the wall-clock actually went.
+
+Trace-log directories resolve like cache directories do:
+:func:`resolve_trace_dir` gives the ``--trace-dir`` flag precedence,
+then the ``MBP_TRACE_DIR`` environment variable, then ``None``
+(tracing off) — one rule for the CLI and the serve daemon.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from .span import Span
+
+__all__ = [
+    "TRACE_DIR_ENV",
+    "resolve_trace_dir",
+    "read_spans",
+    "trace_ids",
+    "chrome_trace_events",
+    "summary",
+    "summary_table",
+    "critical_path",
+    "critical_path_table",
+]
+
+#: Environment variable naming the default span-log directory.
+TRACE_DIR_ENV = "MBP_TRACE_DIR"
+
+
+def resolve_trace_dir(explicit: str | os.PathLike | None = None, *,
+                      environ: dict[str, str] | None = None) -> str | None:
+    """The span-log directory every entry point agrees on.
+
+    Precedence: an ``explicit`` value (a ``--trace-dir`` flag) wins,
+    then the :data:`TRACE_DIR_ENV` environment variable, then ``None``
+    (tracing disabled).  Empty strings mean "unset" at either level,
+    mirroring :func:`repro.cache.resolve_cache_dir`.
+    """
+    if explicit is not None and str(explicit):
+        return str(explicit)
+    env = os.environ if environ is None else environ
+    from_env = env.get(TRACE_DIR_ENV, "")
+    return from_env or None
+
+
+# ----------------------------------------------------------------------
+# Loading.
+# ----------------------------------------------------------------------
+
+
+def read_spans(paths: Sequence[str | Path],
+               trace_id: str | None = None) -> list[Span]:
+    """Load spans from JSONL files and/or directories of ``*.jsonl``.
+
+    Unparseable lines are skipped (a crashed writer may leave a torn
+    final line; losing it must not hide the rest of the trace).  With
+    ``trace_id``, only that trace's spans are returned.  Spans are
+    ordered by wall-clock start.
+    """
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.glob("*.jsonl")))
+        else:
+            files.append(path)
+    spans: list[Span] = []
+    for file in files:
+        try:
+            text = file.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+                span = Span.from_json(doc)
+            except (ValueError, KeyError, TypeError):
+                continue
+            if trace_id is None or span.trace_id == trace_id:
+                spans.append(span)
+    spans.sort(key=lambda s: (s.start, s.span_id))
+    return spans
+
+
+def trace_ids(spans: Iterable[Span]) -> list[str]:
+    """Distinct trace ids in first-appearance order."""
+    seen: dict[str, None] = {}
+    for span in spans:
+        seen.setdefault(span.trace_id, None)
+    return list(seen)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event export.
+# ----------------------------------------------------------------------
+
+
+def chrome_trace_events(spans: Sequence[Span]) -> dict[str, Any]:
+    """Spans as a Chrome trace-event document (Perfetto-loadable).
+
+    Each span becomes one complete event (``"ph": "X"``) with
+    microsecond ``ts`` / ``dur``; ``pid`` / ``tid`` place it on the row
+    of the process/thread that ran it, so engine-worker spans land on
+    their worker's own track.  Span identity and linkage travel in
+    ``args`` (``span_id`` / ``parent_id`` / ``trace_id``) next to the
+    span's attributes.
+    """
+    events: list[dict[str, Any]] = []
+    pids: dict[int, None] = {}
+    for span in spans:
+        pids.setdefault(span.pid, None)
+        args: dict[str, Any] = {
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "status": span.status,
+        }
+        args.update(span.attributes)
+        events.append({
+            "name": span.name,
+            "ph": "X",
+            "ts": span.start * 1e6,
+            "dur": span.duration * 1e6,
+            "pid": span.pid,
+            "tid": span.tid,
+            "cat": span.status,
+            "args": args,
+        })
+    # Metadata events label each process row in the viewer.
+    for pid in pids:
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": f"mbp pid {pid}"},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+# ----------------------------------------------------------------------
+# Summaries.
+# ----------------------------------------------------------------------
+
+
+def _percentile(ordered: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sequence."""
+    if not ordered:
+        return 0.0
+    rank = max(0, min(len(ordered) - 1,
+                      int(round(q / 100.0 * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def summary(spans: Sequence[Span]) -> list[dict[str, Any]]:
+    """Per-span-name duration distribution, sorted by total time.
+
+    One row per distinct span name: ``count``, ``p50`` / ``p99``
+    (nearest-rank, seconds), ``total`` seconds and ``errors``.
+    """
+    by_name: dict[str, list[float]] = {}
+    errors: dict[str, int] = {}
+    for span in spans:
+        by_name.setdefault(span.name, []).append(span.duration)
+        if span.status != "ok":
+            errors[span.name] = errors.get(span.name, 0) + 1
+    rows = []
+    for name, durations in by_name.items():
+        durations.sort()
+        rows.append({
+            "name": name,
+            "count": len(durations),
+            "p50": _percentile(durations, 50.0),
+            "p99": _percentile(durations, 99.0),
+            "total": sum(durations),
+            "errors": errors.get(name, 0),
+        })
+    rows.sort(key=lambda row: (-row["total"], row["name"]))
+    return rows
+
+
+def summary_table(spans: Sequence[Span], *, title: str = "Span summary",
+                  ) -> str:
+    """The :func:`summary` rows as a fixed-width text table."""
+    from ..analysis.reporting import format_table
+
+    rows = [
+        [row["name"], str(row["count"]),
+         f"{row['p50'] * 1e3:.3f}", f"{row['p99'] * 1e3:.3f}",
+         f"{row['total'] * 1e3:.3f}", str(row["errors"])]
+        for row in summary(spans)
+    ]
+    return format_table(
+        headers=["span", "count", "p50 ms", "p99 ms", "total ms", "errors"],
+        rows=rows, title=title)
+
+
+def critical_path(spans: Sequence[Span],
+                  trace_id: str | None = None) -> list[Span]:
+    """Root-to-leaf walk through each level's longest child.
+
+    Starting from the trace's root span (with several roots, the
+    longest), repeatedly descend into the child with the largest
+    duration — the chain that bounded the trace's wall clock.
+    """
+    pool = [s for s in spans
+            if trace_id is None or s.trace_id == trace_id]
+    if not pool:
+        return []
+    if trace_id is None:
+        ids = trace_ids(pool)
+        trace_id = ids[0]
+        pool = [s for s in pool if s.trace_id == trace_id]
+    by_id = {s.span_id: s for s in pool}
+    children: dict[str | None, list[Span]] = {}
+    for span in pool:
+        children.setdefault(span.parent_id, []).append(span)
+    roots = [s for s in pool
+             if s.parent_id is None or s.parent_id not in by_id]
+    if not roots:
+        return []
+    current = max(roots, key=lambda s: s.duration)
+    path = [current]
+    while True:
+        kids = children.get(current.span_id)
+        if not kids:
+            return path
+        current = max(kids, key=lambda s: s.duration)
+        path.append(current)
+
+
+def critical_path_table(spans: Sequence[Span],
+                        trace_id: str | None = None) -> str:
+    """The :func:`critical_path` chain as an indented text listing."""
+    path = critical_path(spans, trace_id)
+    if not path:
+        return "(no spans)"
+    lines = [f"critical path (trace {path[0].trace_id}):"]
+    for depth, span in enumerate(path):
+        marker = "errored, " if span.status != "ok" else ""
+        lines.append(f"{'  ' * depth}- {span.name}  "
+                     f"[{marker}{span.duration * 1e3:.3f} ms, "
+                     f"pid {span.pid}]")
+    return "\n".join(lines)

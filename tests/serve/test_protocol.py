@@ -103,7 +103,7 @@ class TestValidateRequest:
         assert out == {
             "op": "simulate", "id": None, "trace": "t.sbbt",
             "predictor": "gshare", "parameters": {}, "warmup": 0,
-            "max_instructions": None, "engine": None}
+            "max_instructions": None, "engine": None, "trace_id": None}
 
     def test_simulate_requires_trace(self):
         for bad in ({}, {"trace": ""}, {"trace": 7}, {"trace": ["a"]}):

@@ -350,7 +350,8 @@ class TestRoundRobin:
         for client_id, pending in ((0, 3), (1, 3), (2, 3)):
             client = _Client(client_id, writer=None)
             client.queue = deque(
-                {"id": f"c{client_id}r{index}"} for index in range(pending))
+                ({"id": f"c{client_id}r{index}"}, 0.0, 0.0)
+                for index in range(pending))
             server._clients[client_id] = client
             server._queued += pending
         order = []
@@ -369,7 +370,8 @@ class TestRoundRobin:
     def test_pick_job_skips_empty_queues(self):
         server = MbpServer(ServeConfig(workers=0))
         busy = _Client(0, writer=None)
-        busy.queue = deque([{"id": "a"}, {"id": "b"}])
+        busy.queue = deque([({"id": "a"}, 0.0, 0.0),
+                            ({"id": "b"}, 0.0, 0.0)])
         idle = _Client(1, writer=None)
         server._clients = {0: busy, 1: idle}
         server._queued = 2

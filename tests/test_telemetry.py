@@ -124,6 +124,39 @@ class TestPhaseTimers:
             result.simulation_time)
         assert result.phases == timers.phases
 
+    def test_thread_safe_accumulation(self):
+        """8 threads hammering one shared instance lose no updates.
+
+        The serve daemon's workers=0 thread backend (and the engine's
+        future callbacks) share one PhaseTimers across threads; an
+        unlocked dict read-modify-write drops updates under that race.
+        """
+        import threading
+
+        timers = PhaseTimers()
+        rounds = 2000
+        barrier = threading.Barrier(8)
+
+        def hammer(tid):
+            barrier.wait(timeout=30)
+            for _ in range(rounds):
+                timers.add_phase("shared", 0.001)
+                timers.add_phase(f"own-{tid}", 1.0)
+                timers.count("shared")
+                timers.snapshot()
+
+        threads = [threading.Thread(target=hammer, args=(t,))
+                   for t in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert timers.counters["shared"] == 8 * rounds
+        assert timers.phases["shared"] == pytest.approx(
+            8 * rounds * 0.001)
+        for tid in range(8):
+            assert timers.phases[f"own-{tid}"] == rounds
+
     def test_subclassing_instrumentation_protocol(self, small_trace):
         class Spy(Instrumentation):
             enabled = True

@@ -1,0 +1,66 @@
+"""TraceContext: minting, derivation and wire round-trips."""
+
+import pickle
+
+import pytest
+
+from repro.tracing import TraceContext, new_span_id, new_trace_id
+
+
+class TestIds:
+    def test_ids_are_16_lowercase_hex(self):
+        for make in (new_trace_id, new_span_id):
+            value = make()
+            assert len(value) == 16
+            int(value, 16)  # must parse as hex
+            assert value == value.lower()
+
+    def test_ids_are_distinct(self):
+        assert len({new_span_id() for _ in range(100)}) == 100
+
+
+class TestDerivation:
+    def test_new_root_has_no_parent(self):
+        root = TraceContext.new_root()
+        assert root.parent_id is None
+        assert len(root.trace_id) == 16
+
+    def test_new_root_accepts_caller_trace_id(self):
+        root = TraceContext.new_root("my-request-7")
+        assert root.trace_id == "my-request-7"
+
+    def test_child_links_upward_and_shares_trace(self):
+        root = TraceContext.new_root()
+        child = root.child()
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert child.span_id != root.span_id
+
+    def test_child_never_mutates_parent(self):
+        root = TraceContext.new_root()
+        before = (root.trace_id, root.span_id, root.parent_id)
+        root.child()
+        assert (root.trace_id, root.span_id, root.parent_id) == before
+
+    def test_frozen(self):
+        root = TraceContext.new_root()
+        with pytest.raises(AttributeError):
+            root.span_id = "x"
+
+
+class TestWire:
+    def test_to_wire_is_plain_strings(self):
+        child = TraceContext.new_root().child()
+        wire = child.to_wire()
+        assert wire == {"trace_id": child.trace_id,
+                        "span_id": child.span_id,
+                        "parent_id": child.parent_id}
+
+    def test_round_trip(self):
+        for context in (TraceContext.new_root(),
+                        TraceContext.new_root().child()):
+            assert TraceContext.from_wire(context.to_wire()) == context
+
+    def test_survives_pickle(self):
+        context = TraceContext.new_root().child()
+        assert pickle.loads(pickle.dumps(context)) == context

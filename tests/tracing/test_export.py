@@ -1,0 +1,185 @@
+"""Span-log loading, Chrome export, summaries and the critical path."""
+
+import json
+
+import pytest
+
+from repro.tracing import (
+    SpanRecorder,
+    TraceContext,
+    chrome_trace_events,
+    critical_path,
+    critical_path_table,
+    read_spans,
+    resolve_trace_dir,
+    summary,
+    summary_table,
+    trace_ids,
+)
+from repro.tracing.span import Span
+
+
+def _span(name, *, trace="t" * 16, span_id, parent=None, start=0.0,
+          duration=1.0, pid=1, status="ok"):
+    return Span(name=name, trace_id=trace, span_id=span_id,
+                parent_id=parent, start=start, duration=duration,
+                pid=pid, tid=1, status=status)
+
+
+class TestResolveTraceDir:
+    def test_flag_wins(self):
+        assert resolve_trace_dir("/x", environ={"MBP_TRACE_DIR": "/y"}) \
+            == "/x"
+
+    def test_env_fallback(self):
+        assert resolve_trace_dir(None, environ={"MBP_TRACE_DIR": "/y"}) \
+            == "/y"
+
+    def test_unset_means_off(self):
+        assert resolve_trace_dir(None, environ={}) is None
+
+    def test_empty_strings_mean_unset(self):
+        assert resolve_trace_dir("", environ={"MBP_TRACE_DIR": ""}) is None
+
+
+class TestReadSpans:
+    def _write_log(self, path, spans):
+        with path.open("w") as stream:
+            for span in spans:
+                stream.write(json.dumps(span.to_json()) + "\n")
+
+    def test_reads_files_and_directories(self, tmp_path):
+        self._write_log(tmp_path / "a.jsonl", [_span("a", span_id="1")])
+        self._write_log(tmp_path / "b.jsonl", [_span("b", span_id="2")])
+        by_dir = read_spans([tmp_path])
+        by_file = read_spans([tmp_path / "a.jsonl", tmp_path / "b.jsonl"])
+        assert {s.name for s in by_dir} == {"a", "b"}
+        assert by_dir == by_file
+
+    def test_skips_torn_lines(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        good = _span("good", span_id="1")
+        path.write_text(json.dumps(good.to_json()) + "\n"
+                        + '{"name": "torn", "trace_id"')
+        assert [s.name for s in read_spans([path])] == ["good"]
+
+    def test_missing_file_skipped(self, tmp_path):
+        assert read_spans([tmp_path / "absent.jsonl"]) == []
+
+    def test_trace_id_filter(self, tmp_path):
+        self._write_log(tmp_path / "a.jsonl",
+                        [_span("a", trace="x" * 16, span_id="1"),
+                         _span("b", trace="y" * 16, span_id="2")])
+        spans = read_spans([tmp_path], trace_id="y" * 16)
+        assert [s.name for s in spans] == ["b"]
+
+    def test_sorted_by_start(self, tmp_path):
+        self._write_log(tmp_path / "a.jsonl",
+                        [_span("late", span_id="1", start=5.0),
+                         _span("early", span_id="2", start=1.0)])
+        assert [s.name for s in read_spans([tmp_path])] == ["early", "late"]
+
+    def test_trace_ids_first_appearance_order(self):
+        spans = [_span("a", trace="x" * 16, span_id="1"),
+                 _span("b", trace="y" * 16, span_id="2"),
+                 _span("c", trace="x" * 16, span_id="3")]
+        assert trace_ids(spans) == ["x" * 16, "y" * 16]
+
+
+class TestChromeExport:
+    def test_event_shape(self):
+        spans = [_span("work", span_id="s1", parent="s0", start=2.0,
+                       duration=0.5, pid=7)]
+        document = chrome_trace_events(spans)
+        assert document["displayTimeUnit"] == "ms"
+        event, meta = document["traceEvents"]
+        assert event["name"] == "work"
+        assert event["ph"] == "X"
+        assert event["ts"] == 2.0 * 1e6
+        assert event["dur"] == 0.5 * 1e6
+        assert event["pid"] == 7
+        assert event["args"]["span_id"] == "s1"
+        assert event["args"]["parent_id"] == "s0"
+        assert meta["ph"] == "M"
+        assert meta["args"]["name"] == "mbp pid 7"
+
+    def test_one_metadata_event_per_pid(self):
+        spans = [_span("a", span_id="1", pid=1),
+                 _span("b", span_id="2", pid=1),
+                 _span("c", span_id="3", pid=2)]
+        document = chrome_trace_events(spans)
+        metas = [e for e in document["traceEvents"] if e["ph"] == "M"]
+        assert sorted(m["pid"] for m in metas) == [1, 2]
+
+
+class TestSummary:
+    def test_fixed_durations(self):
+        spans = [_span("unit", span_id=str(i), duration=d)
+                 for i, d in enumerate([0.010, 0.020, 0.030])]
+        spans.append(_span("unit", span_id="err", duration=0.040,
+                           status="error"))
+        spans.append(_span("root", span_id="r", duration=1.0))
+        rows = summary(spans)
+        assert [row["name"] for row in rows] == ["root", "unit"]
+        unit = rows[1]
+        assert unit["count"] == 4
+        assert unit["p50"] == 0.030  # nearest-rank over 4 samples
+        assert unit["p99"] == 0.040
+        assert unit["total"] == pytest.approx(0.100)
+        assert unit["errors"] == 1
+
+    def test_table_renders(self):
+        table = summary_table([_span("x", span_id="1", duration=0.5)])
+        assert "p50 ms" in table and "500.000" in table
+
+
+class TestCriticalPath:
+    def _tree(self):
+        return [
+            _span("root", span_id="r", duration=1.0),
+            _span("fast", span_id="f", parent="r", duration=0.2),
+            _span("slow", span_id="s", parent="r", duration=0.7),
+            _span("leaf", span_id="l", parent="s", duration=0.6),
+        ]
+
+    def test_walks_longest_children(self):
+        path = critical_path(self._tree())
+        assert [s.name for s in path] == ["root", "slow", "leaf"]
+
+    def test_first_trace_picked_by_default(self):
+        spans = self._tree() + [_span("other", trace="z" * 16,
+                                      span_id="o", start=-1.0,
+                                      duration=9.0)]
+        spans.sort(key=lambda s: s.start)
+        assert critical_path(spans)[0].name == "other"
+        assert critical_path(spans, "t" * 16)[0].name == "root"
+
+    def test_orphaned_parent_counts_as_root(self):
+        spans = [_span("orphan", span_id="o", parent="gone",
+                       duration=0.5)]
+        assert [s.name for s in critical_path(spans)] == ["orphan"]
+
+    def test_empty(self):
+        assert critical_path([]) == []
+        assert critical_path_table([]) == "(no spans)"
+
+    def test_table_marks_errors(self):
+        spans = [_span("root", span_id="r", duration=1.0,
+                       status="error")]
+        assert "errored" in critical_path_table(spans)
+
+
+def test_recorder_to_export_round_trip(tmp_path):
+    """Spans written by a SpanRecorder come back intact via read_spans."""
+    from repro.tracing import JsonlSpanSink
+
+    sink = JsonlSpanSink(tmp_path / "run.jsonl")
+    recorder = SpanRecorder(root=TraceContext.new_root(), sink=sink)
+    with recorder.span("outer"):
+        with recorder.span("inner", parent=None):
+            pass
+    sink.close()
+    spans = read_spans([tmp_path])
+    assert {s.name for s in spans} == {"outer", "inner"}
+    assert spans == sorted(recorder.spans,
+                           key=lambda s: (s.start, s.span_id))

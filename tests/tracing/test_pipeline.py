@@ -1,0 +1,226 @@
+"""End-to-end span trees through execute_plan and the engine.
+
+The tentpole acceptance: one trace id minted at the entry point is
+followable through the cache scan, the chunk dispatch and into the
+worker processes, with parent/child links intact across the process
+boundary.
+"""
+
+import os
+
+import pytest
+
+from repro.cache import SimulationCache
+from repro.core.batch import run_suite
+from repro.core.engine import ExecutionEngine, default_workers
+from repro.core.output import SimulationResult
+from repro.core.plan import WorkPlan, WorkUnit, execute_plan
+from repro.core.simulator import SimulationConfig
+from repro.predictors import Bimodal
+from repro.tracing import SpanRecorder, TraceContext
+from repro.traces.synth import generate_trace
+from repro.traces.workloads import PROFILES
+
+
+def bimodal_factory():
+    """Module-level: picklable for worker processes."""
+    return Bimodal(log_table_size=10)
+
+
+class _CrashingPredictor(Bimodal):
+    """Kills its worker process outright (not a catchable exception)."""
+
+    def predict(self, ip):
+        os._exit(13)
+
+
+def crashing_factory():
+    return _CrashingPredictor(log_table_size=4)
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return [generate_trace(PROFILES["short_mobile"], seed=810 + i,
+                           num_branches=1200)
+            for i in range(3)]
+
+
+def _plan(traces, factory=bimodal_factory):
+    return WorkPlan.for_suite(factory, traces)
+
+
+def _by_name(recorder):
+    index = {}
+    for span in recorder.spans:
+        index.setdefault(span.name, []).append(span)
+    return index
+
+
+def _parent_of(recorder, span):
+    for candidate in recorder.spans:
+        if candidate.span_id == span.parent_id:
+            return candidate
+    return None
+
+
+class TestInlineTree:
+    def test_serial_span_tree(self, traces):
+        recorder = SpanRecorder(root=TraceContext.new_root())
+        outcomes = execute_plan(_plan(traces), tracer=recorder,
+                                trace_parent=recorder.root)
+        assert all(isinstance(o, SimulationResult) for o in outcomes)
+        spans = _by_name(recorder)
+        (plan_span,) = spans["execute_plan"]
+        (sim,) = spans["simulate"]
+        assert plan_span.parent_id == recorder.root.span_id
+        assert sim.parent_id == plan_span.span_id
+        assert len(spans["unit"]) == len(traces)
+        for unit in spans["unit"]:
+            assert unit.parent_id == sim.span_id
+            assert unit.trace_id == recorder.root.trace_id
+        assert plan_span.attributes["units"] == len(traces)
+
+    def test_inline_unit_failure_marks_error(self, traces):
+        def broken_factory():
+            raise RuntimeError("factory exploded")
+
+        recorder = SpanRecorder()
+        outcomes = execute_plan(_plan(traces[:1], broken_factory),
+                                tracer=recorder)
+        assert not isinstance(outcomes[0], SimulationResult)
+        (unit,) = _by_name(recorder)["unit"]
+        assert unit.status == "error"
+        (plan_span,) = _by_name(recorder)["execute_plan"]
+        assert plan_span.attributes["trace_failure"] == 1
+
+    def test_untraced_results_identical(self, traces):
+        recorder = SpanRecorder()
+        plain = execute_plan(_plan(traces))
+        traced = execute_plan(_plan(traces), tracer=recorder)
+        assert [r.mpki for r in plain] == [r.mpki for r in traced]
+
+    def test_run_suite_forwards_tracer(self, traces):
+        recorder = SpanRecorder(root=TraceContext.new_root())
+        batch = run_suite(bimodal_factory, traces, tracer=recorder,
+                          trace_parent=recorder.root)
+        assert len(batch.results) == len(traces)
+        (plan_span,) = _by_name(recorder)["execute_plan"]
+        assert plan_span.parent_id == recorder.root.span_id
+
+
+class TestCacheSpans:
+    def test_all_cache_hit_skips_simulate_span(self, traces, tmp_path):
+        cache = SimulationCache(tmp_path)
+        execute_plan(_plan(traces), cache=cache)
+        recorder = SpanRecorder()
+        outcomes = execute_plan(_plan(traces), cache=cache,
+                                tracer=recorder)
+        assert all(o.from_cache for o in outcomes)
+        spans = _by_name(recorder)
+        (lookup,) = spans["cache_lookup"]
+        assert lookup.attributes == {"cache_hit": len(traces),
+                                     "cache_miss": 0}
+        assert "simulate" not in spans
+        assert "unit" not in spans
+
+    def test_cold_cache_counts_misses(self, traces, tmp_path):
+        recorder = SpanRecorder()
+        execute_plan(_plan(traces), cache=SimulationCache(tmp_path),
+                     tracer=recorder)
+        (lookup,) = _by_name(recorder)["cache_lookup"]
+        assert lookup.attributes == {"cache_hit": 0,
+                                     "cache_miss": len(traces)}
+
+
+class TestEngineTree:
+    """Cross-process propagation: worker spans ship back with results
+    and link under their unit's parent-side span."""
+
+    def test_worker_spans_link_across_the_boundary(self, traces):
+        recorder = SpanRecorder(root=TraceContext.new_root())
+        with ExecutionEngine(workers=2) as engine:
+            outcomes = execute_plan(_plan(traces), engine=engine,
+                                    tracer=recorder,
+                                    trace_parent=recorder.root)
+        assert all(isinstance(o, SimulationResult) for o in outcomes)
+        parent_pid = os.getpid()
+        spans = _by_name(recorder)
+        (dispatch,) = spans["engine_dispatch"]
+        # The parent-side "simulate" stage span; workers emit their own
+        # "simulate" spans under the same name from their own pids.
+        (sim,) = [s for s in spans["simulate"] if s.pid == parent_pid]
+        assert dispatch.parent_id == sim.span_id
+        units = spans["unit"]
+        assert len(units) == len(traces)
+        unit_ids = {u.span_id for u in units}
+        for unit in units:
+            assert unit.parent_id == dispatch.span_id
+        # Worker-side spans: emitted in the worker process, shipped
+        # back as dicts, folded in under their unit span.
+        worker_sims = [s for s in spans["simulate"]
+                       if s.pid != parent_pid]
+        assert len(worker_sims) == len(traces)
+        assert len(spans["attach"]) == len(traces)
+        for worker_span in worker_sims + spans["attach"]:
+            assert worker_span.parent_id in unit_ids
+            assert worker_span.trace_id == recorder.root.trace_id
+            assert worker_span.pid != parent_pid
+        # Dispatch span re-emits the engine telemetry counters.
+        assert dispatch.attributes["task_dispatch"] >= 1
+        assert dispatch.attributes["workers"] == 2
+
+    def test_single_trace_id_everywhere(self, traces):
+        recorder = SpanRecorder(root=TraceContext.new_root())
+        with ExecutionEngine(workers=2) as engine:
+            execute_plan(_plan(traces), engine=engine, tracer=recorder,
+                         trace_parent=recorder.root)
+        assert {s.trace_id for s in recorder.spans} \
+            == {recorder.root.trace_id}
+
+    def test_mid_chunk_crash_closes_unit_span_as_error(self, traces):
+        units = []
+        for i, trace in enumerate(traces):
+            factory = crashing_factory if i == 1 else bimodal_factory
+            units.append(WorkUnit(factory=factory, trace=trace,
+                                  name=f"unit-{i}",
+                                  config=SimulationConfig()))
+        recorder = SpanRecorder(root=TraceContext.new_root())
+        # One fixed chunk of 3: unit-0 finishes before the crash (spool
+        # recovery), unit-1 takes the blame, unit-2 re-dispatches.
+        with ExecutionEngine(workers=2) as engine:
+            outcomes = execute_plan(WorkPlan(units=tuple(units)),
+                                    engine=engine, chunk=3,
+                                    tracer=recorder,
+                                    trace_parent=recorder.root)
+        assert not isinstance(outcomes[1], SimulationResult)
+        assert isinstance(outcomes[0], SimulationResult)
+        assert isinstance(outcomes[2], SimulationResult)
+        unit_spans = {s.attributes["unit"]: s
+                      for s in _by_name(recorder)["unit"]}
+        assert len(unit_spans) == 3
+        assert unit_spans["unit-1"].status == "error"
+        assert unit_spans["unit-0"].status == "ok"
+        assert unit_spans["unit-0"].attributes.get("recovered") is True
+        assert unit_spans["unit-2"].status == "ok"
+        # Every unit span still hangs off the dispatch span.
+        (dispatch,) = _by_name(recorder)["engine_dispatch"]
+        for span in unit_spans.values():
+            assert span.parent_id == dispatch.span_id
+
+    def test_engine_untraced_when_tracer_absent(self, traces):
+        with ExecutionEngine(workers=2) as engine:
+            outcomes = execute_plan(_plan(traces), engine=engine)
+        assert all(isinstance(o, SimulationResult) for o in outcomes)
+
+
+class TestDefaultWorkers:
+    def test_cpu_aware_and_capped(self):
+        cores = os.cpu_count() or 2
+        expected = max(1, min(4, cores - 1))
+        assert default_workers() == expected
+        assert default_workers(None) == expected
+        assert default_workers(100) == expected
+
+    def test_capped_by_unit_count(self):
+        assert default_workers(1) == 1
+        assert default_workers(0) == 1

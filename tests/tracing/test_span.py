@@ -1,0 +1,191 @@
+"""Spans, the null tracer, the recorder and the JSONL sink."""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.tracing import (
+    NULL_TRACER,
+    JsonlSpanSink,
+    Span,
+    SpanRecorder,
+    TraceContext,
+    wire_child_span,
+)
+
+
+class TestNullTracer:
+    """The zero-overhead contract: every hook is a safe no-op."""
+
+    def test_disabled(self):
+        assert NULL_TRACER.enabled is False
+
+    def test_span_is_reusable_singleton(self):
+        handle_a = NULL_TRACER.span("a")
+        handle_b = NULL_TRACER.span("b", parent=None, trace_id="t")
+        assert handle_a is handle_b
+        with handle_a as handle:
+            assert handle.context is None
+            handle.set_attribute("x", 1)
+            handle.set_status("error")
+
+    def test_other_hooks_are_noops(self):
+        assert NULL_TRACER.child() is None
+        NULL_TRACER.add_span("x", 0.5)
+        NULL_TRACER.record_wire([{"name": "x"}])
+        NULL_TRACER.record_wire(None)
+
+    def test_null_span_swallows_nothing(self):
+        with pytest.raises(RuntimeError):
+            with NULL_TRACER.span("boom"):
+                raise RuntimeError("boom")
+
+
+class TestRecorder:
+    def test_nested_spans_link(self):
+        recorder = SpanRecorder()
+        with recorder.span("outer") as outer:
+            with recorder.span("inner", parent=outer.context):
+                pass
+        inner, outer_span = recorder.spans
+        assert inner.name == "inner" and outer_span.name == "outer"
+        assert inner.parent_id == outer_span.span_id
+        assert inner.trace_id == outer_span.trace_id
+
+    def test_root_context_anchors_bare_spans(self):
+        root = TraceContext.new_root("fixed-trace-id")
+        recorder = SpanRecorder(root=root)
+        with recorder.span("top"):
+            pass
+        (span,) = recorder.spans
+        assert span.trace_id == "fixed-trace-id"
+        assert span.parent_id == root.span_id
+
+    def test_trace_id_forces_fresh_root(self):
+        recorder = SpanRecorder(root=TraceContext.new_root())
+        with recorder.span("request", trace_id="client-chosen"):
+            pass
+        (span,) = recorder.spans
+        assert span.trace_id == "client-chosen"
+        assert span.parent_id is None
+
+    def test_context_kwarg_reuses_preminted_context(self):
+        recorder = SpanRecorder()
+        context = recorder.child()
+        with recorder.span("leader", context=context):
+            pass
+        (span,) = recorder.spans
+        assert span.span_id == context.span_id
+
+    def test_exception_marks_error_and_propagates(self):
+        recorder = SpanRecorder()
+        with pytest.raises(ValueError):
+            with recorder.span("work"):
+                raise ValueError("nope")
+        (span,) = recorder.spans
+        assert span.status == "error"
+
+    def test_set_status_and_attributes(self):
+        recorder = SpanRecorder()
+        with recorder.span("work", attributes={"a": 1}) as handle:
+            handle.set_attribute("b", 2)
+            handle.set_status("error")
+        (span,) = recorder.spans
+        assert span.attributes == {"a": 1, "b": 2}
+        assert span.status == "error"
+
+    def test_add_span_defaults_start_to_now_minus_duration(self):
+        recorder = SpanRecorder()
+        recorder.add_span("external", 0.25)
+        (span,) = recorder.spans
+        assert span.duration == 0.25
+        assert span.pid == os.getpid()
+
+    def test_timing_fields(self):
+        recorder = SpanRecorder()
+        with recorder.span("work"):
+            pass
+        (span,) = recorder.spans
+        assert span.duration >= 0.0
+        assert span.start > 0.0
+
+
+class TestWire:
+    def test_wire_child_span_links_to_wire_parent(self):
+        parent = TraceContext.new_root().child()
+        doc = wire_child_span(parent.to_wire(), "simulate", 12.0, 0.5,
+                              status="error", attributes={"unit": "t0"})
+        assert doc["trace_id"] == parent.trace_id
+        assert doc["parent_id"] == parent.span_id
+        assert doc["status"] == "error"
+        assert doc["pid"] == os.getpid()
+
+    def test_record_wire_folds_dicts(self):
+        recorder = SpanRecorder()
+        parent = recorder.child()
+        recorder.record_wire([
+            wire_child_span(parent.to_wire(), "attach", 1.0, 0.1)])
+        (span,) = recorder.spans
+        assert span.name == "attach"
+        assert span.parent_id == parent.span_id
+
+    def test_span_json_round_trip(self):
+        recorder = SpanRecorder()
+        with recorder.span("work", attributes={"k": [1, 2]}):
+            pass
+        (span,) = recorder.spans
+        assert Span.from_json(span.to_json()) == span
+
+    def test_from_json_tolerates_missing_optionals(self):
+        span = Span.from_json({"name": "n", "trace_id": "t",
+                               "span_id": "s"})
+        assert span.parent_id is None
+        assert span.status == "ok"
+        assert span.attributes == {}
+
+
+class TestSink:
+    def test_streams_one_json_line_per_span(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        sink = JsonlSpanSink(path)
+        recorder = SpanRecorder(sink=sink)
+        with recorder.span("a"):
+            with recorder.span("b"):
+                pass
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["name"] for line in lines] == ["b", "a"]
+
+    def test_lazy_creation_and_idempotent_close(self, tmp_path):
+        path = tmp_path / "sub" / "spans.jsonl"
+        sink = JsonlSpanSink(path)
+        assert not path.exists()  # nothing written yet
+        sink.close()
+        sink.write({"name": "x"})
+        sink.close()
+        sink.close()
+        assert path.exists()
+
+    def test_concurrent_writers_produce_whole_lines(self, tmp_path):
+        sink = JsonlSpanSink(tmp_path / "spans.jsonl")
+        recorder = SpanRecorder(sink=sink)
+
+        def hammer(tid):
+            for i in range(50):
+                recorder.add_span(f"t{tid}", 0.001,
+                                  attributes={"i": i})
+
+        threads = [threading.Thread(target=hammer, args=(t,))
+                   for t in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        sink.close()
+        lines = (tmp_path / "spans.jsonl").read_text().splitlines()
+        assert len(lines) == 8 * 50
+        for line in lines:
+            json.loads(line)  # every line intact
+        assert len(recorder.spans) == 8 * 50
