@@ -15,7 +15,11 @@ telemetry, and both recorded in ``BENCH_parallel_scaling.json``:
    once, every trace decoded and shipped to shared memory once).  The
    churn path pays ``points x workers`` forks and ``points x traces``
    trace shipments; the engine pays each exactly once, which is the
-   ISSUE-5 acceptance criterion: >= 2x at 4 workers.
+   ISSUE-5 acceptance criterion: >= 2x at 4 workers.  A third column
+   runs the same sweep with config-batched vectorized evaluation on the
+   shared engine (``sim_engine="auto"``, chunks sized so each one holds
+   a whole per-trace batch group) — see ``test_sweep_batching.py`` for
+   the batching payoff measured in isolation.
 """
 
 import json
@@ -90,7 +94,8 @@ def suite_scaling(traces):
 
 @pytest.fixture(scope="module")
 def sweep_styles(trace_paths):
-    """The same sweep via per-point pool churn and via one shared engine."""
+    """The same sweep via pool churn, one shared engine, and the shared
+    engine with config-batched vectorized evaluation on top."""
 
     def churn():
         # The pre-engine dispatch style: every grid point forks its own
@@ -112,9 +117,20 @@ def sweep_styles(trace_paths):
                                 engine=engine)
         return [point.mean_mpki for point in sweep.points]
 
+    def engine_batched(eng):
+        # On top of engine reuse: vectorized units, a fixed chunk the
+        # size of one trace's config column, and digest-affinity packing
+        # — each chunk then holds exactly one batch group.
+        sweep = sweep_parameter(GShare, "history_length",
+                                SWEEP_VALUES, trace_paths,
+                                fixed={"log_table_size": 12},
+                                engine=eng, chunk=len(SWEEP_VALUES),
+                                sim_engine="auto", batch="auto")
+        return [point.mean_mpki for point in sweep.points]
+
     # Two rounds each, best-of: fork timing on a loaded CI box is noisy
     # and the comparison is about structural cost, not scheduler luck.
-    churn_times, engine_times = [], []
+    churn_times, engine_times, batched_times = [], [], []
     for _ in range(2):
         churn_points, seconds = _timed(churn)
         churn_times.append(seconds)
@@ -123,11 +139,21 @@ def sweep_styles(trace_paths):
             engine_points, seconds = _timed(engine_reuse)
             engine_times.append(seconds)
         stats = engine.stats.to_json()
+    with ExecutionEngine(workers=SWEEP_WORKERS) as batch_engine:
+        batched_points = engine_batched(batch_engine)  # fork + publish
+        for _ in range(2):
+            batched_points, seconds = _timed(
+                lambda: engine_batched(batch_engine))
+            batched_times.append(seconds)
+        batched_stats = batch_engine.stats.to_json()
     assert engine_points == churn_points
+    assert batched_points == churn_points
     return {
         "churn_s": min(churn_times),
         "engine_s": min(engine_times),
+        "batched_s": min(batched_times),
         "stats": stats,
+        "batched_stats": batched_stats,
     }
 
 
@@ -177,6 +203,10 @@ def test_sweep_engine_reuse_vs_pool_churn(sweep_styles, report_only,
     bench_metrics["trace_reuses"] = stats["trace_reuses"]
     bench_metrics["traces_published"] = stats["traces_published"]
     bench_metrics["tasks_dispatched"] = stats["tasks_dispatched"]
+    batched = sweep_styles["batched_s"]
+    batched_speedup = churn / batched
+    bench_metrics["engine_batched_s"] = batched
+    bench_metrics["engine_batched_speedup"] = batched_speedup
     emit_report("parallel_sweep_styles", format_table(
         headers=["Sweep dispatch", "Time", "Speedup"],
         rows=[
@@ -184,6 +214,8 @@ def test_sweep_engine_reuse_vs_pool_churn(sweep_styles, report_only,
              f"{SWEEP_WORKERS})", format_duration(churn), "1.0 x"],
             ["one engine, traces resident",
              format_duration(engine), f"{speedup:.2f} x"],
+            ["one engine, config-batched vectorized",
+             format_duration(batched), f"{batched_speedup:.2f} x"],
         ],
         title=(f"Sweep of {len(SWEEP_VALUES)} points x {NUM_TRACES} traces "
                f"at {SWEEP_WORKERS} workers: pool churn vs engine reuse"),
@@ -196,6 +228,23 @@ def test_sweep_engine_reuse_vs_pool_churn(sweep_styles, report_only,
     assert stats["traces_published"] == NUM_TRACES
     assert stats["tasks_dispatched"] == 2 * len(SWEEP_VALUES) * NUM_TRACES
     assert stats["trace_reuses"] > 0
+
+
+def test_sweep_engine_batched_forms_groups(sweep_styles, report_only,
+                                           bench_metrics):
+    """The batched-engine column's telemetry: digest-affinity packing
+    must turn same-trace chunk neighbours into batch groups (exact group
+    shapes depend on how the dispatcher splits chunks across workers;
+    the controlled-chunk shape tests live in tests/core/test_batching.py)."""
+    stats = sweep_styles["batched_stats"]
+    runs = 3  # one warm + two timed
+    assert stats["batch_groups"] > 0
+    # Every group holds at least two units, and no run can batch more
+    # units than it dispatched.
+    assert stats["batch_units"] >= 2 * stats["batch_groups"]
+    assert stats["batch_units"] <= runs * len(SWEEP_VALUES) * NUM_TRACES
+    bench_metrics["engine_batch_groups"] = stats["batch_groups"]
+    bench_metrics["engine_batch_units"] = stats["batch_units"]
 
 
 # ----------------------------------------------------------------------

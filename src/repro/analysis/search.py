@@ -80,6 +80,8 @@ def _objective(factory: Callable[..., Predictor],
                cache: CacheLike = None,
                engine: "ExecutionEngine | None" = None,
                chunk: int | str = "auto",
+               batch: str | bool = "auto",
+               sim_engine: str = "scalar",
                ) -> Callable[[dict[str, Any]], float]:
     """The MPKI objective, memoized twice over.
 
@@ -97,10 +99,11 @@ def _objective(factory: Callable[..., Predictor],
     def evaluate(parameters: dict[str, Any]) -> float:
         key = tuple(sorted(parameters.items()))
         if key not in seen:
-            batch = run_suite(functools.partial(factory, **parameters),
-                              traces, config, cache=cache, engine=engine,
-                              chunk=chunk)
-            seen[key] = batch.mean_mpki()
+            result = run_suite(functools.partial(factory, **parameters),
+                               traces, config, cache=cache, engine=engine,
+                               chunk=chunk, batch=batch,
+                               sim_engine=sim_engine)
+            seen[key] = result.mean_mpki()
         return seen[key]
 
     return evaluate
@@ -113,7 +116,9 @@ def random_search(factory: Callable[..., Predictor], space: SearchSpace,
                   cache: CacheLike = None,
                   workers: int = 1,
                   engine: "ExecutionEngine | None" = None,
-                  chunk: int | str = "auto") -> SearchResult:
+                  chunk: int | str = "auto",
+                  batch: str | bool = "auto",
+                  sim_engine: str = "scalar") -> SearchResult:
     """Evaluate ``budget`` random configurations; keep the best.
 
     Sampling only consumes the seeded RNG — no evaluation feeds back
@@ -127,7 +132,10 @@ def random_search(factory: Callable[..., Predictor], space: SearchSpace,
     ``workers > 1`` runs that plan through a private
     :class:`~repro.core.engine.ExecutionEngine` with adaptive chunked
     dispatch; ``engine=`` reuses a caller-owned one instead; ``chunk``
-    sets the engine's dispatch granularity.
+    sets the engine's dispatch granularity.  ``sim_engine`` selects the
+    per-unit simulation engine; with ``"vectorized"`` or ``"auto"`` and
+    ``batch="auto"`` (default), candidates sharing a trace are
+    evaluated in one stacked numpy pass (bit-identical results).
     """
     if budget < 1:
         raise ValueError("budget must be >= 1")
@@ -148,7 +156,8 @@ def random_search(factory: Callable[..., Predictor], space: SearchSpace,
     with engine_scope(engine, workers) as scoped:
         batches = evaluate_param_sets(factory, unique, traces, config,
                                       cache=cache, engine=scoped,
-                                      chunk=chunk)
+                                      chunk=chunk, batch=batch,
+                                      sim_engine=sim_engine)
     mpkis = [batch.mean_mpki() for batch in batches]
 
     history = [(parameters, mpkis[position[_key(parameters)]])
@@ -171,7 +180,9 @@ def hill_climb(factory: Callable[..., Predictor], space: SearchSpace,
                cache: CacheLike = None,
                workers: int = 1,
                engine: "ExecutionEngine | None" = None,
-               chunk: int | str = "auto") -> SearchResult:
+               chunk: int | str = "auto",
+               batch: str | bool = "auto",
+               sim_engine: str = "scalar") -> SearchResult:
     """Greedy coordinate descent over the discrete space.
 
     Each round tries every candidate value of every axis (one axis at a
@@ -190,7 +201,8 @@ def hill_climb(factory: Callable[..., Predictor], space: SearchSpace,
     }
     history: list[tuple[dict[str, Any], float]] = []
     with engine_scope(engine, workers) as scoped:
-        evaluate = _objective(factory, traces, config, cache, scoped, chunk)
+        evaluate = _objective(factory, traces, config, cache, scoped,
+                              chunk, batch, sim_engine)
         current_mpki = evaluate(current)
         history.append((dict(current), current_mpki))
         for _ in range(max_rounds):

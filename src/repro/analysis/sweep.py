@@ -22,6 +22,7 @@ with only ``workers=`` the sweep creates and closes a private engine.
 from __future__ import annotations
 
 import functools
+import math
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence, Union
@@ -66,12 +67,19 @@ def engine_scope(engine: "ExecutionEngine | None",
 
 @dataclass(frozen=True, slots=True)
 class SweepPoint:
-    """One configuration's aggregate result over the sweep's trace set."""
+    """One configuration's aggregate result over the sweep's trace set.
+
+    ``num_failures`` and ``cache_hits`` record how the point was
+    obtained: a point whose every trace failed carries
+    ``mean_mpki=nan`` (only reachable with ``on_error="collect"``).
+    """
 
     parameters: dict[str, Any]
     mean_mpki: float
     aggregate_mpki: float
     total_mispredictions: int
+    num_failures: int = 0
+    cache_hits: int = 0
 
     def __str__(self) -> str:
         params = ", ".join(f"{k}={v}" for k, v in self.parameters.items())
@@ -85,10 +93,14 @@ class SweepResult:
     points: list[SweepPoint]
 
     def best(self) -> SweepPoint:
-        """The point with the lowest mean MPKI."""
+        """The point with the lowest mean MPKI (all-failed points,
+        whose mean is ``nan``, never win)."""
         if not self.points:
             raise ValueError("empty sweep")
-        return min(self.points, key=lambda p: p.mean_mpki)
+        scored = [p for p in self.points if not math.isnan(p.mean_mpki)]
+        if not scored:
+            raise ValueError("every sweep point failed")
+        return min(scored, key=lambda p: p.mean_mpki)
 
     def series(self, parameter: str) -> list[tuple[Any, float]]:
         """(parameter value, mean MPKI) pairs, for plotting or tables."""
@@ -110,6 +122,10 @@ def evaluate_param_sets(factory: Callable[..., Predictor],
                         cache: CacheLike = None,
                         engine: "ExecutionEngine | None" = None,
                         chunk: int | str = "auto",
+                        batch: str | bool = "auto",
+                        sim_engine: str = "scalar",
+                        on_error: str = "raise",
+                        instrumentation: Any = None,
                         tracer: Any = None,
                         trace_parent: Any = None,
                         ) -> list[BatchResult]:
@@ -122,31 +138,46 @@ def evaluate_param_sets(factory: Callable[..., Predictor],
     are regrouped into one :class:`~repro.core.batch.BatchResult` per
     parameter set (trace order preserved).
 
+    ``sim_engine`` selects the per-unit simulation engine; with
+    ``"vectorized"`` or ``"auto"`` and ``batch="auto"`` (the default),
+    all cache-missed points sharing a trace are evaluated in one
+    stacked numpy pass — the whole sweep becomes a handful of batched
+    group evaluations instead of one pass per point, with bit-identical
+    results (``batch="off"`` opts out).
+
     ``functools.partial`` (not a lambda) keeps each configured factory
     picklable, so plans can fan out across processes.  Failure semantics
-    match ``run_suite(on_error="raise")`` applied point by point: if any
+    with ``on_error="raise"`` (the default) match
+    ``run_suite(on_error="raise")`` applied point by point: if any
     point has failures, a :class:`~repro.core.batch.SuiteError` is
     raised for the earliest such point, carrying its partial results.
+    ``on_error="collect"`` instead records each point's failures on its
+    :class:`~repro.core.batch.BatchResult` and always returns the full
+    list.
     """
+    if on_error not in ("raise", "collect"):
+        raise ValueError(
+            f"on_error must be 'raise' or 'collect', got {on_error!r}")
     plan = WorkPlan.for_points(
         [(tag, functools.partial(factory, **parameters))
          for tag, parameters in enumerate(param_sets)],
-        traces, config)
+        traces, config, sim_engine=sim_engine)
     outcomes = execute_plan(plan, engine=engine, cache=cache, chunk=chunk,
+                            batch=batch, instrumentation=instrumentation,
                             tracer=tracer, trace_parent=trace_parent)
     grouped = plan.group_outcomes(outcomes)
     batches: list[BatchResult] = []
     for tag in range(len(param_sets)):
         point_outcomes = grouped.get(tag, [])
-        batch = BatchResult(
+        batch_result = BatchResult(
             results=[o for o in point_outcomes
                      if isinstance(o, SimulationResult)],
             failures=[o for o in point_outcomes
                       if isinstance(o, TraceFailure)],
         )
-        if batch.failures:
-            raise SuiteError(batch.failures, batch)
-        batches.append(batch)
+        if batch_result.failures and on_error == "raise":
+            raise SuiteError(batch_result.failures, batch_result)
+        batches.append(batch_result)
     return batches
 
 
@@ -157,21 +188,31 @@ def _evaluate_points(factory: Callable[..., Predictor],
                      cache: CacheLike,
                      engine: "ExecutionEngine | None",
                      chunk: int | str,
+                     batch: str | bool = "auto",
+                     sim_engine: str = "scalar",
+                     on_error: str = "raise",
+                     instrumentation: Any = None,
                      tracer: Any = None,
                      trace_parent: Any = None) -> list[SweepPoint]:
     """Lower a whole sweep into one plan; one :class:`SweepPoint` per
     parameter set."""
     batches = evaluate_param_sets(factory, param_sets, traces, config,
                                   cache=cache, engine=engine, chunk=chunk,
+                                  batch=batch, sim_engine=sim_engine,
+                                  on_error=on_error,
+                                  instrumentation=instrumentation,
                                   tracer=tracer, trace_parent=trace_parent)
     return [
         SweepPoint(
             parameters=parameters,
-            mean_mpki=batch.mean_mpki(),
-            aggregate_mpki=batch.aggregate_mpki(),
-            total_mispredictions=batch.total_mispredictions,
+            mean_mpki=(point.mean_mpki() if point.results
+                       else float("nan")),
+            aggregate_mpki=point.aggregate_mpki(),
+            total_mispredictions=point.total_mispredictions,
+            num_failures=len(point.failures),
+            cache_hits=point.cache_hits,
         )
-        for parameters, batch in zip(param_sets, batches)
+        for parameters, point in zip(param_sets, batches)
     ]
 
 
@@ -183,6 +224,10 @@ def sweep_parameter(factory: Callable[..., Predictor], parameter: str,
                     workers: int = 1,
                     engine: "ExecutionEngine | None" = None,
                     chunk: int | str = "auto",
+                    batch: str | bool = "auto",
+                    sim_engine: str = "scalar",
+                    on_error: str = "raise",
+                    instrumentation: Any = None,
                     tracer: Any = None,
                     trace_parent: Any = None) -> SweepResult:
     """Sweep one constructor parameter of a predictor over a trace set.
@@ -198,6 +243,16 @@ ExecutionEngine` (one worker pool, one shared-memory trace shipment and
     searches.  ``chunk`` (``"auto"`` or a fixed size) sets the engine's
     dispatch granularity.
 
+    ``sim_engine`` (``"scalar"``, ``"vectorized"`` or ``"auto"``)
+    selects the per-point simulation engine; combined with
+    ``batch="auto"`` (the default), vectorized-capable points sharing a
+    trace are evaluated in one stacked numpy pass — the classic
+    history-length sweep becomes one batched group per trace.
+    ``on_error="collect"`` records per-point failures on the
+    :class:`SweepPoint` (``num_failures``; an all-failed point reports
+    ``mean_mpki=nan``) instead of raising
+    :class:`~repro.core.batch.SuiteError`.
+
     >>> # sweep = sweep_parameter(GShare, "history_length", range(6, 31),
     >>> #                         traces)   # the paper's Listing 3 sweep
     """
@@ -206,6 +261,9 @@ ExecutionEngine` (one worker pool, one shared-memory trace shipment and
     with engine_scope(engine, workers) as scoped:
         points = _evaluate_points(factory, param_sets, traces, config,
                                   cache, scoped, chunk,
+                                  batch=batch, sim_engine=sim_engine,
+                                  on_error=on_error,
+                                  instrumentation=instrumentation,
                                   tracer=tracer, trace_parent=trace_parent)
     return SweepResult(points=points)
 
@@ -218,6 +276,10 @@ def sweep_grid(factory: Callable[..., Predictor],
                workers: int = 1,
                engine: "ExecutionEngine | None" = None,
                chunk: int | str = "auto",
+               batch: str | bool = "auto",
+               sim_engine: str = "scalar",
+               on_error: str = "raise",
+               instrumentation: Any = None,
                tracer: Any = None,
                trace_parent: Any = None) -> SweepResult:
     """Full-factorial sweep over a small parameter grid.
@@ -225,9 +287,9 @@ def sweep_grid(factory: Callable[..., Predictor],
     The number of configurations is the product of the grid's axis sizes
     — exactly the exponential blow-up Section VI-B warns about, which is
     why :mod:`repro.analysis.search` exists for large spaces.  ``cache``,
-    ``workers``, ``engine`` and ``chunk`` behave as in
-    :func:`sweep_parameter`; a grid refined with extra axis values
-    re-simulates only the new combinations.
+    ``workers``, ``engine``, ``chunk``, ``batch``, ``sim_engine`` and
+    ``on_error`` behave as in :func:`sweep_parameter`; a grid refined
+    with extra axis values re-simulates only the new combinations.
     """
     import itertools
 
@@ -239,5 +301,8 @@ def sweep_grid(factory: Callable[..., Predictor],
     with engine_scope(engine, workers) as scoped:
         points = _evaluate_points(factory, param_sets, traces, config,
                                   cache, scoped, chunk,
+                                  batch=batch, sim_engine=sim_engine,
+                                  on_error=on_error,
+                                  instrumentation=instrumentation,
                                   tracer=tracer, trace_parent=trace_parent)
     return SweepResult(points=points)

@@ -152,6 +152,12 @@ def build_parser() -> argparse.ArgumentParser:
              "adapts to the measured per-trace cost, an integer forces "
              "that chunk size; only meaningful with --workers > 1")
     suite_parser.add_argument(
+        "--batch", default="auto", choices=["auto", "off"],
+        help="config-batched evaluation: 'auto' (default) runs units that "
+             "share a trace and admit the vectorized engine in one stacked "
+             "pass per predictor family, 'off' forces per-unit evaluation; "
+             "results are bit-identical either way")
+    suite_parser.add_argument(
         "--start-method", default=None,
         choices=["fork", "spawn", "forkserver"],
         help="multiprocessing start method for the engine workers "
@@ -196,9 +202,20 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: cpu-aware, min(4, cores-1), capped by the sweep's "
              "unit count; pass 1 to force serial)")
     sweep_parser.add_argument(
+        "--engine", default="auto", choices=list(ENGINE_CHOICES),
+        help="simulation engine for every sweep point (default 'auto': "
+             "vectorized where the predictor supports it, with identical "
+             "results; see 'mbp simulate --engine')")
+    sweep_parser.add_argument(
         "--chunk", default="auto", metavar="{auto,N}",
         help="work units packed per engine round-trip ('auto' or a fixed "
              "size; see 'mbp suite --chunk')")
+    sweep_parser.add_argument(
+        "--batch", default="auto", choices=["auto", "off"],
+        help="config-batched evaluation: 'auto' (default) evaluates all "
+             "sweep points over one trace in a single stacked pass per "
+             "predictor family, 'off' forces one dispatch per point; "
+             "results are bit-identical either way")
     sweep_parser.add_argument(
         "--start-method", default=None,
         choices=["fork", "spawn", "forkserver"],
@@ -340,6 +357,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", default="auto", choices=list(ENGINE_CHOICES),
         help="default simulation engine for requests that don't name one "
              "(default auto)")
+    serve_parser.add_argument(
+        "--batch", default="auto", choices=["auto", "off"],
+        help="config-batched prewarm for suite/sweep requests: 'auto' "
+             "(default) evaluates a request's cache-missed vectorized "
+             "units in stacked per-trace passes before the per-unit "
+             "fan-out, 'off' disables the prewarm")
     serve_parser.add_argument(
         "--max-queue", type=int, default=64, metavar="N",
         help="per-client pending-request bound; a full queue answers "
@@ -653,6 +676,7 @@ def _cmd_suite(args: argparse.Namespace) -> int:
                               cache=resolve_cache_dir(args.cache_dir),
                               on_error="collect", sim_engine=args.engine,
                               chunk=_parse_chunk(args.chunk),
+                              batch=args.batch,
                               tracer=tracer, trace_parent=root_context)
             _emit_engine_stats(args, engine)
     timing = batch.timing
@@ -707,15 +731,18 @@ def _cmd_suite(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    import math
     from contextlib import nullcontext
 
     from .analysis.sweep import sweep_parameter
+    from .telemetry import PhaseTimers
 
     config = SimulationConfig(warmup_instructions=args.warmup)
     factory = PREDICTOR_CHOICES[args.predictor]
     values = _parse_values(args.values)
     fixed = _parse_fixed(args.fixed)
     engine = _make_engine(args, len(values) * len(args.traces))
+    timers = PhaseTimers()
     with _tracing(args, "sweep") as (tracer, root_context):
         with engine if engine is not None else nullcontext():
             sweep = sweep_parameter(factory, args.parameter, values,
@@ -723,9 +750,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                                     cache=resolve_cache_dir(args.cache_dir),
                                     engine=engine,
                                     chunk=_parse_chunk(args.chunk),
+                                    batch=args.batch,
+                                    sim_engine=args.engine,
+                                    on_error="collect",
+                                    instrumentation=timers,
                                     tracer=tracer, trace_parent=root_context)
             _emit_engine_stats(args, engine)
-    best = sweep.best()
+    scored = [p for p in sweep.points if not math.isnan(p.mean_mpki)]
+    failed = [p for p in sweep.points if math.isnan(p.mean_mpki)]
+    best = sweep.best() if scored else None
+    cache_hits = sum(p.cache_hits for p in sweep.points)
+    num_failures = sum(p.num_failures for p in sweep.points)
+    batch_groups = timers.counters.get("batch_groups", 0)
     if args.json:
         print(json.dumps({
             "predictor": args.predictor,
@@ -734,21 +770,41 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "points": [
                 {
                     "parameters": point.parameters,
-                    "mean_mpki": point.mean_mpki,
+                    "mean_mpki": (None if math.isnan(point.mean_mpki)
+                                  else point.mean_mpki),
                     "aggregate_mpki": point.aggregate_mpki,
                     "total_mispredictions": point.total_mispredictions,
+                    "num_failures": point.num_failures,
+                    "cache_hits": point.cache_hits,
                 }
                 for point in sweep.points
             ],
-            "best": {
+            "best": None if best is None else {
                 "parameters": best.parameters,
                 "mean_mpki": best.mean_mpki,
+            },
+            # batch_groups is deliberately absent here: the same sweep
+            # legitimately forms different group counts on the inline
+            # and chunked-engine backends, and the JSON document must
+            # stay identical across --workers settings.  It is visible
+            # in the table footer and in --engine-stats.
+            "aggregate": {
+                "points_ok": len(scored),
+                "points_failed": len(failed),
+                "num_failures": num_failures,
+                "cache_hits": cache_hits,
             },
         }, indent=2))
     else:
         print(sweep.table())
-        print(f"best: {best}")
-    return 0
+        if best is not None:
+            print(f"best: {best}")
+        # Always printed — an all-failed sweep must be distinguishable
+        # from a successful one at a glance.
+        print(f"sweep: {len(scored)}/{len(sweep.points)} points ok, "
+              f"{num_failures} trace failures, {cache_hits} cache hits, "
+              f"{batch_groups} batch groups")
+    return 1 if not scored else 0
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
@@ -987,6 +1043,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         start_method=args.start_method,
         cache_dir=resolve_cache_dir(args.cache_dir),
         sim_engine=args.engine,
+        batch=args.batch,
         max_queue=args.max_queue,
         request_timeout=args.timeout if args.timeout > 0 else None,
         trace_dir=args.trace_dir,

@@ -255,6 +255,7 @@ def run_suite(factory: PredictorFactory, traces: Sequence[TraceLike],
               probe: bool = False,
               sim_engine: str = "scalar",
               chunk: int | str = "auto",
+              batch: str | bool = "auto",
               tracer: "Any" = None,
               trace_parent: "Any" = None,
               ) -> BatchResult:
@@ -317,6 +318,15 @@ def run_suite(factory: PredictorFactory, traces: Sequence[TraceLike],
         (default) packs several traces per worker round-trip sized by
         the measured per-trace cost; an integer forces that chunk size.
         Ignored by the serial and throwaway-pool paths.
+    batch:
+        Config-batched evaluation, forwarded to
+        :func:`~repro.core.plan.execute_plan`: ``"auto"`` (default)
+        groups cache-missed vectorized-capable units that share a trace
+        and evaluates each group in one stacked numpy pass (a suite of
+        one factory over distinct traces forms no groups — batching
+        pays off when many configs share a trace, i.e. sweeps and
+        searches); ``"off"`` forces per-unit evaluation.  Results are
+        bit-identical either way.
     tracer:
         Optional :mod:`repro.tracing` tracer (with ``trace_parent``, the
         context to nest under), forwarded to
@@ -335,7 +345,7 @@ def run_suite(factory: PredictorFactory, traces: Sequence[TraceLike],
                               probe=probe, sim_engine=sim_engine)
     outcomes = execute_plan(plan, workers=workers, engine=engine,
                             cache=cache, instrumentation=instrumentation,
-                            chunk=chunk, tracer=tracer,
+                            chunk=chunk, batch=batch, tracer=tracer,
                             trace_parent=trace_parent)
 
     results = [s for s in outcomes if isinstance(s, SimulationResult)]

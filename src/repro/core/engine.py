@@ -74,7 +74,8 @@ import numpy as np
 from ..sbbt.trace import TraceData
 from .errors import SimulationError
 from .output import SimulationResult
-from .plan import WorkPlan, WorkUnit, chunk_cost_size, normalize_chunk
+from .plan import (WorkPlan, WorkUnit, chunk_cost_size, normalize_batch,
+                   normalize_chunk)
 from .predictor import Predictor
 from .simulator import SimulationConfig
 
@@ -337,23 +338,118 @@ def _spool_clear(spool_dir: str, chunk_id: str, count: int) -> None:
             continue
 
 
+def _engine_run_group(items: Sequence[_ChunkItem], positions: Sequence[int],
+                      outcomes: list, info: dict[str, int],
+                      spool_dir: str | None, chunk_id: str) -> None:
+    """Worker task helper: run one same-digest batch group in stacked
+    numpy passes (:func:`repro.core.vectorized.run_unit_group`).
+
+    The shared trace is attached once; the group's elapsed time is
+    attributed evenly across its units so the parent's chunk-size EMA
+    sees the *batched* per-unit cost.  An attach failure fails every
+    member (each would have failed identically alone).  Spool writes
+    happen per unit after the group completes — a crash mid-group
+    re-runs the whole group, which is safe and cheap (groups are one
+    pass).
+    """
+    from .batch import TraceFailure
+    from .vectorized import run_unit_group
+
+    if any(items[p][6] is not None for p in positions):
+        from ..tracing.span import wire_child_span
+    ref = items[positions[0]][1]
+    wall = time.time()
+    start = time.perf_counter()
+    try:
+        data, attached = _attach_resident(ref)
+    except Exception as exc:  # noqa: BLE001 - segment gone
+        for position in positions:
+            _f, _r, _c, name, _p, _s, trace_wire = items[position]
+            spans: list[dict] = []
+            if trace_wire is not None:
+                spans.append(wire_child_span(
+                    trace_wire, "attach", wall,
+                    time.perf_counter() - start, status="error",
+                    attributes={"digest": ref.digest[:12]}))
+            record = (TraceFailure(
+                trace_name=name,
+                error=f"{type(exc).__name__}: {exc}",
+                details=traceback.format_exc(),
+            ), False, 0.0, spans)
+            if spool_dir is not None:
+                _spool_write(spool_dir, chunk_id, position,
+                             (record[0], record[1], record[3]))
+            outcomes[position] = record
+        return
+    units = [(items[p][0], items[p][2], items[p][3], items[p][4],
+              items[p][5], None) for p in positions]
+    group_start = time.perf_counter()
+    results, group_info = run_unit_group(data, units)
+    share = (time.perf_counter() - group_start) / len(positions)
+    info["batch_groups"] += 1
+    info["batch_units"] += len(positions)
+    info["context_reuse"] += int(group_info.get("context_reuse", 0))
+    for offset, position in enumerate(positions):
+        _f, _r, _c, name, _p, sim_engine, trace_wire = items[position]
+        spans = []
+        if trace_wire is not None:
+            spans.append(wire_child_span(
+                trace_wire, "attach", wall, time.perf_counter() - start,
+                attributes={"digest": ref.digest[:12],
+                            "first_touch": attached and offset == 0}))
+            failed = isinstance(results[offset], TraceFailure)
+            spans.append(wire_child_span(
+                trace_wire, "simulate", wall, share,
+                status="error" if failed else "ok",
+                attributes={"unit": name, "sim_engine": sim_engine,
+                            "batched": True}))
+        record = (results[offset], attached and offset == 0, share, spans)
+        if spool_dir is not None:
+            _spool_write(spool_dir, chunk_id, position,
+                         (record[0], record[1], record[3]))
+        outcomes[position] = record
+
+
 def _engine_run_chunk(items: Sequence[_ChunkItem], spool_dir: str | None,
-                      chunk_id: str,
-                      ) -> list[tuple[Any, bool, float, list[dict]]]:
+                      chunk_id: str, batch: bool = False,
+                      ) -> tuple[list[tuple[Any, bool, float, list[dict]]],
+                                 dict[str, int]]:
     """Worker task: simulate a whole chunk of resident-trace units.
 
-    Returns one ``(outcome, attached, elapsed_seconds, spans)`` record
-    per unit, in chunk order; the per-unit timings feed the parent's
+    Returns ``(records, info)``: one ``(outcome, attached,
+    elapsed_seconds, spans)`` record per unit, in chunk order, plus an
+    ``info`` dict with the chunk's ``batch_groups`` / ``batch_units`` /
+    ``context_reuse`` counts.  The per-unit timings feed the parent's
     adaptive chunk-size estimate and the spans (empty when tracing is
     off) ship the worker-side trace back.  When ``spool_dir`` is given
     (multi-unit chunks), every finished unit is also checkpointed to
     disk so a crash later in the chunk loses only the unit that was
     executing — finished units' spans survive the crash with their
     outcomes.
+
+    With ``batch=True``, units sharing a trace digest whose
+    ``sim_engine`` admits the vectorized engine are evaluated as one
+    batched group (the parent's digest-affinity packing makes such
+    groups common); the rest run per unit exactly as before.
     """
-    outcomes: list[tuple[Any, bool, float, list[dict]]] = []
+    outcomes: list[tuple[Any, bool, float, list[dict]] | None] = \
+        [None] * len(items)
+    info = {"batch_groups": 0, "batch_units": 0, "context_reuse": 0}
+    batched: set[int] = set()
+    if batch:
+        groups: dict[str, list[int]] = {}
+        for position, item in enumerate(items):
+            if item[5] in ("vectorized", "auto"):
+                groups.setdefault(item[1].digest, []).append(position)
+        for positions in groups.values():
+            if len(positions) >= 2:
+                _engine_run_group(items, positions, outcomes, info,
+                                  spool_dir, chunk_id)
+                batched.update(positions)
     for position, (factory, ref, config, name, probe,
                    sim_engine, trace_wire) in enumerate(items):
+        if position in batched:
+            continue
         start = time.perf_counter()
         outcome, attached, spans = _engine_run_one(
             factory, ref, config, name, probe, sim_engine, trace_wire)
@@ -361,8 +457,8 @@ def _engine_run_chunk(items: Sequence[_ChunkItem], spool_dir: str | None,
         if spool_dir is not None:
             _spool_write(spool_dir, chunk_id, position,
                          (outcome, attached, spans))
-        outcomes.append((outcome, attached, elapsed, spans))
-    return outcomes
+        outcomes[position] = (outcome, attached, elapsed, spans)
+    return outcomes, info
 
 
 # ----------------------------------------------------------------------
@@ -411,6 +507,11 @@ class EngineStats:
     crash, and ``units_retried`` counts unstarted units re-dispatched
     after such a crash (each retry also re-increments
     ``tasks_dispatched``).
+
+    Batched evaluation adds two more: ``batch_groups`` counts the
+    same-trace groups workers evaluated in one stacked numpy pass and
+    ``batch_units`` the units those groups covered (so
+    ``batch_units / batch_groups`` is the mean group width).
     """
 
     workers: int = 0
@@ -421,6 +522,8 @@ class EngineStats:
     chunks_dispatched: int = 0
     units_recovered: int = 0
     units_retried: int = 0
+    batch_groups: int = 0
+    batch_units: int = 0
     trace_attaches: int = 0
     trace_reuses: int = 0
     pool_restarts: int = 0
@@ -441,6 +544,8 @@ class EngineStats:
             "chunks_dispatched": self.chunks_dispatched,
             "units_recovered": self.units_recovered,
             "units_retried": self.units_retried,
+            "batch_groups": self.batch_groups,
+            "batch_units": self.batch_units,
             "trace_attaches": self.trace_attaches,
             "trace_reuses": self.trace_reuses,
             "pool_restarts": self.pool_restarts,
@@ -722,11 +827,17 @@ SimulationResult` or a :class:`~repro.core.batch.TraceFailure` (worker
                            trace_wire=trace_wire, tracer=tracer)
 
     def _spool_path(self) -> str:
-        """The crash-recovery spool directory, created on first use."""
-        if self._spool is None:
-            self._spool = tempfile.TemporaryDirectory(
-                prefix="mbp-engine-spool-")
-        return self._spool.name
+        """The crash-recovery spool directory, created on first use.
+
+        Creation is locked: concurrent ``run_plan`` generators (the
+        serve daemon drives several at once) must agree on one spool,
+        not race two ``TemporaryDirectory`` objects and leak one.
+        """
+        with self._lock:
+            if self._spool is None:
+                self._spool = tempfile.TemporaryDirectory(
+                    prefix="mbp-engine-spool-")
+            return self._spool.name
 
     def _observe_unit_seconds(self, seconds: float) -> None:
         """Fold one worker-measured per-unit timing into the cost EMA."""
@@ -744,6 +855,7 @@ SimulationResult` or a :class:`~repro.core.batch.TraceFailure` (worker
                   instrumentation: Any = None,
                   sim_engine: str = "scalar",
                   chunk: int | str = "auto",
+                  batch: str | bool = "auto",
                   ) -> Iterator[tuple[int, Any]]:
         """Run ``(trace, name)`` tasks; yield ``(index, outcome)`` pairs
         in **completion order** (``as_completed`` semantics).
@@ -755,11 +867,12 @@ SimulationResult` or a :class:`~repro.core.batch.TraceFailure` (worker
         plan = WorkPlan.for_suite(factory, [trace for trace, _ in tasks],
                                   config, names=[name for _, name in tasks],
                                   probe=probe, sim_engine=sim_engine)
-        return self.run_plan(plan, chunk=chunk,
+        return self.run_plan(plan, chunk=chunk, batch=batch,
                              instrumentation=instrumentation)
 
     def run_plan(self, plan: WorkPlan, *,
                  chunk: int | str = "auto",
+                 batch: str | bool = "auto",
                  instrumentation: Any = None,
                  tracer: Any = None,
                  trace_parent: Any = None,
@@ -791,11 +904,25 @@ SimulationResult` or a :class:`~repro.core.batch.TraceFailure` (worker
         units, and replaces the pool — the engine (and its resident
         traces) survive the crash.
 
+        With ``batch="auto"`` (the default) the dispatch queue is packed
+        with *trace-digest affinity*: units over the same trace are made
+        adjacent (digest buckets in first-appearance order, plan order
+        within a bucket) so batch groups survive chunking intact, and
+        each worker evaluates the same-digest vectorized units of its
+        chunk as one stacked numpy pass
+        (:func:`repro.core.vectorized.run_unit_group`) instead of unit
+        by unit.  Results still come back per unit — outcome, spool
+        checkpoint, spans and cache entry are unchanged in shape.
+        ``batch="off"`` keeps plan-order dispatch and per-unit worker
+        loops.
+
         ``instrumentation`` (a :mod:`repro.telemetry` object) receives
         ``task_dispatch`` / ``trace_ship`` / ``trace_attach`` /
         ``trace_reuse`` / ``task_chunk`` / ``chunk_size`` counters plus
         ``engine_dispatch`` and ``chunk_dispatch`` phases for this call
-        (mean chunk size = ``chunk_size / task_chunk``).
+        (mean chunk size = ``chunk_size / task_chunk``), and
+        ``batch_groups`` / ``batch_units`` / ``context_reuse`` counters
+        when workers actually formed batch groups.
 
         ``tracer`` (a :mod:`repro.tracing` object, nested under
         ``trace_parent``) receives an ``engine_dispatch`` span carrying
@@ -808,13 +935,15 @@ SimulationResult` or a :class:`~repro.core.batch.TraceFailure` (worker
         """
         self._check_open()
         fixed = normalize_chunk(chunk)
+        use_batch = normalize_batch(batch)
         instr = instrumentation
         traced = tracer is not None and getattr(tracer, "enabled", False)
         dispatch_span = None
         if traced:
             dispatch_span = tracer.span(
                 "engine_dispatch", parent=trace_parent,
-                attributes={"workers": self.workers, "chunk": str(chunk)})
+                attributes={"workers": self.workers, "chunk": str(chunk),
+                            "batch": "auto" if use_batch else "off"})
             dispatch_span.__enter__()
         #: plan index -> (context, wall start, perf start); entries stay
         #: across crash retries so a unit keeps one span for its lifetime.
@@ -838,6 +967,9 @@ SimulationResult` or a :class:`~repro.core.batch.TraceFailure` (worker
         attaches_before = self.stats.trace_attaches
         reuses_before = self.stats.trace_reuses
         chunks_before = self.stats.chunks_dispatched
+        groups_before = self.stats.batch_groups
+        batch_units_before = self.stats.batch_units
+        context_reuse_total = 0
 
         from .batch import TraceFailure
 
@@ -855,7 +987,21 @@ SimulationResult` or a :class:`~repro.core.batch.TraceFailure` (worker
                     error=f"{type(exc).__name__}: {exc}",
                     details=traceback.format_exc(),
                 )))
-        queue: deque[int] = deque(i for i in range(len(plan)) if i in refs)
+        if use_batch:
+            # Trace-digest affinity: make same-trace units adjacent in
+            # the dispatch queue (digest buckets in first-appearance
+            # order, plan order within each bucket) so chunk packing
+            # hands workers whole batch groups instead of shredding
+            # them across round-trips.  Yield order is unaffected —
+            # the caller realigns by plan index.
+            by_digest: dict[str, list[int]] = {}
+            for i in range(len(plan)):
+                if i in refs:
+                    by_digest.setdefault(refs[i].digest, []).append(i)
+            queue: deque[int] = deque(
+                i for bucket in by_digest.values() for i in bucket)
+        else:
+            queue = deque(i for i in range(len(plan)) if i in refs)
         planned_units = len(queue)
         #: future -> (chunk id, plan indices in chunk order, spool dir).
         in_flight: dict[Future, tuple[str, list[int], str | None]] = {}
@@ -897,7 +1043,7 @@ SimulationResult` or a :class:`~repro.core.batch.TraceFailure` (worker
                     for i in indices
                 ]
                 future = pool.submit(_engine_run_chunk, items, spool,
-                                     chunk_id)
+                                     chunk_id, use_batch)
                 self.stats.tasks_dispatched += size
                 self.stats.chunks_dispatched += 1
                 chunk_units_dispatched += size
@@ -916,7 +1062,13 @@ SimulationResult` or a :class:`~repro.core.batch.TraceFailure` (worker
                     chunk_id, indices, spool = in_flight.pop(future)
                     units_in_flight -= len(indices)
                     try:
-                        payloads = future.result()
+                        payloads, chunk_info = future.result()
+                        self.stats.batch_groups += \
+                            chunk_info["batch_groups"]
+                        self.stats.batch_units += \
+                            chunk_info["batch_units"]
+                        context_reuse_total += \
+                            chunk_info["context_reuse"]
                     except Exception as exc:  # noqa: BLE001 - broken pool
                         crashed = isinstance(exc, BrokenProcessPool)
                         broke = broke or crashed
@@ -1006,6 +1158,14 @@ SimulationResult` or a :class:`~repro.core.batch.TraceFailure` (worker
                 if chunks:
                     instr.count("task_chunk", chunks)
                     instr.count("chunk_size", chunk_units_dispatched)
+                groups = self.stats.batch_groups - groups_before
+                if groups:
+                    instr.count("batch_groups", groups)
+                    instr.count("batch_units",
+                                self.stats.batch_units
+                                - batch_units_before)
+                if context_reuse_total:
+                    instr.count("context_reuse", context_reuse_total)
                 shipped = self.stats.traces_published - published_before
                 if shipped:
                     instr.count("trace_ship", shipped)
@@ -1027,6 +1187,12 @@ SimulationResult` or a :class:`~repro.core.batch.TraceFailure` (worker
                     self.stats.chunks_dispatched - chunks_before)
                 dispatch_span.set_attribute("chunk_size",
                                             chunk_units_dispatched)
+                dispatch_span.set_attribute(
+                    "batch_groups",
+                    self.stats.batch_groups - groups_before)
+                dispatch_span.set_attribute(
+                    "batch_units",
+                    self.stats.batch_units - batch_units_before)
                 dispatch_span.set_attribute(
                     "trace_ship",
                     self.stats.traces_published - published_before)

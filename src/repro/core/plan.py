@@ -55,6 +55,7 @@ __all__ = [
     "WorkPlan",
     "execute_plan",
     "default_trace_names",
+    "normalize_batch",
     "normalize_chunk",
 ]
 
@@ -90,6 +91,16 @@ def normalize_chunk(chunk: int | str) -> int | None:
     if size < 1:
         raise ValueError(f"chunk must be >= 1, got {size}")
     return size
+
+
+def normalize_batch(batch: str | bool) -> bool:
+    """Validate a batch spec: ``"auto"`` (group batchable units per
+    trace) -> True, ``"off"`` (always per-unit) -> False."""
+    if batch in ("auto", True):
+        return True
+    if batch in ("off", False):
+        return False
+    raise ValueError(f"batch must be 'auto' or 'off', got {batch!r}")
 
 
 @dataclass(frozen=True, slots=True)
@@ -207,12 +218,47 @@ class WorkPlan:
 # ----------------------------------------------------------------------
 
 
+def _batch_groups(plan: WorkPlan, indices: Sequence[int],
+                  ) -> tuple[list[list[int]], list[int]]:
+    """Partition cache-missed unit indices into per-trace batch groups.
+
+    A unit is *batchable* when its ``sim_engine`` admits the vectorized
+    engine (``"vectorized"`` or ``"auto"``).  Batchable units sharing a
+    trace — same :class:`~repro.sbbt.trace.TraceData` object, or the
+    same path string — form one group; groups of at least two units are
+    worth a batched pass (the whole point is amortizing the trace
+    context across configs), singletons and non-batchable units stay on
+    the per-unit path.  Returns ``(groups, loose)`` with ``loose``
+    sorted back into plan order.
+    """
+    buckets: dict[Any, list[int]] = {}
+    loose: list[int] = []
+    for i in indices:
+        unit = plan[i]
+        if unit.sim_engine not in ("vectorized", "auto"):
+            loose.append(i)
+            continue
+        trace = unit.trace
+        key = (("data", id(trace)) if isinstance(trace, TraceData)
+               else ("path", str(trace)))
+        buckets.setdefault(key, []).append(i)
+    groups: list[list[int]] = []
+    for members in buckets.values():
+        if len(members) >= 2:
+            groups.append(members)
+        else:
+            loose.extend(members)
+    loose.sort()
+    return groups, loose
+
+
 def execute_plan(plan: WorkPlan, *,
                  workers: int = 1,
                  engine: "ExecutionEngine | None" = None,
                  cache: "CacheLike" = None,
                  instrumentation: "Instrumentation | None" = None,
                  chunk: int | str = "auto",
+                 batch: str | bool = "auto",
                  tracer: "Any" = None,
                  trace_parent: "Any" = None,
                  ) -> list[Outcome]:
@@ -230,6 +276,21 @@ def execute_plan(plan: WorkPlan, *,
     ``workers > 1`` fans out over a throwaway process pool; otherwise
     units run inline.  ``chunk`` (``"auto"`` or a fixed size >= 1) is
     forwarded to the engine backend and ignored elsewhere.
+
+    With ``batch="auto"`` (the default), cache-missed units that share
+    a trace and admit the vectorized engine are evaluated in *batched
+    groups*: the trace is resolved once per group and
+    :func:`repro.core.vectorized.run_unit_group` runs every config over
+    the shared trace context in stacked numpy passes.  Each unit still
+    produces its own outcome and cache entry, byte-identical (up to
+    wall clock) to the per-unit path.  Batching applies to the inline
+    backend here and is forwarded to the engine backend (whose workers
+    batch within each chunk); the throwaway pool ignores it.
+    ``batch="off"`` forces the per-unit path everywhere.
+    ``instrumentation`` gains a ``batch_eval`` phase plus
+    ``batch_groups`` / ``batch_units`` / ``context_reuse`` counters
+    when groups actually form, and the tracer emits one
+    ``batch_group`` span per group.
 
     With ``cache=`` (a :class:`repro.cache.SimulationCache` or directory
     path) cached units are answered without simulating and fresh results
@@ -254,6 +315,7 @@ def execute_plan(plan: WorkPlan, *,
     from .batch import TraceFailure, _resolve_cache, _run_one
 
     normalize_chunk(chunk)  # validate early, uniformly for all backends
+    use_batch = normalize_batch(batch)
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     instr = instrumentation
@@ -332,11 +394,32 @@ def execute_plan(plan: WorkPlan, *,
                 if engine is not None:
                     for position, outcome in engine.run_plan(
                             plan.subset(pending), chunk=chunk,
+                            batch=batch,
                             instrumentation=instr, tracer=trc,
                             trace_parent=sim.context):
                         slots[pending[position]] = outcome
                 elif workers == 1 or len(pending) <= 1:
-                    for i in pending:
+                    groups, loose = (_batch_groups(plan, pending)
+                                     if use_batch else ([], list(pending)))
+                    if groups:
+                        batch_start = (time.perf_counter()
+                                       if instr is not None else 0.0)
+                        context_reuse = 0
+                        for members in groups:
+                            context_reuse += _run_group_inline(
+                                plan, members, slots, _take_prebuilt,
+                                trc, sim.context)
+                        if instr is not None:
+                            instr.add_phase(
+                                "batch_eval",
+                                time.perf_counter() - batch_start)
+                            instr.count("batch_groups", len(groups))
+                            instr.count("batch_units",
+                                        sum(len(m) for m in groups))
+                            if context_reuse:
+                                instr.count("context_reuse",
+                                            context_reuse)
+                    for i in loose:
                         unit = plan[i]
                         with trc.span(
                                 "unit", parent=sim.context,
@@ -394,6 +477,56 @@ def _execute_pool(plan: WorkPlan, pending: Sequence[int],
                     error=f"{type(exc).__name__}: {exc}",
                     details=traceback.format_exc(),
                 )
+
+
+def _run_group_inline(plan: WorkPlan, members: Sequence[int],
+                      slots: list[Outcome | None],
+                      take_prebuilt: Callable[[PredictorFactory],
+                                              Predictor | None],
+                      trc: Any, sim_context: Any) -> int:
+    """Run one batch group inline; fill ``slots`` for every member.
+
+    The trace is resolved once; a resolve failure becomes a
+    :class:`~repro.core.batch.TraceFailure` for every member (the same
+    record each would have produced alone).  Returns the group's
+    ``context_reuse`` count for the caller's counter.
+    """
+    from .batch import TraceFailure
+    from .simulator import _resolve_trace
+    from .vectorized import run_unit_group
+
+    first = plan[members[0]]
+    with trc.span("batch_group", parent=sim_context,
+                  attributes={"units": len(members),
+                              "trace": first.name}) as group_span:
+        try:
+            data, _ = _resolve_trace(first.trace)
+        except Exception as exc:  # noqa: BLE001 - per-unit isolation
+            group_span.set_status("error")
+            for i in members:
+                slots[i] = TraceFailure(
+                    trace_name=plan[i].name,
+                    error=f"{type(exc).__name__}: {exc}",
+                    details=traceback.format_exc(),
+                )
+            return 0
+        units = [
+            (plan[i].factory, plan[i].config, plan[i].name, plan[i].probe,
+             plan[i].sim_engine, take_prebuilt(plan[i].factory))
+            for i in members
+        ]
+        outcomes, info = run_unit_group(data, units)
+        failed = 0
+        for i, outcome in zip(members, outcomes):
+            if not isinstance(outcome, SimulationResult):
+                failed += 1
+            slots[i] = outcome
+        if failed:
+            group_span.set_attribute("failures", failed)
+        reuse = int(info.get("context_reuse", 0))
+        if reuse:
+            group_span.set_attribute("context_reuse", reuse)
+        return reuse
 
 
 def chunk_cost_size(ema_seconds: float | None, remaining: int,

@@ -64,9 +64,11 @@ structural statistics reconstructed from the scans.
 
 from __future__ import annotations
 
+import hashlib
 import time
+import traceback
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 import numpy as np
 
@@ -90,10 +92,12 @@ __all__ = [
     "skew_hash_array",
     "KernelRun",
     "SaturatingTableKernel",
+    "stacked_saturating_runs",
     "TournamentKernel",
     "GskewKernel",
     "YagsKernel",
     "simulate_vectorized",
+    "run_unit_group",
     "simulate_bimodal_vectorized",
     "simulate_gshare_vectorized",
 ]
@@ -139,9 +143,12 @@ def clamped_walk_states(segments: np.ndarray, steps: np.ndarray,
     segments:
         Segment key per element; elements of one segment must be
         contiguous and the array non-decreasing within runs (use a stable
-        argsort by key to arrange this).
+        argsort by key to arrange this).  May be N-dimensional: the scan
+        runs independently along the **last** axis, so a stack of
+        same-length walks (one row per configuration) resolves in one
+        pass — the config-batched evaluation path.
     steps:
-        ``+1`` / ``-1`` increments.
+        ``+1`` / ``-1`` increments, same shape as ``segments``.
     lo, hi:
         Clamp bounds.
     initial:
@@ -150,30 +157,39 @@ def clamped_walk_states(segments: np.ndarray, steps: np.ndarray,
     Returns the walk state seen by each element before its own step —
     i.e. the value the predictor read to make its prediction.
     """
-    n = len(segments)
-    if len(steps) != n:
+    segments = np.asarray(segments)
+    steps = np.asarray(steps)
+    if steps.shape != segments.shape:
         raise SimulationError("segments and steps must have equal length")
     if lo > hi:
         raise SimulationError(f"empty clamp range [{lo}, {hi}]")
+    n = segments.shape[-1]
     if n == 0:
-        return np.zeros(0, dtype=np.int64)
+        return np.zeros(segments.shape, dtype=np.int64)
 
     # ±1 steps and bounds from narrow counters: every A/B/C value stays
     # within ±(n + |lo| + |hi|), so int32 holds any realistic trace and
-    # halves the scan's memory traffic against int64.
+    # halves the scan's memory traffic against int64.  ``n`` is the walk
+    # length (last axis), so a stacked call picks the same dtype as the
+    # equivalent per-row calls.
     dtype = np.int32 if n + abs(lo) + abs(hi) < 2 ** 31 else np.int64
 
     # Inclusive element maps: s -> min(hi, max(lo, s + x)).
-    A = np.full(n, lo, dtype=dtype)
-    B = np.full(n, hi, dtype=dtype)
+    A = np.full(segments.shape, lo, dtype=dtype)
+    B = np.full(segments.shape, hi, dtype=dtype)
     C = steps.astype(dtype)
 
-    positions = np.arange(n, dtype=dtype)
-    is_start = np.empty(n, dtype=bool)
-    is_start[0] = True
-    np.not_equal(segments[1:], segments[:-1], out=is_start[1:])
-    segment_start = np.maximum.accumulate(np.where(is_start, positions, 0))
-    # Passes beyond the longest segment cannot change anything.
+    positions = np.arange(n, dtype=dtype)  # broadcasts over leading axes
+    is_start = np.empty(segments.shape, dtype=bool)
+    is_start[..., 0] = True
+    np.not_equal(segments[..., 1:], segments[..., :-1],
+                 out=is_start[..., 1:])
+    segment_start = np.maximum.accumulate(
+        np.where(is_start, positions, 0), axis=-1)
+    # Passes beyond the longest segment cannot change anything; for a
+    # stacked input the bound is the longest segment of any row — the
+    # extra passes on shorter-segment rows find no valid compositions,
+    # so every row's scan stays bit-exact with its standalone 1-D run.
     longest = int((positions - segment_start).max()) + 1
 
     shift = 1
@@ -182,31 +198,30 @@ def clamped_walk_states(segments: np.ndarray, steps: np.ndarray,
         # same segment: i - shift >= segment_start[i].  Expressed over
         # the aligned slices [shift:] / [:-shift] this is contiguous
         # arithmetic — no index arrays, no gather/scatter.
-        valid = positions[:-shift] >= segment_start[shift:]
-        a_prev = A[:-shift]
-        b_prev = B[:-shift]
-        c_prev = C[:-shift]
-        a_cur = A[shift:]
-        b_cur = B[shift:]
-        c_cur = C[shift:]
+        valid = positions[:-shift] >= segment_start[..., shift:]
+        a_prev = A[..., :-shift]
+        b_prev = B[..., :-shift]
+        c_prev = C[..., :-shift]
+        a_cur = A[..., shift:]
+        b_cur = B[..., shift:]
+        c_cur = C[..., shift:]
         new_a = np.where(valid, np.maximum(a_cur, a_prev + c_cur), a_cur)
         new_b = np.where(
             valid, np.minimum(b_cur, np.maximum(a_cur, b_prev + c_cur)),
             b_cur)
         new_c = np.where(valid, c_prev + c_cur, c_cur)
-        A[shift:] = new_a
-        B[shift:] = new_b
-        C[shift:] = new_c
+        A[..., shift:] = new_a
+        B[..., shift:] = new_b
+        C[..., shift:] = new_c
         shift *= 2
 
     # Exclusive prefix: the state before element i is the inclusive map
     # of element i-1 applied to the initial state (identity at starts).
-    before = np.full(n, initial, dtype=np.int64)
-    tail = ~is_start
-    prev = positions[tail].astype(np.int64) - 1
-    before[tail] = np.minimum(
-        B[prev], np.maximum(A[prev], initial + C[prev])
+    before = np.full(segments.shape, initial, dtype=np.int64)
+    before[..., 1:] = np.minimum(
+        B[..., :-1], np.maximum(A[..., :-1], initial + C[..., :-1])
     )
+    before[is_start] = initial
     return before
 
 
@@ -234,11 +249,16 @@ def xor_fold_array(values: np.ndarray, width: int) -> np.ndarray:
         raise SimulationError("width must be positive")
     mask = np.uint64((1 << width) - 1)
     shift = np.uint64(width)
-    remaining = values.astype(np.uint64).copy()
-    result = np.zeros(len(values), dtype=np.uint64)
+    # astype already copies; fold the first pass out of the loop and
+    # reuse one scratch buffer so each pass allocates nothing.
+    remaining = values.astype(np.uint64)
+    result = remaining & mask
+    np.right_shift(remaining, shift, out=remaining)
+    scratch = np.empty_like(remaining)
     while remaining.any():
-        result ^= remaining & mask
-        remaining >>= shift
+        np.bitwise_and(remaining, mask, out=scratch)
+        np.bitwise_xor(result, scratch, out=result)
+        np.right_shift(remaining, shift, out=remaining)
     return result
 
 
@@ -520,14 +540,27 @@ class _VectorContext:
 
     Exposes the conditional-branch streams (``ips``/``taken``), the
     *tracked* streams feeding history registers (all branches, or only
-    the conditional ones under ``track_only_conditional``), and lazily
-    cached history windows so composed kernels sharing a history length
-    pay for the derivation once.
+    the conditional ones under ``track_only_conditional``), and memoized
+    history windows so composed kernels — and, under config-batched
+    evaluation, *different configurations sharing one context* — pay for
+    each derivation once.
+
+    The memoization exploits the packed-window convention: bit ``k`` of a
+    window is the outcome of the ``(k+1)``-th most recent tracked branch,
+    so a length-``L`` window is the length-``L_max`` window masked to its
+    low ``L`` bits.  Both caches therefore keep one *master* window array
+    that is extended incrementally (one shifted-OR pass per new bit) and
+    answer shorter lengths with a mask — a history-length sweep derives
+    its windows once, not once per length.  ``reuse_count`` counts every
+    request answered from a finished per-length entry (the
+    ``context_reuse`` telemetry counter).
     """
 
     __slots__ = ("trace", "conditional", "ips", "taken", "n", "track_all",
                  "tracked_ips", "tracked_taken", "cond_positions",
-                 "_global_cache")
+                 "reuse_count", "_global_cache", "_global_master",
+                 "_global_master_len", "_keyed_cache", "_branch_cache",
+                 "_fold_cache")
 
     def __init__(self, data: TraceData, track_all: bool):
         self.trace = data
@@ -544,16 +577,89 @@ class _VectorContext:
             self.tracked_ips = self.ips
             self.tracked_taken = self.taken
             self.cond_positions = np.arange(self.n, dtype=np.int64)
+        #: Finished global windows per requested length.
         self._global_cache: dict[int, np.ndarray] = {}
+        #: Incrementally extended master global window (tracked stream).
+        self._global_master: np.ndarray | None = None
+        self._global_master_len = 0
+        #: Per keyed stream (content-addressed): sort order, segment
+        #: bounds, sorted outcome bits, master window and per-length
+        #: results.
+        self._keyed_cache: dict[Any, dict[str, Any]] = {}
+        #: Per-warmup measured-region branch identity/occurrence/taken
+        #: base — identical for every config sharing the warmup, so a
+        #: batch pays the ``np.unique`` + ``tolist`` once.
+        self._branch_cache: dict[int, tuple] = {}
+        #: XOR-folds of the conditional address stream, keyed by width.
+        self._fold_cache: dict[int, np.ndarray] = {}
+        self.reuse_count = 0
+
+    def branch_base(self, warmup: int, measured: np.ndarray) -> tuple:
+        """Outcome-independent half of the per-branch profile.
+
+        Returns ``(ips_list, inverse, bins, occurrences, taken_counts)``
+        for the measured region of the given warmup; only the
+        per-config ``wrong_counts`` bincount remains for the caller.
+        """
+        entry = self._branch_cache.get(warmup)
+        if entry is None:
+            unique_ips, inverse = np.unique(self.ips[measured],
+                                            return_inverse=True)
+            bins = len(unique_ips)
+            occurrences = np.bincount(inverse, minlength=bins)
+            taken_counts = np.bincount(inverse,
+                                       weights=self.taken[measured],
+                                       minlength=bins)
+            entry = (unique_ips.tolist(), inverse, bins,
+                     occurrences.tolist(), taken_counts.tolist())
+            self._branch_cache[warmup] = entry
+        return entry
 
     def global_history(self, history_length: int) -> np.ndarray:
         """Packed global history seen before each *conditional* branch."""
         cached = self._global_cache.get(history_length)
-        if cached is None:
-            windows = global_history_windows(self.tracked_taken,
-                                             history_length)
-            cached = windows[self.cond_positions]
-            self._global_cache[history_length] = cached
+        if cached is not None:
+            self.reuse_count += 1
+            return cached
+        if not 1 <= history_length <= 63:
+            raise SimulationError("history_length must be in [1, 63]")
+        if self._global_master is None:
+            self._global_master = global_history_windows(
+                self.tracked_taken, history_length)
+            self._global_master_len = history_length
+        elif history_length > self._global_master_len:
+            bits = self.tracked_taken.astype(np.uint64)
+            master = self._global_master
+            for age in range(self._global_master_len + 1,
+                             history_length + 1):
+                master[age:] |= bits[:-age] << np.uint64(age - 1)
+            self._global_master_len = history_length
+        if history_length == self._global_master_len:
+            windows = self._global_master
+        else:
+            # Shorter window = longer window masked to its low L bits.
+            windows = self._global_master \
+                & np.uint64((1 << history_length) - 1)
+        cached = windows[self.cond_positions]
+        self._global_cache[history_length] = cached
+        return cached
+
+    def folded_ips(self, width: int) -> np.ndarray:
+        """XOR-fold of the conditional address stream, memoized by width.
+
+        ``xor_fold`` is linear over XOR — the fold of ``a ^ b`` is the
+        XOR of the two folds — so a kernel indexing by
+        ``xor_fold(ip ^ h)`` can fold its config-dependent ``h``
+        separately and XOR it with this shared fold.  A history-length
+        sweep sharing one context then folds the (config-independent)
+        address stream once, not once per configuration.
+        """
+        cached = self._fold_cache.get(width)
+        if cached is not None:
+            self.reuse_count += 1
+            return cached
+        cached = xor_fold_array(self.ips, width)
+        self._fold_cache[width] = cached
         return cached
 
     def keyed_history(self, keys: np.ndarray,
@@ -561,11 +667,66 @@ class _VectorContext:
         """Packed per-key history before each conditional branch.
 
         ``keys`` selects the history register per *tracked* branch
-        (same length as ``tracked_ips``).
+        (same length as ``tracked_ips``).  Streams are memoized by key
+        *content* — callers rebuild their key arrays per request, so
+        identity would never hit — and each stream's windows use the
+        same master-and-mask scheme as :meth:`global_history`.
         """
-        windows = segmented_history_windows(keys, self.tracked_taken,
-                                            history_length)
-        return windows[self.cond_positions]
+        if not 1 <= history_length <= 63:
+            raise SimulationError("history_length must be in [1, 63]")
+        keys = np.asarray(keys)
+        n = len(self.tracked_taken)
+        if len(keys) != n:
+            raise SimulationError("keys and outcomes must have equal length")
+        if n == 0:
+            return np.zeros(0, dtype=np.uint64)
+        contiguous = np.ascontiguousarray(keys)
+        stream_key = (keys.dtype.str, hashlib.blake2b(
+            contiguous.tobytes(), digest_size=16).digest())
+        entry = self._keyed_cache.get(stream_key)
+        if entry is None:
+            order = np.argsort(contiguous, kind="stable")
+            sorted_keys = contiguous[order]
+            positions = np.arange(n, dtype=np.int64)
+            is_start = np.empty(n, dtype=bool)
+            is_start[0] = True
+            np.not_equal(sorted_keys[1:], sorted_keys[:-1],
+                         out=is_start[1:])
+            entry = {
+                "order": order,
+                "positions": positions,
+                "segment_start": np.maximum.accumulate(
+                    np.where(is_start, positions, 0)),
+                "bits": self.tracked_taken[order].astype(np.uint64),
+                "master": np.zeros(n, dtype=np.uint64),
+                "master_len": 0,
+                "per_length": {},
+            }
+            self._keyed_cache[stream_key] = entry
+        per_length: dict[int, np.ndarray] = entry["per_length"]
+        cached = per_length.get(history_length)
+        if cached is not None:
+            self.reuse_count += 1
+            return cached
+        master: np.ndarray = entry["master"]
+        if history_length > entry["master_len"]:
+            positions = entry["positions"]
+            segment_start = entry["segment_start"]
+            bits = entry["bits"]
+            for age in range(entry["master_len"] + 1, history_length + 1):
+                valid = positions >= segment_start + age
+                master[valid] |= bits[positions[valid] - age] \
+                    << np.uint64(age - 1)
+            entry["master_len"] = history_length
+        if history_length == entry["master_len"]:
+            windows_sorted = master
+        else:
+            windows_sorted = master & np.uint64((1 << history_length) - 1)
+        windows = np.empty(n, dtype=np.uint64)
+        windows[entry["order"]] = windows_sorted
+        cached = windows[self.cond_positions]
+        per_length[history_length] = cached
+        return cached
 
 
 @dataclass(slots=True)
@@ -661,6 +822,25 @@ class SaturatingTableKernel:
                                      self.lo, self.hi)
         predictions = np.empty(ctx.n, dtype=bool)
         predictions[order] = before >= 0
+        return self._make_run(ctx, outcomes, train_mask, predictions,
+                              lambda: (sorted_indices, before,
+                                       sorted_steps))
+
+    def _make_run(self, ctx: _VectorContext, outcomes: np.ndarray,
+                  train_mask: np.ndarray | None, predictions: np.ndarray,
+                  scan_arrays: Callable[[], tuple[np.ndarray, np.ndarray,
+                                                  np.ndarray]]
+                  ) -> KernelRun:
+        """Build the :class:`KernelRun` from a finished scan.
+
+        Shared by :meth:`run_masked` and the stacked batch path
+        (:func:`stacked_saturating_runs`) — both produce closures over
+        value-identical arrays and stay bit-exact by construction.
+        ``scan_arrays`` is a thunk returning ``(sorted_indices, before,
+        sorted_steps)``: only ``structure()`` (the probe path) reads
+        them, so the stacked path can defer materialising per-row
+        copies until a probe actually asks.
+        """
 
         def fill_attribution(probe_like: Any, measured: np.ndarray) -> None:
             if self.component is None:
@@ -675,6 +855,7 @@ class SaturatingTableKernel:
                 return {}
             from ..utils.tables import distribution_stats
 
+            sorted_indices, before, sorted_steps = scan_arrays()
             values = _final_table_values(sorted_indices, before,
                                          sorted_steps, self.lo, self.hi,
                                          self.table_size)
@@ -682,6 +863,203 @@ class SaturatingTableKernel:
                     distribution_stats(values, self.lo, self.hi)}
 
         return KernelRun(predictions, fill_attribution, structure)
+
+
+#: Above this many python-loop iterations the time-stepped grouped
+#: walk stops paying for itself; fall back to the doubling scan.  The
+#: bound applies to ``loop_depth`` (iterations actually run), not the
+#: longest segment — one pathologically hot table index only lengthens
+#: the dense tail, which the doubling scan absorbs.
+_GROUPED_WALK_LIMIT = 4096
+
+#: Once fewer than this many segments remain live, the grouped loop is
+#: pure per-iteration overhead; hand the survivors' tails to a dense
+#: doubling scan instead.
+_GROUPED_TAIL_WIDTH = 32
+
+
+def _grouped_walk_states(segments: np.ndarray, steps: np.ndarray,
+                         lo: int, hi: int) -> tuple[np.ndarray,
+                                                    Callable[[], np.ndarray]]:
+    """Time-step-parallel resolution of a stack of segmented ±1 walks.
+
+    The doubling scan in :func:`clamped_walk_states` costs
+    ``O(n log longest)`` over six working arrays; for the batched sweep
+    path we instead *reorder* the exact scalar walk: elements are
+    bucketed by depth (position within their segment), segments are
+    ranked by length descending so the segments alive at depth ``p`` are
+    exactly ranks ``[0, active_p)``, and one contiguous-slice python
+    loop advances every live segment's state at once — each iteration is
+    ``copy / add / clip`` over a shrinking prefix.  Because every
+    element's before-state is produced by the same clamped walk the
+    scalar loop performs, the result is bit-exact by construction (no
+    algebraic composition involved).  The loop runs only while many
+    segments are live; the few very long survivors' tails are compacted
+    into a dense per-segment matrix — seeded by a first pseudo-step that
+    carries each survivor's current state — and resolved by the doubling
+    scan, whose passes are exact for any integer step size.
+
+    Returns ``(predictions_sorted, before_fn)`` where
+    ``predictions_sorted`` is the boolean ``state >= 0`` stream in
+    sorted order and ``before_fn()`` materialises the full int64
+    before-state array on demand (only the probe path needs it).
+    """
+    shape = segments.shape
+    n = shape[-1]
+    if n == 0:
+        before = np.zeros(shape, dtype=np.int64)
+        return before >= 0, lambda: before
+    if not -128 <= lo <= hi <= 127:
+        before = clamped_walk_states(segments, steps, lo, hi)
+        return before >= 0, lambda: before
+    is_start = np.empty(shape, dtype=bool)
+    is_start[..., 0] = True
+    np.not_equal(segments[..., 1:], segments[..., :-1], out=is_start[..., 1:])
+    starts = np.flatnonzero(is_start.ravel()).astype(np.int32)
+    num_segments = len(starts)
+    total = int(np.prod(shape))
+    lengths = np.empty(num_segments, dtype=np.int32)
+    np.subtract(starts[1:], starts[:-1], out=lengths[:-1])
+    lengths[-1] = total - starts[-1]
+    longest = int(lengths.max())
+    # active[p] = live segments at depth p = #(lengths > p), via the
+    # length histogram — O(num_segments), no second 320k-element pass.
+    length_counts = np.bincount(lengths, minlength=longest + 1)
+    active = np.cumsum(length_counts[::-1])[::-1][1:]
+    # Stop the sequential loop once the live prefix is narrow; the
+    # survivors' tails go to the dense doubling scan below.
+    cutoff = int(np.searchsorted(-active, -_GROUPED_TAIL_WIDTH))
+    loop_depth = longest if longest - cutoff < 64 else cutoff
+    if loop_depth > _GROUPED_WALK_LIMIT:
+        before = clamped_walk_states(segments, steps, lo, hi)
+        return before >= 0, lambda: before
+    # Rank segments by length descending: every segment alive at depth p
+    # (length > p) then outranks every dead one, so the live states are
+    # always a contiguous prefix of the rank-ordered state array.  A
+    # ``longest - length`` key that fits uint16 puts the rank sort on
+    # the radix path; wider keys (one very hot index) pay a comparison
+    # sort over num_segments elements, which the tail handover amortises.
+    rank_key_dtype = np.uint16 if longest <= (1 << 16) else np.int32
+    rank_order = np.argsort((longest - lengths).astype(rank_key_dtype),
+                            kind="stable")
+    rank_of_seg = np.empty(num_segments, dtype=np.int32)
+    rank_of_seg[rank_order] = np.arange(num_segments, dtype=np.int32)
+    bounds = np.concatenate(([0], np.cumsum(active))).astype(np.int32)
+    # dest = bounds[depth] + rank: both terms come from one repeat each
+    # (segment start / rank broadcast over the segment's elements).
+    depth = np.arange(total, dtype=np.int32)
+    depth -= np.repeat(starts, lengths)
+    dest = np.take(bounds, depth)
+    dest += np.repeat(rank_of_seg, lengths)
+    # ±1 steps clamped to a counter range within int8: quarter the
+    # memory traffic of the sequential loop.
+    grouped_steps = np.empty(total, dtype=np.int8)
+    grouped_steps[dest] = steps.ravel()
+    grouped_before = np.empty(total, dtype=np.int8)
+    states = np.zeros(num_segments, dtype=np.int8)
+    ends = bounds[:loop_depth + 1].tolist()
+    # Raw ufunc calls instead of np.clip: the clip wrapper re-derives
+    # dtype limits per call, which at thousands of tiny iterations is
+    # real overhead.
+    lo8 = np.int8(lo)
+    hi8 = np.int8(hi)
+    add = np.add
+    minimum = np.minimum
+    maximum = np.maximum
+    for p in range(loop_depth):
+        a = ends[p]
+        b = ends[p + 1]
+        live = states[:b - a]
+        grouped_before[a:b] = live
+        add(live, grouped_steps[a:b], out=live)
+        minimum(live, hi8, out=live)
+        maximum(live, lo8, out=live)
+    if loop_depth < longest:
+        # Dense tail: rows = surviving segments (ranks [0, k)), columns
+        # = remaining depths, padded with zero steps; column 0 is a
+        # pseudo-step carrying each survivor's state at the handover
+        # depth (maps the scan's initial 0 to exactly that state, since
+        # it lies within [lo, hi]).
+        k = int(active[loop_depth])
+        tail = longest - loop_depth
+        row = np.arange(k, dtype=np.int32)[:, None]
+        idx = bounds[loop_depth:longest][None, :] + row
+        valid = row < active[loop_depth:longest][None, :]
+        dense_steps = np.zeros((k, tail + 1), dtype=np.int8)
+        dense_steps[:, 0] = states[:k]
+        np.copyto(dense_steps[:, 1:],
+                  grouped_steps[np.minimum(idx, total - 1)], where=valid)
+        rows = np.broadcast_to(row, (k, tail + 1))
+        dense_before = clamped_walk_states(rows, dense_steps, lo, hi)
+        grouped_before[idx[valid]] = dense_before[:, 1:][valid]
+    predictions = np.take(grouped_before >= 0, dest).reshape(shape)
+
+    def before_fn() -> np.ndarray:
+        return np.take(grouped_before.astype(np.int64), dest).reshape(shape)
+
+    return predictions, before_fn
+
+
+def stacked_saturating_runs(ctx: _VectorContext,
+                            kernels: Sequence[SaturatingTableKernel],
+                            ) -> list[KernelRun]:
+    """Evaluate same-bounds saturating-table kernels as one stacked pass.
+
+    All ``kernels`` must share ``(lo, hi)``.  Their index streams are
+    stacked along a leading config axis, one row-wise stable argsort
+    (over the narrowest dtype that holds the indices — radix sorting
+    uint16 keys is an order of magnitude faster than comparison-sorting
+    int64) and one grouped walk resolve every table walk at once; each
+    kernel gets its own :class:`KernelRun` built from its row — bit-exact
+    with running the kernels one by one (stable sort order and walk
+    states are value-identical to the standalone path's).
+    """
+    if len(kernels) == 1:
+        return [kernels[0].run(ctx)]
+    lo = kernels[0].lo
+    hi = kernels[0].hi
+    for kernel in kernels:
+        if kernel.lo != lo or kernel.hi != hi:
+            raise SimulationError(
+                "stacked kernels must share their clamp bounds")
+    rows = [np.asarray(k.index_fn(ctx)) for k in kernels]
+    if ctx.n == 0:
+        return [k.run(ctx) for k in kernels]
+    lowest = min(int(row.min()) for row in rows)
+    highest = max(int(row.max()) for row in rows)
+    if 0 <= lowest and highest < (1 << 16):
+        key_dtype = np.uint16
+    elif -(1 << 31) <= lowest and highest < (1 << 31):
+        key_dtype = np.int32
+    else:
+        key_dtype = np.int64
+    sort_keys = np.empty((len(rows), ctx.n), dtype=key_dtype)
+    for i, row in enumerate(rows):
+        sort_keys[i] = row
+    order = np.argsort(sort_keys, axis=-1, kind="stable")
+    sorted_keys = np.take_along_axis(sort_keys, order, axis=-1)
+    steps = np.where(ctx.taken, np.int8(1), np.int8(-1))
+    sorted_steps = np.take(steps, order)
+    pred_sorted, before_fn = _grouped_walk_states(sorted_keys, sorted_steps,
+                                                  lo, hi)
+    predictions = np.empty(sort_keys.shape, dtype=bool)
+    np.put_along_axis(predictions, order, pred_sorted, axis=-1)
+    # The probe path is the only consumer of the scan arrays; share one
+    # lazily materialised before-state stack across all rows.
+    lazy: dict[str, np.ndarray] = {}
+
+    def row_arrays(row: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        before = lazy.get("before")
+        if before is None:
+            before = lazy["before"] = before_fn()
+        return (sorted_keys[row].astype(np.int64), before[row],
+                sorted_steps[row].astype(np.int64))
+
+    return [
+        kernel._make_run(ctx, ctx.taken, None, predictions[row],
+                         lambda row=row: row_arrays(row))
+        for row, kernel in enumerate(kernels)
+    ]
 
 
 class TournamentKernel:
@@ -973,50 +1351,17 @@ class YagsKernel:
         return KernelRun(predictions, fill_attribution, structure)
 
 
-def simulate_vectorized(predictor: "Predictor", trace: Any,
-                        config: "SimulationConfig | None" = None, *,
-                        trace_name: str | None = None,
-                        instrumentation: "Instrumentation | None" = None,
-                        telemetry: "IntervalRecorder | None" = None,
-                        probe: "PredictionProbe | None" = None
-                        ) -> "SimulationResult":
-    """Vectorized counterpart of :func:`repro.core.simulator.simulate`.
+def _plan_accounting(data: TraceData, limit: int | None,
+                     ) -> tuple[TraceData, np.ndarray, int, int, bool]:
+    """Replicate the scalar loop's instruction accounting.
 
-    Evaluates ``predictor``'s vector kernel over the whole trace and
-    returns a :class:`~repro.core.output.SimulationResult` byte-identical
-    (up to wall-clock ``simulation_time``) to the scalar engine's —
-    including warmup/``max_instructions`` accounting, ``most_failed``,
-    interval telemetry records and the probe report.  Raises
-    :class:`~repro.core.errors.EngineNotSupportedError` when the
-    predictor has no kernel.  The predictor instance itself is never
-    trained — only its configuration is read.
+    A branch is simulated iff its cumulative instruction count stays
+    within the limit; trailing non-branch instructions count only while
+    they fit.  Returns ``(work, numbers, included, instructions,
+    exhausted)`` — the (possibly truncated) trace to evaluate, its
+    cumulative instruction numbers, the included branch count, the
+    executed instruction total and the exhausted-trace flag.
     """
-    from .metrics import BranchStats, most_failed_branches
-    from .output import SimulationResult
-    from .simulator import SimulationConfig, _resolve_trace
-
-    config = config or SimulationConfig()
-    kernel = predictor.vector_kernel()
-    if kernel is None:
-        raise EngineNotSupportedError(
-            f"predictor {predictor.name()!r} does not provide a vector "
-            "kernel; run it with engine='scalar' (or 'auto' to fall back "
-            "automatically)")
-    instr = instrumentation
-
-    read_start = time.perf_counter() if instr is not None else 0.0
-    data, default_name = _resolve_trace(trace)
-    if instr is not None:
-        instr.add_phase("trace_read", time.perf_counter() - read_start)
-    name = trace_name if trace_name is not None else default_name
-
-    start = time.perf_counter()
-    warmup = config.warmup_instructions
-    limit = config.max_instructions
-
-    # Replicate the scalar loop's instruction accounting: a branch is
-    # simulated iff its cumulative instruction count stays within the
-    # limit; trailing non-branch instructions count only while they fit.
     numbers = data.instruction_numbers()
     num_branches = len(numbers)
     if limit is not None:
@@ -1038,9 +1383,32 @@ def simulate_vectorized(predictor: "Predictor", trace: Any,
             exhausted = False
         else:
             instructions += trailing
+    return work, numbers, included, instructions, exhausted
 
-    ctx = _VectorContext(work, track_all=not config.track_only_conditional)
-    run = kernel.run(ctx)
+
+def _finish_unit(predictor: "Predictor", name: str,
+                 config: "SimulationConfig", ctx: _VectorContext,
+                 run: KernelRun, numbers: np.ndarray, included: int,
+                 instructions: int, exhausted: bool, start: float,
+                 telemetry: "IntervalRecorder | None",
+                 probe: "PredictionProbe | None",
+                 instrumentation: "Instrumentation | None",
+                 ) -> "SimulationResult":
+    """Turn one finished kernel run into a :class:`SimulationResult`.
+
+    The single finisher shared by :func:`simulate_vectorized` and the
+    config-batched path (:func:`run_unit_group`): measured-region
+    counting, interval-telemetry replay, probe fill, ``most_failed`` and
+    result assembly all live here, so a batched unit's result is
+    byte-identical to a per-unit one by construction.  ``start`` is the
+    unit's simulation start time (``simulation_time`` runs from it to
+    the end of the telemetry replay, matching the standalone engine).
+    """
+    from .metrics import MostFailedEntry, accuracy, mpki
+    from .output import SimulationResult
+
+    instr = instrumentation
+    warmup = config.warmup_instructions
     cond_numbers = numbers[ctx.conditional]
     measured = cond_numbers > warmup
     wrong = run.predictions != ctx.taken
@@ -1077,16 +1445,15 @@ def simulate_vectorized(predictor: "Predictor", trace: Any,
     measured_instructions = max(0, instructions - warmup)
 
     per_branch = None
+    wrong_counts = None
+    ips_list = occurrences = None
     if (probe is not None or config.collect_most_failed) and measured.any():
-        unique_ips, inverse = np.unique(ctx.ips[measured],
-                                        return_inverse=True)
-        occurrences = np.bincount(inverse, minlength=len(unique_ips))
-        taken_counts = np.bincount(inverse, weights=ctx.taken[measured],
-                                   minlength=len(unique_ips))
+        ips_list, inverse, bins, occurrences, taken_counts = \
+            ctx.branch_base(warmup, measured)
         wrong_counts = np.bincount(inverse, weights=wrong[measured],
-                                   minlength=len(unique_ips))
-        per_branch = (unique_ips.tolist(), occurrences.tolist(),
-                      taken_counts.tolist(), wrong_counts.tolist())
+                                   minlength=bins)
+        per_branch = (ips_list, occurrences, taken_counts,
+                      wrong_counts.tolist())
 
     probe_report = None
     if probe is not None:
@@ -1101,11 +1468,26 @@ def simulate_vectorized(predictor: "Predictor", trace: Any,
         probe_report = probe.report()
 
     most_failed = []
-    if config.collect_most_failed and per_branch is not None:
-        stats = {int(ip): BranchStats(int(occ), int(wrong_count))
-                 for ip, occ, _taken, wrong_count in zip(*per_branch)}
-        most_failed = most_failed_branches(stats, mispredictions,
-                                           measured_instructions)
+    if config.collect_most_failed and wrong_counts is not None \
+            and mispredictions:
+        # Vectorized equivalent of :func:`metrics.most_failed_branches`:
+        # rank by (-mispredictions, ip) — ``ips_list`` is ascending from
+        # ``np.unique``, so a stable sort on the negated counts breaks
+        # ties by address — and take the shortest prefix covering half
+        # the mispredictions (rounded up).
+        failing = np.flatnonzero(wrong_counts)
+        ranked = failing[np.argsort(-wrong_counts[failing], kind="stable")]
+        target = (mispredictions + 1) // 2
+        covered = np.cumsum(wrong_counts[ranked])
+        take = int(np.searchsorted(covered, target)) + 1
+        for i in ranked[:take].tolist():
+            failed = int(wrong_counts[i])
+            occ = int(occurrences[i])
+            most_failed.append(MostFailedEntry(
+                ip=int(ips_list[i]), occurrences=occ,
+                mispredictions=failed,
+                mpki=mpki(failed, measured_instructions),
+                accuracy=accuracy(failed, occ)))
 
     phases_snapshot = None
     if instr is not None:
@@ -1129,3 +1511,189 @@ def simulate_vectorized(predictor: "Predictor", trace: Any,
         phases=phases_snapshot,
         probe_report=probe_report,
     )
+
+
+def simulate_vectorized(predictor: "Predictor", trace: Any,
+                        config: "SimulationConfig | None" = None, *,
+                        trace_name: str | None = None,
+                        instrumentation: "Instrumentation | None" = None,
+                        telemetry: "IntervalRecorder | None" = None,
+                        probe: "PredictionProbe | None" = None
+                        ) -> "SimulationResult":
+    """Vectorized counterpart of :func:`repro.core.simulator.simulate`.
+
+    Evaluates ``predictor``'s vector kernel over the whole trace and
+    returns a :class:`~repro.core.output.SimulationResult` byte-identical
+    (up to wall-clock ``simulation_time``) to the scalar engine's —
+    including warmup/``max_instructions`` accounting, ``most_failed``,
+    interval telemetry records and the probe report.  Raises
+    :class:`~repro.core.errors.EngineNotSupportedError` when the
+    predictor has no kernel.  The predictor instance itself is never
+    trained — only its configuration is read.
+    """
+    from .simulator import SimulationConfig, _resolve_trace
+
+    config = config or SimulationConfig()
+    kernel = predictor.vector_kernel()
+    if kernel is None:
+        raise EngineNotSupportedError(
+            f"predictor {predictor.name()!r} does not provide a vector "
+            "kernel; run it with engine='scalar' (or 'auto' to fall back "
+            "automatically)")
+    instr = instrumentation
+
+    read_start = time.perf_counter() if instr is not None else 0.0
+    data, default_name = _resolve_trace(trace)
+    if instr is not None:
+        instr.add_phase("trace_read", time.perf_counter() - read_start)
+    name = trace_name if trace_name is not None else default_name
+
+    start = time.perf_counter()
+    work, numbers, included, instructions, exhausted = _plan_accounting(
+        data, config.max_instructions)
+
+    ctx = _VectorContext(work, track_all=not config.track_only_conditional)
+    run = kernel.run(ctx)
+    if instr is not None and ctx.reuse_count:
+        instr.count("context_reuse", ctx.reuse_count)
+    return _finish_unit(predictor, name, config, ctx, run, numbers,
+                        included, instructions, exhausted, start,
+                        telemetry, probe, instr)
+
+
+def run_unit_group(data: TraceData, units: Sequence[tuple],
+                   ) -> tuple[list[Any], dict[str, int]]:
+    """Evaluate several configs over one decoded trace in batched passes.
+
+    ``units`` is a sequence of ``(factory, config, name, probe,
+    sim_engine, prebuilt)`` tuples — the fields of a
+    :class:`~repro.core.plan.WorkUnit` plus an optional prebuilt
+    predictor instance.  The trace context is built once per
+    ``(max_instructions, track_only_conditional)`` combination, derived
+    history windows are memoized across configs inside it, and
+    same-bounds :class:`SaturatingTableKernel` units are stacked into a
+    single N-D scan (:func:`stacked_saturating_runs`); hybrid kernels
+    run per unit over the shared context, and units without a kernel —
+    or with ``sim_engine="scalar"`` — fall back to the per-unit funnel
+    path one by one.  Any per-unit error (including a failed stack,
+    retried unit by unit) becomes that unit's
+    :class:`~repro.core.batch.TraceFailure`; the other units are
+    unaffected.
+
+    Returns ``(outcomes, info)``: one
+    :class:`~repro.core.output.SimulationResult` or ``TraceFailure``
+    per unit, in order, byte-identical (up to wall clock) to the
+    per-unit path, plus an ``info`` dict with ``context_reuse`` — the
+    number of derived-history recomputations the shared contexts
+    avoided.
+    """
+    from .batch import TraceFailure, _run_one
+    from .simulator import SimulationConfig
+
+    outcomes: list[Any] = [None] * len(units)
+    prepared: dict[int, tuple[Any, Any, Any, str, bool]] = {}
+    accts: dict[Any, tuple] = {}
+    ctxs: dict[Any, _VectorContext] = {}
+    stacks: dict[Any, list[int]] = {}
+    singles: list[int] = []
+
+    def failure(name: str, exc: BaseException) -> "TraceFailure":
+        return TraceFailure(name, error=f"{type(exc).__name__}: {exc}",
+                            details=traceback.format_exc())
+
+    for position, unit in enumerate(units):
+        factory, config, name, probe, sim_engine, prebuilt = unit
+        try:
+            predictor = prebuilt if prebuilt is not None else factory()
+            kernel = predictor.vector_kernel()
+        except Exception as exc:
+            outcomes[position] = failure(name, exc)
+            continue
+        if kernel is None or sim_engine not in ("vectorized", "auto"):
+            # No batchable kernel (or an explicitly scalar unit): the
+            # existing per-unit fault barrier reproduces every edge of
+            # the funnel path, including EngineNotSupportedError
+            # wrapping for sim_engine="vectorized".
+            outcomes[position] = _run_one(factory, data, config, name,
+                                          probe, predictor=predictor,
+                                          sim_engine=sim_engine)
+            continue
+        cfg = config or SimulationConfig()
+        prepared[position] = (predictor, kernel, cfg, name, probe)
+        ctx_key = (cfg.max_instructions, cfg.track_only_conditional)
+        if isinstance(kernel, SaturatingTableKernel):
+            stacks.setdefault((ctx_key, kernel.lo, kernel.hi),
+                              []).append(position)
+        else:
+            singles.append(position)
+
+    def context_for(cfg: "SimulationConfig") -> _VectorContext:
+        ctx_key = (cfg.max_instructions, cfg.track_only_conditional)
+        ctx = ctxs.get(ctx_key)
+        if ctx is None:
+            acct = accts.get(cfg.max_instructions)
+            if acct is None:
+                acct = _plan_accounting(data, cfg.max_instructions)
+                accts[cfg.max_instructions] = acct
+            ctx = _VectorContext(
+                acct[0], track_all=not cfg.track_only_conditional)
+            ctxs[ctx_key] = ctx
+        return ctx
+
+    def finish(position: int, ctx: _VectorContext, run: KernelRun,
+               start: float) -> "SimulationResult":
+        predictor, _kernel, cfg, name, probe = prepared[position]
+        _work, numbers, included, instructions, exhausted = (
+            accts[cfg.max_instructions])
+        probe_obj = None
+        if probe:
+            from ..probe import PredictionProbe
+
+            probe_obj = PredictionProbe()
+        return _finish_unit(predictor, name, cfg, ctx, run, numbers,
+                            included, instructions, exhausted, start,
+                            None, probe_obj, None)
+
+    def run_alone(position: int) -> None:
+        _predictor, kernel, cfg, name, _probe = prepared[position]
+        try:
+            ctx = context_for(cfg)
+            start = time.perf_counter()
+            outcomes[position] = finish(position, ctx, kernel.run(ctx),
+                                        start)
+        except Exception as exc:
+            outcomes[position] = failure(name, exc)
+
+    for (ctx_key, _lo, _hi), members in stacks.items():
+        cfg = prepared[members[0]][2]
+        try:
+            ctx = context_for(cfg)
+        except Exception as exc:
+            for position in members:
+                outcomes[position] = failure(prepared[position][3], exc)
+            continue
+        shared_start = time.perf_counter()
+        try:
+            runs = stacked_saturating_runs(
+                ctx, [prepared[p][1] for p in members])
+        except Exception:
+            # One bad kernel must not poison its stack-mates: retry the
+            # whole sub-batch unit by unit so only the failing unit
+            # reports a TraceFailure.
+            for position in members:
+                run_alone(position)
+            continue
+        share = (time.perf_counter() - shared_start) / len(members)
+        for position, run in zip(members, runs):
+            try:
+                outcomes[position] = finish(
+                    position, ctx, run, time.perf_counter() - share)
+            except Exception as exc:
+                outcomes[position] = failure(prepared[position][3], exc)
+
+    for position in singles:
+        run_alone(position)
+
+    info = {"context_reuse":
+            sum(ctx.reuse_count for ctx in ctxs.values())}
+    return outcomes, info

@@ -120,9 +120,13 @@ class GShare(Predictor):
 
         history_length = self.history_length
         log_table_size = self.log_table_size
+        # xor_fold is linear over XOR, so the (config-independent) fold
+        # of the address stream comes from the context's memo and only
+        # the history fold is paid per configuration — in a batched
+        # history sweep the address fold happens once for the group.
         return SaturatingTableKernel(
-            lambda ctx: xor_fold_array(
-                ctx.ips ^ ctx.global_history(history_length),
-                log_table_size),
+            lambda ctx: ctx.folded_ips(log_table_size)
+            ^ xor_fold_array(ctx.global_history(history_length),
+                             log_table_size),
             self.counter_width, component="table",
             table_size=1 << log_table_size)

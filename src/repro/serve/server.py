@@ -58,7 +58,7 @@ from typing import Any, Callable, Sequence
 
 from ..cache import SimulationCache, resolve_cache_dir
 from ..core.output import SIMULATOR_VERSION
-from ..core.plan import WorkPlan, WorkUnit
+from ..core.plan import WorkPlan, WorkUnit, _batch_groups, execute_plan
 from ..core.predictor import derive_spec
 from ..core.simulator import SimulationConfig
 from ..sbbt.digest import trace_digest
@@ -115,6 +115,7 @@ class ServeConfig:
     cache_dir: str | None = None
     trace_dir: str | None = None
     sim_engine: str = "auto"
+    batch: str = "auto"
     max_queue: int = 64
     max_inflight: int | None = None
     request_timeout: float | None = 60.0
@@ -124,6 +125,9 @@ class ServeConfig:
     def __post_init__(self) -> None:
         if self.workers < 0:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.batch not in ("auto", "off"):
+            raise ValueError(
+                f"batch must be 'auto' or 'off', got {self.batch!r}")
         if self.max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {self.max_queue}")
         if self.max_inflight is not None and self.max_inflight < 1:
@@ -202,6 +206,8 @@ class MbpServer:
         self._job_tasks: set[asyncio.Task] = set()
         #: coalesce key -> the single in-flight computation task.
         self._inflight: dict[tuple, asyncio.Task] = {}
+        #: serializes batched prewarms (one engine.run_plan at a time).
+        self._batch_lock: asyncio.Lock | None = None
         self._dispatch_sem: asyncio.Semaphore | None = None
         self._io: ThreadPoolExecutor | None = None
         self._thread_pool: ThreadPoolExecutor | None = None
@@ -725,6 +731,67 @@ class MbpServer:
         entry["predictor"] = request["predictor"]
         return entry
 
+    async def _prewarm_batch(self, units: Sequence[WorkUnit],
+                             ctx: TraceContext | None = None) -> None:
+        """Warm the cache with one batched pass over a multi-unit request.
+
+        Best-effort fast path for ``suite``/``sweep`` requests: the
+        request's units go through :func:`execute_plan` with batching
+        on, so cache-missed units sharing a trace are evaluated in one
+        stacked pass per predictor family instead of one dispatch per
+        unit.  Results land in the shared cache; the per-unit funnel
+        that follows — coalescing, error frames, reply shapes — then
+        answers from warm entries.  Any failure here is swallowed: the
+        per-unit path re-runs (and properly reports) whatever the
+        prewarm did not cover.  Prewarms are serialized so at most one
+        ``engine.run_plan`` generator is live at a time.
+        """
+        if self.config.batch != "auto" or self.cache is None:
+            return
+        if len(units) < 2:
+            return
+        plan = WorkPlan(units=tuple(units))
+        groups, _ = _batch_groups(plan, range(len(plan)))
+        if not groups:
+            return
+        if self._batch_lock is None:
+            self._batch_lock = asyncio.Lock()
+        loop = asyncio.get_running_loop()
+        trc = self.tracer
+        timers = PhaseTimers()
+
+        def _run(parent: TraceContext | None) -> None:
+            execute_plan(plan, engine=self.engine, cache=self.cache,
+                         instrumentation=timers,
+                         tracer=trc if trc.enabled else None,
+                         trace_parent=parent)
+
+        async with self._batch_lock:
+            with trc.span("serve_batch_prewarm", parent=ctx,
+                          attributes={"units": len(plan),
+                                      "groups": len(groups)}) as span:
+                start = time.perf_counter()
+                try:
+                    await loop.run_in_executor(
+                        self._io, _run,
+                        span.context if trc.enabled else None)
+                except Exception:  # noqa: BLE001 - best-effort fast path
+                    span.set_status("error")
+                    self.telemetry.count("serve_batch_errors")
+                    return
+                finally:
+                    self.telemetry.add_phase(
+                        "serve_batch_prewarm", time.perf_counter() - start)
+        counters = timers.counters
+        if counters.get("batch_groups"):
+            self.telemetry.count("serve_batch_groups",
+                                 counters["batch_groups"])
+            self.telemetry.count("serve_batch_units",
+                                 counters.get("batch_units", 0))
+        if counters.get("context_reuse"):
+            self.telemetry.count("serve_context_reuse",
+                                 counters["context_reuse"])
+
     async def _gather_units(self, units: Sequence[WorkUnit],
                             ctx: TraceContext | None = None,
                             ) -> tuple[list[dict], list[dict]]:
@@ -771,6 +838,7 @@ class MbpServer:
         plan = WorkPlan.for_suite(factory, request["traces"],
                                   self._sim_config(request),
                                   sim_engine=self._sim_engine(request))
+        await self._prewarm_batch(plan.units, ctx)
         results, failures = await self._gather_units(plan.units, ctx)
         return {"predictor": request["predictor"], "results": results,
                 "failures": failures, "aggregate": self._aggregate(results)}
@@ -793,6 +861,9 @@ class MbpServer:
         by_tag: dict[int, list[WorkUnit]] = {}
         for unit in plan:
             by_tag.setdefault(unit.tag, []).append(unit)
+        # One prewarm over the whole sweep: the config axis across
+        # points is exactly what the batched evaluator stacks.
+        await self._prewarm_batch(plan.units, ctx)
         points: list[dict[str, Any]] = []
         # Points stay sequential (each one's traces fan out) so a sweep
         # request cannot monopolize the dispatch slots in one burst.
@@ -838,6 +909,7 @@ class MbpServer:
             "server": {
                 "workers": self.config.workers,
                 "sim_engine": self.config.sim_engine,
+                "batch": self.config.batch,
                 "address": list(self.bound) if self.bound else None,
                 "request_timeout": self.config.request_timeout,
             },

@@ -1,0 +1,413 @@
+"""Config-batched evaluation vs per-unit evaluation: bit-exact, always.
+
+The batched evaluator (``execute_plan(batch="auto")``) stacks
+same-shape vectorized kernels along a config axis and reuses one trace
+context per group.  None of that may be visible in results: for every
+table-indexed predictor in the catalog, for arbitrary traces, configs
+and group mixes (cache hits next to misses, singletons, heterogeneous
+table shapes, scalar units interleaved), the ``SimulationResult`` JSON
+document and the probe report must be **byte-identical** to a
+``batch="off"`` run.  Failure isolation must also match: a unit that
+fails inside a stacked pass fails alone, exactly as it would alone.
+
+Uses `hypothesis` when the environment provides it; otherwise the same
+properties run against draws from a seeded ``random.Random``, so the
+file never silently skips.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import random
+
+import pytest
+
+from repro.cache import SimulationCache
+from repro.core.batch import TraceFailure
+from repro.core.output import SimulationResult
+from repro.core.plan import (
+    WorkPlan,
+    _batch_groups,
+    execute_plan,
+    normalize_batch,
+)
+from repro.core.simulator import SimulationConfig
+from repro.predictors import Bimodal, GShare
+from repro.telemetry import PhaseTimers
+from tests.conftest import make_trace
+from tests.core.test_vectorized_catalog import (
+    CATALOG,
+    comparable_document,
+    random_config,
+    random_trace,
+)
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - depends on the environment
+    HAVE_HYPOTHESIS = False
+
+
+def assert_outcomes_identical(batched, per_unit) -> None:
+    """Positionally identical outcomes, serialized-form equality."""
+    assert len(batched) == len(per_unit)
+    for a, b in zip(batched, per_unit):
+        assert type(a) is type(b), (a, b)
+        if isinstance(a, SimulationResult):
+            assert comparable_document(a) == comparable_document(b)
+            # Probe reports compare *serialized*: same values, same key
+            # order (report tables golden-test on ordering).
+            assert (json.dumps(a.probe_report)
+                    == json.dumps(b.probe_report))
+        else:
+            assert isinstance(a, TraceFailure)
+            assert a.trace_name == b.trace_name
+
+
+def check_sweep_shape(name: str, seed: int) -> None:
+    """The headline property: a batched config sweep == per-unit runs."""
+    rng = random.Random(seed)
+    factory_seeds = [rng.randint(0, 2**30)
+                     for _ in range(rng.randint(2, 5))]
+    factories = [
+        (tag, lambda s=s, f=CATALOG[name]: f(random.Random(s)))
+        for tag, s in enumerate(factory_seeds)
+    ]
+    trace = random_trace(rng, num_branches=rng.randint(2, 300),
+                         pool_size=rng.randint(1, 30),
+                         conditional_fraction=rng.choice([0.5, 0.8, 1.0]))
+    config = random_config(rng, trace)
+    plan = WorkPlan.for_points(factories, [trace], config,
+                               probe=rng.random() < 0.5,
+                               sim_engine="auto")
+    timers = PhaseTimers()
+    batched = execute_plan(plan, batch="auto", instrumentation=timers)
+    per_unit = execute_plan(plan, batch="off")
+    assert_outcomes_identical(batched, per_unit)
+    assert timers.counters.get("batch_groups") == 1
+    assert timers.counters.get("batch_units") == len(plan)
+
+
+if HAVE_HYPOTHESIS:
+
+    @pytest.mark.parametrize("name", sorted(CATALOG))
+    class TestBatchedCatalogDifferential:
+        @settings(max_examples=10, deadline=None)
+        @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+        def test_batched_equals_per_unit(self, name, seed):
+            check_sweep_shape(name, seed)
+
+else:  # pragma: no cover - environments without hypothesis
+
+    @pytest.mark.parametrize("name", sorted(CATALOG))
+    @pytest.mark.parametrize("seed", range(10))
+    def test_batched_equals_per_unit(name, seed):
+        check_sweep_shape(name, seed * 6007 + hash(name) % 1000)
+
+
+# ----------------------------------------------------------------------
+# Group-forming policy.
+# ----------------------------------------------------------------------
+
+
+def _point_plan(trace, values, *, sim_engine="auto", probe=False,
+                log_table_size=8):
+    factories = [
+        (tag, lambda h=h, lts=log_table_size: GShare(
+            history_length=h, log_table_size=lts))
+        for tag, h in enumerate(values)
+    ]
+    return WorkPlan.for_points(factories, [trace], SimulationConfig(),
+                               probe=probe, sim_engine=sim_engine)
+
+
+class TestBatchGroupPolicy:
+    def test_normalize_batch(self):
+        assert normalize_batch("auto") is True
+        assert normalize_batch(True) is True
+        assert normalize_batch("off") is False
+        assert normalize_batch(False) is False
+        with pytest.raises(ValueError):
+            normalize_batch("on")
+
+    def test_units_sharing_a_trace_group(self, small_trace):
+        plan = _point_plan(small_trace, [2, 4, 6])
+        groups, loose = _batch_groups(plan, range(len(plan)))
+        assert groups == [[0, 1, 2]]
+        assert loose == []
+
+    def test_scalar_units_stay_loose(self, small_trace):
+        plan = _point_plan(small_trace, [2, 4, 6], sim_engine="scalar")
+        groups, loose = _batch_groups(plan, range(len(plan)))
+        assert groups == []
+        assert loose == [0, 1, 2]
+
+    def test_singletons_stay_loose(self, small_trace, server_trace):
+        # One config over two distinct traces: nothing to stack.
+        plan = WorkPlan.for_suite(lambda: GShare(4, 8),
+                                  [small_trace, server_trace],
+                                  SimulationConfig(), sim_engine="auto")
+        groups, loose = _batch_groups(plan, range(len(plan)))
+        assert groups == []
+        assert loose == [0, 1]
+
+    def test_mixed_engines_split_and_loose_is_sorted(self, small_trace):
+        units = _point_plan(small_trace, [2, 4, 6]).units
+        scalar = _point_plan(small_trace, [8], sim_engine="scalar").units
+        plan = WorkPlan(units=(units[0], scalar[0], units[1], units[2]))
+        groups, loose = _batch_groups(plan, range(len(plan)))
+        assert groups == [[0, 2, 3]]
+        assert loose == [1]
+
+    def test_path_traces_group_by_string(self, tmp_path, small_trace):
+        from repro.sbbt.writer import write_trace
+
+        path = tmp_path / "t.sbbt"
+        write_trace(path, small_trace)
+        plan = _point_plan(str(path), [2, 4])
+        groups, loose = _batch_groups(plan, range(len(plan)))
+        assert groups == [[0, 1]]
+        assert loose == []
+
+
+# ----------------------------------------------------------------------
+# Inline execution through the funnel.
+# ----------------------------------------------------------------------
+
+
+class TestInlineBatching:
+    def test_off_means_no_counters(self, small_trace):
+        plan = _point_plan(small_trace, [2, 4, 6])
+        timers = PhaseTimers()
+        execute_plan(plan, batch="off", instrumentation=timers)
+        assert "batch_groups" not in timers.counters
+        assert "batch_eval" not in timers.phases
+
+    def test_auto_records_phase_and_counters(self, small_trace):
+        plan = _point_plan(small_trace, [2, 4, 6])
+        timers = PhaseTimers()
+        execute_plan(plan, batch="auto", instrumentation=timers)
+        assert timers.counters["batch_groups"] == 1
+        assert timers.counters["batch_units"] == 3
+        assert timers.phases["batch_eval"] > 0.0
+
+    def test_heterogeneous_shapes_one_group(self, small_trace):
+        # Different table sizes stack separately but still share one
+        # group (and one trace context).
+        factories = [
+            (tag, lambda h=h, lts=lts: GShare(h, lts))
+            for tag, (h, lts) in enumerate(
+                [(2, 6), (4, 6), (4, 9), (8, 9), (8, 12)])
+        ]
+        plan = WorkPlan.for_points(factories, [small_trace],
+                                   SimulationConfig(), sim_engine="auto")
+        timers = PhaseTimers()
+        batched = execute_plan(plan, batch="auto", instrumentation=timers)
+        per_unit = execute_plan(plan, batch="off")
+        assert_outcomes_identical(batched, per_unit)
+        assert timers.counters["batch_groups"] == 1
+        assert timers.counters["batch_units"] == 5
+
+    def test_mixed_cache_hits_and_misses(self, small_trace, tmp_path):
+        cache = SimulationCache(tmp_path / "cache")
+        plan = _point_plan(small_trace, [2, 4, 6, 8])
+        # Warm two of the four configurations.
+        warm = execute_plan(plan.subset([1, 3]), cache=cache)
+        assert all(isinstance(r, SimulationResult) for r in warm)
+        timers = PhaseTimers()
+        batched = execute_plan(plan, cache=cache, batch="auto",
+                               instrumentation=timers)
+        assert [r.from_cache for r in batched] == [False, True, False, True]
+        # Only the two misses formed the stacked pass.
+        assert timers.counters["batch_groups"] == 1
+        assert timers.counters["batch_units"] == 2
+        per_unit = execute_plan(plan, batch="off")
+        assert_outcomes_identical(batched, per_unit)
+
+    def test_fully_warm_cache_forms_no_groups(self, small_trace, tmp_path):
+        cache = SimulationCache(tmp_path / "cache")
+        plan = _point_plan(small_trace, [2, 4])
+        execute_plan(plan, cache=cache)
+        timers = PhaseTimers()
+        batched = execute_plan(plan, cache=cache, batch="auto",
+                               instrumentation=timers)
+        assert all(r.from_cache for r in batched)
+        assert "batch_groups" not in timers.counters
+
+    def test_probe_reports_survive_batching(self, small_trace):
+        plan = _point_plan(small_trace, [2, 4, 6], probe=True)
+        batched = execute_plan(plan, batch="auto")
+        per_unit = execute_plan(plan, batch="off")
+        for result in batched:
+            assert result.probe_report is not None
+        assert_outcomes_identical(batched, per_unit)
+
+    def test_failing_unit_fails_alone(self, small_trace):
+        def broken():
+            raise RuntimeError("constructor exploded")
+
+        good = _point_plan(small_trace, [2, 4]).units
+        bad = WorkUnit_like = WorkPlan.for_suite(
+            broken, [small_trace], SimulationConfig(),
+            sim_engine="auto").units
+        plan = WorkPlan(units=(good[0], bad[0], good[1]))
+        batched = execute_plan(plan, batch="auto")
+        per_unit = execute_plan(plan, batch="off")
+        assert isinstance(batched[0], SimulationResult)
+        assert isinstance(batched[1], TraceFailure)
+        assert isinstance(batched[2], SimulationResult)
+        assert_outcomes_identical(batched, per_unit)
+
+    def test_unreadable_trace_fails_every_member(self, tmp_path):
+        plan = _point_plan(str(tmp_path / "missing.sbbt"), [2, 4, 6])
+        batched = execute_plan(plan, batch="auto")
+        per_unit = execute_plan(plan, batch="off")
+        assert all(isinstance(r, TraceFailure) for r in batched)
+        assert_outcomes_identical(batched, per_unit)
+
+    def test_two_traces_two_groups(self, small_trace, server_trace):
+        factories = [(tag, lambda h=h: GShare(h, 8))
+                     for tag, h in enumerate([2, 4])]
+        plan = WorkPlan.for_points(factories, [small_trace, server_trace],
+                                   SimulationConfig(), sim_engine="auto")
+        timers = PhaseTimers()
+        batched = execute_plan(plan, batch="auto", instrumentation=timers)
+        per_unit = execute_plan(plan, batch="off")
+        assert_outcomes_identical(batched, per_unit)
+        assert timers.counters["batch_groups"] == 2
+        assert timers.counters["batch_units"] == 4
+
+
+# ----------------------------------------------------------------------
+# Engine execution: digest-affinity packing + worker-side batching.
+# ----------------------------------------------------------------------
+
+
+class TestEngineBatching:
+    def _plan_two_traces(self, tmp_path):
+        from repro.sbbt.writer import write_trace
+        from repro.traces.synth import generate_trace
+        from repro.traces.workloads import PROFILES
+
+        paths = []
+        for i in range(2):
+            path = tmp_path / f"t{i}.sbbt"
+            write_trace(path, generate_trace(
+                PROFILES["short_server"], seed=20 + i, num_branches=2000))
+            paths.append(str(path))
+        # functools.partial, not a lambda: factories must survive the
+        # pickle trip to the worker processes.
+        factories = [
+            (tag, functools.partial(GShare, history_length=h,
+                                    log_table_size=8))
+            for tag, h in enumerate([2, 4, 6, 8])
+        ]
+        # Plan order interleaves the traces; digest-affinity packing
+        # must still put each trace's units into one chunk.
+        return WorkPlan.for_points(factories, paths, SimulationConfig(),
+                                   sim_engine="auto")
+
+    def test_worker_batching_is_bit_exact(self, tmp_path):
+        from repro.core.engine import ExecutionEngine
+
+        plan = self._plan_two_traces(tmp_path)
+        per_unit = execute_plan(plan, batch="off")
+        with ExecutionEngine(workers=2) as engine:
+            batched = execute_plan(plan, engine=engine, chunk=4,
+                                   batch="auto")
+            assert engine.stats.batch_groups == 2
+            assert engine.stats.batch_units == 8
+        assert_outcomes_identical(batched, per_unit)
+
+    def test_batch_off_dispatches_per_unit(self, tmp_path):
+        from repro.core.engine import ExecutionEngine
+
+        plan = self._plan_two_traces(tmp_path)
+        with ExecutionEngine(workers=2) as engine:
+            execute_plan(plan, engine=engine, chunk=4, batch="off")
+            assert engine.stats.batch_groups == 0
+            assert engine.stats.batch_units == 0
+
+    def test_single_unit_chunks_never_batch(self, tmp_path):
+        from repro.core.engine import ExecutionEngine
+
+        plan = self._plan_two_traces(tmp_path)
+        per_unit = execute_plan(plan, batch="off")
+        with ExecutionEngine(workers=2) as engine:
+            batched = execute_plan(plan, engine=engine, chunk=1,
+                                   batch="auto")
+            assert engine.stats.batch_groups == 0
+        assert_outcomes_identical(batched, per_unit)
+
+    def test_engine_stats_json_carries_batch_counters(self, tmp_path):
+        from repro.core.engine import ExecutionEngine
+
+        plan = self._plan_two_traces(tmp_path)
+        with ExecutionEngine(workers=2) as engine:
+            execute_plan(plan, engine=engine, chunk=4, batch="auto")
+            stats = engine.stats.to_json()
+        assert stats["batch_groups"] == 2
+        assert stats["batch_units"] == 8
+
+
+# ----------------------------------------------------------------------
+# The sweep driver: collect mode, per-point failure accounting.
+# ----------------------------------------------------------------------
+
+
+class TestSweepCollect:
+    def test_collect_counts_failures_per_point(self, tmp_path, small_trace):
+        from repro.analysis.sweep import sweep_parameter
+        from repro.sbbt.writer import write_trace
+
+        good = tmp_path / "good.sbbt"
+        write_trace(good, small_trace)
+        sweep = sweep_parameter(
+            GShare, "history_length", [2, 4],
+            [str(good), str(tmp_path / "missing.sbbt")],
+            SimulationConfig(), {"log_table_size": 8},
+            sim_engine="auto", on_error="collect")
+        for point in sweep.points:
+            assert point.num_failures == 1
+            assert point.mean_mpki == point.mean_mpki  # not NaN
+        assert sweep.best() is not None
+
+    def test_all_failed_sweep_has_nan_points_and_no_best(self, tmp_path):
+        import math
+
+        from repro.analysis.sweep import sweep_parameter
+
+        sweep = sweep_parameter(
+            GShare, "history_length", [2, 4],
+            [str(tmp_path / "missing.sbbt")],
+            SimulationConfig(), {"log_table_size": 8},
+            sim_engine="auto", on_error="collect")
+        assert all(math.isnan(p.mean_mpki) for p in sweep.points)
+        with pytest.raises(ValueError, match="every sweep point failed"):
+            sweep.best()
+
+    def test_raise_mode_still_raises(self, tmp_path):
+        from repro.analysis.sweep import sweep_parameter
+        from repro.core.batch import SuiteError
+
+        with pytest.raises(SuiteError):
+            sweep_parameter(
+                GShare, "history_length", [2, 4],
+                [str(tmp_path / "missing.sbbt")],
+                SimulationConfig(), {"log_table_size": 8})
+
+    def test_batched_sweep_matches_unbatched(self, small_trace):
+        from repro.analysis.sweep import sweep_parameter
+
+        batched = sweep_parameter(
+            Bimodal, "log_table_size", [4, 6, 8], [small_trace],
+            SimulationConfig(), sim_engine="auto", batch="auto")
+        per_unit = sweep_parameter(
+            Bimodal, "log_table_size", [4, 6, 8], [small_trace],
+            SimulationConfig(), sim_engine="auto", batch="off")
+        assert ([p.mean_mpki for p in batched.points]
+                == [p.mean_mpki for p in per_unit.points])
+        assert batched.best().parameters == per_unit.best().parameters

@@ -100,6 +100,41 @@ class TestRoundTrip:
         best = min(reply["points"], key=lambda point: point["mean_mpki"])
         assert reply["best"]["parameters"] == best["parameters"]
 
+    def test_sweep_prewarms_batched(self, serve, trace_files):
+        handle = serve()
+        with MbpClient(socket_path=handle.socket_path) as client:
+            reply = client.sweep([trace_files[0]], "gshare",
+                                 "history_length", [2, 4, 8])
+            stats = client.stats()
+        # The prewarm evaluated all three points in one stacked pass
+        # and the per-unit fan-out answered from the warm cache.
+        assert stats["counters"]["serve_batch_groups"] == 1
+        assert stats["counters"]["serve_batch_units"] == 3
+        assert stats["server"]["batch"] == "auto"
+        assert all(point["cache_hits"] == 1 for point in reply["points"])
+
+    def test_batch_off_disables_prewarm(self, serve, trace_files):
+        handle = serve(batch="off")
+        with MbpClient(socket_path=handle.socket_path) as client:
+            off = client.sweep([trace_files[0]], "gshare",
+                               "history_length", [2, 8])
+            stats = client.stats()
+        assert "serve_batch_groups" not in stats["counters"]
+        assert stats["server"]["batch"] == "off"
+        # Same answers either way.
+        handle_on = serve(socket_path=None,
+                          host="127.0.0.1", port=0)
+        kind, host, port = handle_on.address
+        with MbpClient(host=host, port=port) as client:
+            on = client.sweep([trace_files[0]], "gshare",
+                              "history_length", [2, 8])
+        assert [p["mean_mpki"] for p in on["points"]] == \
+            [p["mean_mpki"] for p in off["points"]]
+
+    def test_bad_batch_config_rejected(self):
+        with pytest.raises(ValueError):
+            ServeConfig(batch="sometimes")
+
     def test_tcp_transport(self, serve, trace_files):
         handle = serve(socket_path=None, host="127.0.0.1", port=0)
         kind, host, port = handle.address

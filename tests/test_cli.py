@@ -313,6 +313,53 @@ class TestSweepCommand:
         assert stats["tasks_dispatched"] == 3
         assert stats["trace_reuses"] >= 1
 
+    def test_footer_reports_points_and_batch_groups(self, trace_file,
+                                                    capsys):
+        assert main(["sweep", str(trace_file),
+                     "--parameter", "history_length",
+                     "--values", "2,4,8"]) == 0
+        output = capsys.readouterr().out
+        assert "sweep: 3/3 points ok" in output
+        assert "1 batch groups" in output
+        assert "0 trace failures" in output
+
+    def test_batch_off_matches_auto(self, trace_file, capsys):
+        argv = ["sweep", str(trace_file), "--parameter", "history_length",
+                "--values", "2,4,8", "--json"]
+        assert main(argv) == 0
+        auto = json.loads(capsys.readouterr().out)
+        assert main(argv + ["--batch", "off"]) == 0
+        assert json.loads(capsys.readouterr().out) == auto
+
+    def test_scalar_engine_matches_auto(self, trace_file, capsys):
+        argv = ["sweep", str(trace_file), "--parameter", "history_length",
+                "--values", "2,4", "--json"]
+        assert main(argv) == 0
+        auto = json.loads(capsys.readouterr().out)
+        assert main(argv + ["--engine", "scalar"]) == 0
+        assert json.loads(capsys.readouterr().out) == auto
+
+    def test_all_points_failed_exits_nonzero(self, tmp_path, capsys):
+        missing = tmp_path / "missing.sbbt"
+        assert main(["sweep", str(missing),
+                     "--parameter", "history_length",
+                     "--values", "2,4"]) == 1
+        output = capsys.readouterr().out
+        assert "0/2 points ok" in output
+        assert "best:" not in output
+
+    def test_json_reports_failures_and_null_best(self, tmp_path, capsys):
+        missing = tmp_path / "missing.sbbt"
+        assert main(["sweep", str(missing),
+                     "--parameter", "history_length",
+                     "--values", "2,4", "--json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["best"] is None
+        for point in document["points"]:
+            assert point["mean_mpki"] is None
+            assert point["num_failures"] == 1
+        assert document["aggregate"]["points_failed"] == 2
+
     def test_bad_values_spec(self, trace_file):
         with pytest.raises(SystemExit):
             main(["sweep", str(trace_file), "--parameter", "history_length",

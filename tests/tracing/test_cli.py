@@ -64,7 +64,21 @@ class TestTraceDirFlag:
                      "history_length", "--values", "4,8",
                      "--trace-dir", str(spans_dir)]) == 0
         names = _span_names(spans_dir)
+        # Sweeps batch by default: the same-trace grid points run as
+        # one ``batch_group`` span per trace instead of per-unit spans.
+        assert {"mbp_sweep", "execute_plan", "simulate",
+                "batch_group"} <= names
+
+    def test_sweep_batch_off_keeps_unit_spans(self, trace_pair,
+                                              tmp_path, capsys):
+        spans_dir = tmp_path / "spans"
+        assert main(["sweep", *trace_pair, "--parameter",
+                     "history_length", "--values", "4,8",
+                     "--batch", "off",
+                     "--trace-dir", str(spans_dir)]) == 0
+        names = _span_names(spans_dir)
         assert {"mbp_sweep", "execute_plan", "unit"} <= names
+        assert "batch_group" not in names
 
     def test_env_var_enables_tracing(self, trace_file, tmp_path,
                                      monkeypatch, capsys):
